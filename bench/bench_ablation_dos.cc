@@ -1,0 +1,143 @@
+// Ablation: the DoS vectors the paper warns about (Section VI).
+//
+// Three attacks, each quantified against the engine:
+//   1. slow read / malicious receiver — tiny SETTINGS_INITIAL_WINDOW_SIZE
+//      pins whole responses in server memory (§V-D1, [20], [23]);
+//   2. priority churn — PRIORITY floods force continual dependency-tree
+//      reconstruction (algorithmic-complexity attack, [26]);
+//   3. header bomb — random never-repeating headers churn the HPACK
+//      dynamic table (the SETTINGS_HEADER_TABLE_SIZE concern of §VI).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/probes.h"
+#include "core/session.h"
+
+namespace {
+
+using namespace h2r;
+
+void print_slow_read() {
+  std::printf("\n=== DoS 1: slow-read attack (tiny window, many streams) ===\n");
+  std::printf("%-10s %-10s %-18s %-18s\n", "streams", "Sframe",
+              "pinned bytes", "bytes released");
+  for (int streams : {1, 8, 32, 64}) {
+    core::Target t = core::Target::testbed(server::h2o_profile());
+    auto server = t.make_server();
+    core::ClientOptions opts;
+    opts.settings = {{h2::SettingId::kInitialWindowSize, 1}};
+    opts.auto_stream_window_update = false;  // the attacker never reads
+    core::ClientConnection client(opts);
+    std::size_t released = 0;
+    for (int i = 0; i < streams; ++i) {
+      client.send_request("/large/" + std::to_string(i % 8));
+    }
+    core::run_exchange(client, server);
+    for (std::uint32_t sid = 1;
+         sid <= static_cast<std::uint32_t>(2 * streams); sid += 2) {
+      released += client.data_received(sid);
+    }
+    std::printf("%-10d %-10d %-18zu %-18zu\n", streams, 1,
+                server.pending_response_octets(), released);
+  }
+  std::printf(
+      "(each stream leaks exactly Sframe octets and pins the rest — the "
+      "amplification is linear in accepted streams, bounded only by "
+      "SETTINGS_MAX_CONCURRENT_STREAMS)\n");
+}
+
+void print_header_bomb() {
+  std::printf("\n=== DoS 3: HPACK dynamic-table churn (header bomb) ===\n");
+  std::printf("%-10s %-22s %-16s\n", "requests", "decoder table octets",
+              "table capacity");
+  core::Target t = core::Target::testbed(server::h2o_profile());
+  auto server = t.make_server();
+  core::ClientConnection client;
+  hpack::Encoder attacker;  // dedicated encoder flooding unique entries
+  int sent = 0;
+  for (int burst : {1, 16, 64, 256}) {
+    for (; sent < burst; ++sent) {
+      hpack::HeaderList headers = {{":method", "GET"},
+                                   {":scheme", "https"},
+                                   {":authority", "victim"},
+                                   {":path", "/small"}};
+      for (int j = 0; j < 8; ++j) {
+        headers.emplace_back(
+            "x-bomb-" + std::to_string(sent) + "-" + std::to_string(j),
+            std::string(32, static_cast<char>('a' + j)));
+      }
+      client.send_frame(h2::make_headers(
+          static_cast<std::uint32_t>(sent * 2 + 1), attacker.encode(headers),
+          /*end_stream=*/true));
+      core::run_exchange(client, server);
+      if (!server.alive()) break;
+    }
+    std::printf("%-10d %-22zu %-16u\n", sent, server.decoder_table_octets(),
+                server.profile().header_table_size);
+  }
+  std::printf(
+      "(occupancy saturates at SETTINGS_HEADER_TABLE_SIZE — the default "
+      "4,096 bounds the exposure, which is why §V-C finds every server "
+      "keeping the default)\n");
+}
+
+void BM_PriorityChurnFlood(benchmark::State& state) {
+  // Attack 2: a PRIORITY flood across `n` idle streams; each frame forces a
+  // detach/attach (and possibly a §5.3.3 subtree move) in the server tree.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::Target t = core::Target::testbed(server::h2o_profile());
+  std::size_t frames = 0;
+  for (auto _ : state) {
+    auto server = t.make_server();
+    core::ClientConnection client;
+    Rng rng(11);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t sid = 2 * i + 1;
+      const std::uint32_t dep =
+          i == 0 ? 0 : 2 * static_cast<std::uint32_t>(rng.next_below(i)) + 1;
+      client.send_priority(sid, {.dependency = dep,
+                                 .weight_field = static_cast<std::uint8_t>(
+                                     rng.next_below(256)),
+                                 .exclusive = rng.next_bool(0.3)});
+      ++frames;
+    }
+    core::run_exchange(client, server);
+    benchmark::DoNotOptimize(server.priority_tree().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_PriorityChurnFlood)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_SlowReadSetupCost(benchmark::State& state) {
+  // Time the server-side cost of accepting a full batch of slow-read
+  // streams (header decode + response prep + 1-octet frames).
+  const int streams = static_cast<int>(state.range(0));
+  core::Target t = core::Target::testbed(server::h2o_profile());
+  for (auto _ : state) {
+    auto server = t.make_server();
+    core::ClientOptions opts;
+    opts.settings = {{h2::SettingId::kInitialWindowSize, 1}};
+    opts.auto_stream_window_update = false;
+    core::ClientConnection client(opts);
+    for (int i = 0; i < streams; ++i) {
+      client.send_request("/large/" + std::to_string(i % 8));
+    }
+    core::run_exchange(client, server);
+    benchmark::DoNotOptimize(server.pending_response_octets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(streams) *
+                          state.iterations());
+}
+BENCHMARK(BM_SlowReadSetupCost)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_slow_read();
+  print_header_bomb();
+  std::printf("\n=== DoS 2: priority-churn flood (timed below) ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: HPACK indexing policy and Huffman coding (DESIGN.md §5).
+//
+// Shows how the encoder policy alone produces the Figure 4/5 ratio
+// families, what Huffman contributes to wire size, and times the encoder/
+// decoder under each configuration.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/probes.h"
+#include "hpack/decoder.h"
+#include "hpack/huffman.h"
+#include "hpack/encoder.h"
+
+namespace {
+
+using namespace h2r;
+
+hpack::HeaderList response_headers() {
+  return {{":status", "200"},
+          {"server", "h2o/1.6.2"},
+          {"date", "Mon, 04 Jul 2016 10:00:00 GMT"},
+          {"content-type", "text/html; charset=utf-8"},
+          {"content-length", "2048"},
+          {"cache-control", "max-age=3600"},
+          {"etag", "\"5a3bc-1fe-53c8a1\""},
+          {"x-request-id", "9f86d081884c7d65"}};
+}
+
+void print_policy_table() {
+  std::printf("\n=== Ablation: indexing policy -> Equation-1 ratio ===\n");
+  std::printf("%-14s %-9s %-10s %-10s %-8s\n", "policy", "huffman",
+              "S1 (bytes)", "S8 (bytes)", "ratio r");
+  const int kH = 8;
+  for (auto policy :
+       {hpack::IndexingPolicy::kAggressive, hpack::IndexingPolicy::kStaticOnly,
+        hpack::IndexingPolicy::kNone}) {
+    for (bool huffman : {true, false}) {
+      hpack::Encoder enc({.policy = policy, .use_huffman = huffman});
+      std::size_t first = 0, last = 0, sum = 0;
+      for (int i = 0; i < kH; ++i) {
+        const std::size_t size = enc.encode(response_headers()).size();
+        if (i == 0) first = size;
+        last = size;
+        sum += size;
+      }
+      const double ratio =
+          static_cast<double>(sum) / (static_cast<double>(first) * kH);
+      const char* name = policy == hpack::IndexingPolicy::kAggressive
+                             ? "aggressive"
+                             : policy == hpack::IndexingPolicy::kStaticOnly
+                                   ? "static-only"
+                                   : "none";
+      std::printf("%-14s %-9s %-10zu %-10zu %.3f\n", name,
+                  huffman ? "on" : "off", first, last, ratio);
+    }
+  }
+  std::printf(
+      "(aggressive ~= GSE/H2O/nghttpd/Apache/LiteSpeed, r << 1; static-only "
+      "~= Nginx/Tengine/IdeaWebServer, r = 1 — the Figure 4/5 families)\n\n");
+}
+
+void BM_HpackEncode(benchmark::State& state) {
+  const auto policy = static_cast<hpack::IndexingPolicy>(state.range(0));
+  const bool huffman = state.range(1) != 0;
+  hpack::Encoder enc({.policy = policy, .use_huffman = huffman});
+  const auto headers = response_headers();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes += enc.encode(headers).size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_HpackEncode)
+    ->Args({static_cast<int>(hpack::IndexingPolicy::kAggressive), 1})
+    ->Args({static_cast<int>(hpack::IndexingPolicy::kAggressive), 0})
+    ->Args({static_cast<int>(hpack::IndexingPolicy::kStaticOnly), 1})
+    ->Args({static_cast<int>(hpack::IndexingPolicy::kNone), 0});
+
+void BM_HpackDecode(benchmark::State& state) {
+  hpack::Encoder enc;
+  const Bytes block = enc.encode(response_headers());
+  hpack::Decoder warm;  // decoder synchronized with the encoder's table
+  (void)warm.decode(block);
+  std::size_t fields = 0;
+  for (auto _ : state) {
+    hpack::Decoder dec;
+    auto out = dec.decode(block);
+    fields += out.ok() ? out->size() : 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fields));
+}
+BENCHMARK(BM_HpackDecode);
+
+void BM_HuffmanRoundTrip(benchmark::State& state) {
+  const std::string text =
+      "https://www.example.com/assets/app.min.js?version=1.2.3";
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ByteWriter w;
+    hpack::huffman_encode(w, text);
+    auto back = hpack::huffman_decode(w.bytes());
+    bytes += back.ok() ? back->size() : 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_HuffmanRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_policy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

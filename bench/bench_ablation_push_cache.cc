@@ -1,0 +1,59 @@
+// Ablation: server push vs client caching (paper §VI, fourth discussion
+// point).
+//
+// "if the client already caches these web objects, the pushed data wastes
+//  the network bandwidth"
+//
+// Sweeps the warm-cache fraction and reports page-load time plus the bytes
+// pushed in vain, for push on and off — quantifying when static push lists
+// turn counterproductive.
+#include <cstdio>
+
+#include "pageload/loader.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace h2r;
+  std::printf("\n=== Ablation: server push vs client cache warmth ===\n");
+
+  Rng rng(505);
+  pageload::Page page = pageload::Page::synthesize("cached.example", rng);
+  std::size_t pushable_bytes = 0;
+  for (const auto& r : page.resources) {
+    if (r.pushable) pushable_bytes += r.size_bytes;
+  }
+  std::printf("page: %zu bytes total, %zu bytes pushable\n\n",
+              page.total_bytes(), pushable_bytes);
+
+  net::PathModel path;
+  path.base_rtt_ms = 150;
+  path.jitter_ms = 0;
+
+  TextTable table({"cache warmth", "PLT push on (s)", "PLT push off (s)",
+                   "push benefit (ms)", "wasted push bytes"});
+  for (double warmth : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    pageload::LoadConditions on{.path = path, .bandwidth_kbps = 3'000,
+                                .push_enabled = true,
+                                .cached_fraction = warmth};
+    pageload::LoadConditions off = on;
+    off.push_enabled = false;
+
+    Rng ra(9), rb(9);
+    const auto with_push = pageload::simulate_page_load(page, on, ra);
+    const auto without = pageload::simulate_page_load(page, off, rb);
+
+    char c0[16], c1[16], c2[16], c3[16], c4[24];
+    std::snprintf(c0, sizeof c0, "%.0f%%", warmth * 100);
+    std::snprintf(c1, sizeof c1, "%.2f", with_push.plt_ms / 1000);
+    std::snprintf(c2, sizeof c2, "%.2f", without.plt_ms / 1000);
+    std::snprintf(c3, sizeof c3, "%+.0f", without.plt_ms - with_push.plt_ms);
+    std::snprintf(c4, sizeof c4, "%zu", with_push.wasted_push_bytes);
+    table.add_row({c0, c1, c2, c3, c4});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape check: on a cold cache push wins about one round trip; as the "
+      "cache warms, the benefit shrinks while the wasted bytes grow — the "
+      "trade-off motivating the paper's call for dynamic push policies.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation: response-scheduler discipline (DESIGN.md §5).
+//
+// Runs the multiplexing and Algorithm 1 probes against one server that
+// differs only in its scheduler, showing how each discipline maps onto the
+// paper's observable categories — and times a full 6-stream priority
+// workload per discipline with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/probes.h"
+#include "core/session.h"
+
+namespace {
+
+using namespace h2r;
+
+core::Target target_with(server::SchedulerKind kind) {
+  core::Target t = core::Target::testbed(server::h2o_profile());
+  t.profile.scheduler = kind;
+  return t;
+}
+
+void print_matrix() {
+  std::printf(
+      "\n=== Ablation: scheduler discipline vs observable behaviour ===\n");
+  std::printf("%-16s %-12s %-12s %-10s %-10s %-6s\n", "scheduler",
+              "multiplexing", "interleaves", "pass:first", "pass:last",
+              "Alg.1");
+  for (auto kind :
+       {server::SchedulerKind::kPriorityTree, server::SchedulerKind::kFairShare,
+        server::SchedulerKind::kPriorityStart,
+        server::SchedulerKind::kRoundRobin, server::SchedulerKind::kFcfs}) {
+    const core::Target t = target_with(kind);
+    const auto mux = core::probe_multiplexing(t);
+    const auto prio = core::probe_priority_mechanism(t);
+    std::printf("%-16s %-12s %-12d %-10s %-10s %-6s\n",
+                to_string(kind).data(), mux.supported ? "yes" : "no",
+                mux.interleave_switches, prio.pass_by_first_data ? "yes" : "no",
+                prio.pass_by_last_data ? "yes" : "no",
+                prio.passes() ? "pass" : "fail");
+  }
+  std::printf(
+      "(priority-tree = H2O/nghttpd/Apache; round-robin = Nginx/LiteSpeed/"
+      "Tengine; fair-share / priority-start = partial wild behaviours of "
+      "SectionV-E1; fcfs = no-multiplexing baseline)\n\n");
+}
+
+void BM_PriorityWorkload(benchmark::State& state) {
+  const auto kind = static_cast<server::SchedulerKind>(state.range(0));
+  const core::Target t = target_with(kind);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto server = t.make_server();
+    core::ClientOptions opts;
+    opts.settings = {{h2::SettingId::kInitialWindowSize, 0x7FFFFFFFu}};
+    core::ClientConnection client(opts);
+    for (int i = 0; i < 6; ++i) {
+      client.send_request("/object/" + std::to_string(i + 1));
+    }
+    core::run_exchange(client, server);
+    for (std::uint32_t sid = 1; sid <= 11; sid += 2) {
+      bytes += client.data_received(sid);
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::string(to_string(kind)));
+}
+BENCHMARK(BM_PriorityWorkload)
+    ->Arg(static_cast<int>(server::SchedulerKind::kPriorityTree))
+    ->Arg(static_cast<int>(server::SchedulerKind::kRoundRobin))
+    ->Arg(static_cast<int>(server::SchedulerKind::kFairShare))
+    ->Arg(static_cast<int>(server::SchedulerKind::kFcfs));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_matrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

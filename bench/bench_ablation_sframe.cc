@@ -1,0 +1,81 @@
+// Ablation: SETTINGS_INITIAL_WINDOW_SIZE (Sframe) sweep (DESIGN.md §5).
+//
+// The paper warns (§V-D1, §VI) that a tiny client-chosen window is a DoS
+// vector: the server must emit one frame per Sframe octets and hold the
+// response in memory. This bench quantifies the frame-count and wire
+// overhead amplification across the sweep, plus throughput timing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/probes.h"
+#include "core/session.h"
+
+namespace {
+
+using namespace h2r;
+
+struct SweepPoint {
+  std::uint32_t sframe;
+  std::size_t data_frames;
+  std::size_t payload_bytes;
+  std::size_t wire_bytes;  // payload + 9-octet frame headers
+  int exchange_rounds;
+};
+
+SweepPoint run_sweep_point(std::uint32_t sframe) {
+  core::Target t = core::Target::testbed(server::h2o_profile());
+  auto server = t.make_server();
+  core::ClientOptions opts;
+  opts.settings = {{h2::SettingId::kInitialWindowSize, sframe}};
+  core::ClientConnection client(opts);
+  const auto sid = client.send_request("/style.css");  // 4 KiB object
+  const int rounds = core::run_exchange(client, server);
+
+  SweepPoint p{.sframe = sframe, .data_frames = 0, .payload_bytes = 0,
+               .wire_bytes = 0, .exchange_rounds = rounds};
+  for (const auto* ev : client.frames_of(h2::FrameType::kData, sid)) {
+    ++p.data_frames;
+    const std::size_t n = ev->frame.as<h2::DataPayload>().data.size();
+    p.payload_bytes += n;
+    p.wire_bytes += n + h2::kFrameHeaderSize;
+  }
+  return p;
+}
+
+void print_sweep() {
+  std::printf("\n=== Ablation: Sframe sweep over a 4 KiB response ===\n");
+  std::printf("%-10s %-12s %-14s %-12s %-10s %-9s\n", "Sframe", "DATA frames",
+              "payload bytes", "wire bytes", "overhead", "rounds");
+  for (std::uint32_t sframe : {1u, 8u, 64u, 512u, 4096u, 65535u}) {
+    const SweepPoint p = run_sweep_point(sframe);
+    std::printf("%-10u %-12zu %-14zu %-12zu %-9.1f%% %-9d\n", p.sframe,
+                p.data_frames, p.payload_bytes, p.wire_bytes,
+                100.0 * static_cast<double>(p.wire_bytes - p.payload_bytes) /
+                    static_cast<double>(p.payload_bytes),
+                p.exchange_rounds);
+  }
+  std::printf(
+      "(Sframe=1 forces one 10-octet wire frame per payload octet — the "
+      "malicious-receiver amplification of SectionVI)\n\n");
+}
+
+void BM_SframeDownload(benchmark::State& state) {
+  const auto sframe = static_cast<std::uint32_t>(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const SweepPoint p = run_sweep_point(sframe);
+    bytes += p.payload_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SframeDownload)->Arg(1)->Arg(64)->Arg(4096)->Arg(65535);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 6: RTT measured by HTTP/2 PING vs ICMP ping, TCP
+// three-way-handshake timing, and HTTP/1.1 request timing — ten sites for
+// each of the top server families, as in §V-H.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/probes.h"
+
+int main() {
+  using namespace h2r;
+  bench::print_banner(
+      "Figure 6 - RTT measured by ICMP, TCP, HTTP/1.1 and HTTP/2 PING");
+
+  const std::vector<std::string> top_families = {
+      "litespeed", "nginx", "gse", "tengine", "cloudflare-nginx",
+      "ideawebserver", "tengine-aserver"};
+  Rng rng(bench::seed_from_env());
+
+  SampleSet h2_ping, icmp, tcp, http11;
+  int sites = 0;
+  for (const auto& family : top_families) {
+    for (int k = 0; k < 10; ++k) {  // "randomly select 10 sites for each"
+      core::Target target =
+          core::Target::testbed(server::profile_by_key(family));
+      target.host = family + "-" + std::to_string(k) + ".example";
+      Rng site_rng = rng.fork(static_cast<std::uint64_t>(sites));
+      target.path.base_rtt_ms = 5 + site_rng.next_double() * 250;
+      target.path.jitter_ms = 2 + site_rng.next_double() * 10;
+      target.path.http11_think_ms = 15 + site_rng.next_double() * 60;
+
+      const auto r = core::probe_ping(target, /*samples=*/20, site_rng);
+      if (!r.supported) continue;
+      ++sites;
+      for (double v : r.h2_ping_ms) h2_ping.add(v);
+      for (double v : r.icmp_ms) icmp.add(v);
+      for (double v : r.tcp_handshake_ms) tcp.add(v);
+      for (double v : r.http11_ms) http11.add(v);
+    }
+  }
+
+  std::printf("sites probed: %d; %zu samples per method\n\n", sites,
+              h2_ping.size());
+  TextTable table({"Method", "median (ms)", "mean (ms)", "p90 (ms)"});
+  auto row = [&](const char* name, const SampleSet& s) {
+    char m[32], a[32], p[32];
+    std::snprintf(m, sizeof m, "%.1f", s.median());
+    std::snprintf(a, sizeof a, "%.1f", s.mean());
+    std::snprintf(p, sizeof p, "%.1f", s.quantile(0.9));
+    table.add_row({name, m, a, p});
+  };
+  row("h2-ping", h2_ping);
+  row("icmp", icmp);
+  row("tcp-rtt", tcp);
+  row("h2-request (HTTP/1.1)", http11);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      series = {{"h2-ping", h2_ping.cdf_points()},
+                {"icmp", icmp.cdf_points()},
+                {"tcp-rtt", tcp.cdf_points()},
+                {"h2-request", http11.cdf_points()}};
+  std::fputs(render_ascii_cdf(series, 72, 16).c_str(), stdout);
+  std::printf(
+      "\nPaper's reading: HTTP/2 PING, TCP handshake and ICMP agree closely; "
+      "the HTTP/1.1 estimate is longer because it includes server think "
+      "time. Measured here: |median(h2) - median(tcp)| = %.1f ms, "
+      "median(http/1.1) - median(h2) = %.1f ms.\n",
+      std::abs(h2_ping.median() - tcp.median()),
+      http11.median() - h2_ping.median());
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks of the protocol substrate: frame codec throughput,
+// priority tree operations, and full request/response round trips through
+// the engine — the costs underlying every scan probe.
+#include <benchmark/benchmark.h>
+
+#include "core/probes.h"
+#include "core/session.h"
+#include "h2/frame_codec.h"
+#include "h2/priority_tree.h"
+#include "server/engine.h"
+
+namespace {
+
+using namespace h2r;
+
+void BM_SerializeDataFrame(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  h2::Frame f = h2::make_data(1, Bytes(payload, 0x5A), false);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes += h2::serialize_frame(f).size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SerializeDataFrame)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ParseFrameStream(benchmark::State& state) {
+  std::vector<h2::Frame> frames;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(h2::make_data(1, Bytes(1024, 0x5A), false));
+  }
+  const Bytes wire = h2::serialize_frames(frames);
+  std::size_t parsed = 0;
+  for (auto _ : state) {
+    h2::FrameParser parser;
+    parser.feed(wire);
+    while (auto f = parser.next()) {
+      if (!f->ok()) break;
+      ++parsed;
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(wire.size() * state.iterations()));
+  benchmark::DoNotOptimize(parsed);
+}
+BENCHMARK(BM_ParseFrameStream);
+
+void BM_PriorityTreeChurn(benchmark::State& state) {
+  const auto streams = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    h2::PriorityTree tree;
+    for (std::uint32_t i = 1; i <= streams; ++i) {
+      const std::uint32_t id = i * 2 - 1;
+      (void)tree.declare(id, {.dependency = (i > 1 ? id - 2 : 0),
+                              .weight_field = static_cast<std::uint8_t>(i % 256)});
+    }
+    // Reprioritize everything onto the root, then close all.
+    for (std::uint32_t i = 1; i <= streams; ++i) {
+      (void)tree.reprioritize(i * 2 - 1, {.dependency = 0});
+    }
+    for (std::uint32_t i = 1; i <= streams; ++i) {
+      tree.remove(i * 2 - 1);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(streams) * 3 * state.iterations());
+}
+BENCHMARK(BM_PriorityTreeChurn)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_FullRequestResponse(benchmark::State& state) {
+  const core::Target target =
+      core::Target::testbed(server::h2o_profile());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto server = target.make_server();
+    core::ClientConnection client;
+    const auto sid = client.send_request("/small");
+    core::run_exchange(client, server);
+    bytes += client.data_received(sid);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FullRequestResponse);
+
+void BM_LargeDownload(benchmark::State& state) {
+  const core::Target target =
+      core::Target::testbed(server::h2o_profile());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto server = target.make_server();
+    core::ClientConnection client;
+    const auto sid = client.send_request("/large/0");  // 512 KiB
+    core::run_exchange(client, server);
+    bytes += client.data_received(sid);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LargeDownload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

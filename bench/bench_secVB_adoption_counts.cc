@@ -1,0 +1,40 @@
+// Reproduces the Section V-B adoption counts: sites establishing HTTP/2 via
+// NPN and via ALPN, and sites returning HEADERS, in both experiments.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace h2r;
+  bench::print_banner("Section V-B - HTTP/2 adoption (NPN / ALPN / HEADERS)");
+
+  corpus::ScanOptions opts;
+  opts.probe_flow_control = false;
+  opts.probe_priority = false;
+  opts.probe_push = false;
+  opts.probe_hpack = false;
+  opts.probe_settings = false;
+
+  TextTable table({"Quantity", "1st Exp. (Jul 2016)", "2nd Exp. (Jan 2017)"});
+  std::array<corpus::ScanReport, 2> reports;
+  for (auto epoch : {corpus::Epoch::kExp1, corpus::Epoch::kExp2}) {
+    reports[epoch == corpus::Epoch::kExp1 ? 0 : 1] =
+        corpus::scan_population(bench::population_for(epoch), opts);
+  }
+  const auto& m1 = corpus::marginals(corpus::Epoch::kExp1);
+  const auto& m2 = corpus::marginals(corpus::Epoch::kExp2);
+  table.add_row({"sites scanned", with_commas(bench::upscaled(reports[0].total_scanned)),
+                 with_commas(bench::upscaled(reports[1].total_scanned))});
+  table.add_row({"h2 via NPN", bench::vs_paper(reports[0].npn_sites, m1.npn_sites),
+                 bench::vs_paper(reports[1].npn_sites, m2.npn_sites)});
+  table.add_row({"h2 via ALPN", bench::vs_paper(reports[0].alpn_sites, m1.alpn_sites),
+                 bench::vs_paper(reports[1].alpn_sites, m2.alpn_sites)});
+  table.add_row({"HEADERS received",
+                 bench::vs_paper(reports[0].responding_sites, m1.responding_sites),
+                 bench::vs_paper(reports[1].responding_sites, m2.responding_sites)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nPaper's reading: adoption grows strongly between the experiments "
+      "(NPN +59.6%%, ALPN +47.7%%, HEADERS +44.8%%).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces the Section V-D flow-control measurements: DATA frame control
+// under a 1-octet window, HEADERS under a zero window, and the reactions to
+// zero / overflowing WINDOW_UPDATE frames.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace h2r;
+  bench::print_banner("Section V-D - Flow control in the wild");
+
+  corpus::ScanOptions opts;
+  opts.probe_priority = false;
+  opts.probe_push = false;
+  opts.probe_hpack = false;
+  opts.probe_settings = false;
+
+  std::array<corpus::ScanReport, 2> r;
+  for (auto epoch : {corpus::Epoch::kExp1, corpus::Epoch::kExp2}) {
+    r[epoch == corpus::Epoch::kExp1 ? 0 : 1] =
+        corpus::scan_population(bench::population_for(epoch), opts);
+  }
+  const auto& m1 = corpus::marginals(corpus::Epoch::kExp1);
+  const auto& m2 = corpus::marginals(corpus::Epoch::kExp2);
+
+  TextTable table({"Observation", "1st Exp.", "2nd Exp."});
+  table.add_row({"V-D1: DATA frames with 1-byte payload (conformant)",
+                 bench::vs_paper(r[0].sframe_respecting, m1.sframe_respecting_sites),
+                 bench::vs_paper(r[1].sframe_respecting, m2.sframe_respecting_sites)});
+  table.add_row({"V-D1: zero-length DATA frames",
+                 bench::vs_paper(r[0].sframe_zero_length, m1.sframe_zero_length_sites),
+                 bench::vs_paper(r[1].sframe_zero_length, m2.sframe_zero_length_sites)});
+  table.add_row({"V-D1: no response at all",
+                 bench::vs_paper(r[0].sframe_no_response, m1.sframe_no_response_sites),
+                 bench::vs_paper(r[1].sframe_no_response, m2.sframe_no_response_sites)});
+  table.add_row({"V-D1: ...of which LiteSpeed",
+                 with_commas(bench::upscaled(r[0].sframe_no_response_litespeed)),
+                 bench::vs_paper(r[1].sframe_no_response_litespeed,
+                                 m2.sframe_silent_litespeed)});
+  table.add_row({"V-D2: HEADERS received at zero initial window (conformant)",
+                 bench::vs_paper(r[0].zero_window_headers_ok, m1.zero_window_headers_sites),
+                 bench::vs_paper(r[1].zero_window_headers_ok, m2.zero_window_headers_sites)});
+  table.add_row({"V-D3: zero window update -> RST_STREAM",
+                 bench::vs_paper(r[0].zero_wu_rst, m1.zero_wu_rst_sites),
+                 bench::vs_paper(r[1].zero_wu_rst, m2.zero_wu_rst_sites)});
+  table.add_row({"V-D3: zero window update ignored",
+                 bench::vs_paper(r[0].zero_wu_ignore, 20'717),
+                 bench::vs_paper(r[1].zero_wu_ignore, 38'143)});
+  table.add_row({"V-D3: zero window update -> GOAWAY",
+                 bench::vs_paper(r[0].zero_wu_goaway, m1.zero_wu_goaway_sites),
+                 bench::vs_paper(r[1].zero_wu_goaway, m2.zero_wu_goaway_sites)});
+  table.add_row({"V-D3: ...with explanatory debug data",
+                 bench::vs_paper(r[0].zero_wu_goaway_debug, m1.zero_wu_debug_sites),
+                 bench::vs_paper(r[1].zero_wu_goaway_debug, m2.zero_wu_debug_sites)});
+  table.add_row({"V-D3: connection-scope zero update -> connection error",
+                 with_commas(bench::upscaled(r[0].zero_wu_conn_error)) + "  (paper: nearly all)",
+                 with_commas(bench::upscaled(r[1].zero_wu_conn_error)) + "  (paper: nearly all)"});
+  table.add_row({"V-D4: overflowing connection window -> GOAWAY",
+                 bench::vs_paper(r[0].large_wu_conn_goaway, m1.large_wu_conn_goaway_sites),
+                 bench::vs_paper(r[1].large_wu_conn_goaway, m2.large_wu_conn_goaway_sites)});
+  table.add_row({"V-D4: overflowing stream window -> RST_STREAM",
+                 bench::vs_paper(r[0].large_wu_stream_rst, m1.large_wu_stream_rst_sites),
+                 bench::vs_paper(r[1].large_wu_stream_rst, m2.large_wu_stream_rst_sites)});
+  table.add_row({"V-D4: overflowing stream window, no RST_STREAM",
+                 bench::vs_paper(r[0].large_wu_stream_ignore, 7'771),
+                 bench::vs_paper(r[1].large_wu_stream_ignore, 20'242)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces the Section V-F push-adoption measurement: sites sending
+// PUSH_PROMISE when their front page is requested (6 in experiment one,
+// 15 in experiment two), and what they push.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/probes.h"
+
+int main() {
+  using namespace h2r;
+  bench::print_banner("Section V-F - Server push adoption");
+
+  corpus::ScanOptions opts;
+  opts.probe_flow_control = false;
+  opts.probe_priority = false;
+  opts.probe_hpack = false;
+  opts.probe_settings = false;
+
+  for (auto epoch : {corpus::Epoch::kExp1, corpus::Epoch::kExp2}) {
+    const auto pop = bench::population_for(epoch);
+    const auto report = corpus::scan_population(pop, opts);
+    const auto& m = corpus::marginals(epoch);
+    std::printf("\n%s: %zu sites push on their front page (paper: %zu)\n",
+                to_string(epoch).data(), report.push_hosts.size(),
+                m.push_sites.size());
+    for (const auto& host : report.push_hosts) {
+      // Show what each pushing site pushes (and that non-front pages don't).
+      for (const auto& spec : pop.sites) {
+        if (spec.host != host) continue;
+        auto front = core::probe_server_push(spec.to_target(), "/");
+        auto other = core::probe_server_push(spec.to_target(), "/small");
+        std::printf("  %-22s pushes %zu objects (", host.c_str(),
+                    front.pushed_paths.size());
+        for (std::size_t i = 0; i < front.pushed_paths.size(); ++i) {
+          std::printf("%s%s", i ? ", " : "", front.pushed_paths[i].c_str());
+        }
+        std::printf("); non-front page pushes: %zu\n",
+                    other.pushed_paths.size());
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\nPaper's reading: push is barely deployed; pushed objects are "
+      "javascript, css and figures; only front pages push.\n");
+  return 0;
+}

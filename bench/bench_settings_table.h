@@ -1,0 +1,70 @@
+// Shared implementation for the three SETTINGS distribution tables
+// (Tables V, VI, VII): run the settings-only scan over both epochs and
+// print value -> site-count rows against the paper's numbers.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace h2r::bench {
+
+inline std::string settings_value_label(std::int64_t v) {
+  if (v == corpus::kNullValue) return "NULL";
+  if (v == corpus::kUnlimitedValue) return "unlimited";
+  return with_commas(static_cast<std::uint64_t>(v));
+}
+
+/// Runs the two-epoch settings scan and prints one SETTINGS table.
+/// @param pick selects the relevant ValueCounter from a ScanReport.
+/// @param paper_rows the paper's (value, exp1, exp2) rows.
+inline int run_settings_table_bench(
+    const std::string& title,
+    const std::function<const ValueCounter&(const corpus::ScanReport&)>& pick,
+    const std::function<const std::vector<corpus::ValueCount>&(
+        const corpus::EpochMarginals&)>& paper_rows) {
+  print_banner(title);
+
+  corpus::ScanOptions opts;
+  opts.probe_flow_control = false;
+  opts.probe_priority = false;
+  opts.probe_push = false;
+  opts.probe_hpack = false;
+
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> measured;
+  for (auto epoch : {corpus::Epoch::kExp1, corpus::Epoch::kExp2}) {
+    const auto report = corpus::scan_population(population_for(epoch), opts);
+    for (const auto& [value, count] : pick(report).counts()) {
+      auto& slot = measured[value];
+      (epoch == corpus::Epoch::kExp1 ? slot.first : slot.second) += count;
+    }
+  }
+
+  // Paper numbers for the side-by-side columns.
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> paper;
+  for (const auto& vc : paper_rows(corpus::marginals(corpus::Epoch::kExp1))) {
+    paper[vc.value].first = vc.count;
+  }
+  for (const auto& vc : paper_rows(corpus::marginals(corpus::Epoch::kExp2))) {
+    paper[vc.value].second = vc.count;
+  }
+  for (const auto& [value, counts] : paper) {
+    measured.try_emplace(value, 0, 0);  // show zero-measured rows too
+  }
+
+  TextTable table({"Value", "1st Exp.", "2nd Exp."});
+  for (const auto& [value, counts] : measured) {
+    const auto p = paper.count(value) ? paper.at(value)
+                                      : std::pair<std::size_t, std::size_t>{};
+    table.add_row({settings_value_label(value),
+                   vs_paper(counts.first, p.first),
+                   vs_paper(counts.second, p.second)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace h2r::bench

@@ -1,0 +1,16 @@
+// Reproduces Table V: the distribution of SETTINGS_INITIAL_WINDOW_SIZE
+// values announced by scanned HTTP/2 sites, both experiments.
+#include "bench/bench_settings_table.h"
+
+int main() {
+  using namespace h2r;
+  return bench::run_settings_table_bench(
+      "Table V - SETTINGS_INITIAL_WINDOW_SIZE distribution",
+      [](const corpus::ScanReport& r) -> const ValueCounter& {
+        return r.initial_window_size;
+      },
+      [](const corpus::EpochMarginals& m)
+          -> const std::vector<corpus::ValueCount>& {
+        return m.initial_window_size;
+      });
+}

@@ -1,0 +1,15 @@
+// Reproduces Table VI: the distribution of SETTINGS_MAX_FRAME_SIZE values.
+#include "bench/bench_settings_table.h"
+
+int main() {
+  using namespace h2r;
+  return bench::run_settings_table_bench(
+      "Table VI - SETTINGS_MAX_FRAME_SIZE distribution",
+      [](const corpus::ScanReport& r) -> const ValueCounter& {
+        return r.max_frame_size;
+      },
+      [](const corpus::EpochMarginals& m)
+          -> const std::vector<corpus::ValueCount>& {
+        return m.max_frame_size;
+      });
+}

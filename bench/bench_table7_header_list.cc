@@ -1,0 +1,16 @@
+// Reproduces Table VII: the distribution of SETTINGS_MAX_HEADER_LIST_SIZE
+// values ("unlimited" = parameter absent while other SETTINGS are present).
+#include "bench/bench_settings_table.h"
+
+int main() {
+  using namespace h2r;
+  return bench::run_settings_table_bench(
+      "Table VII - SETTINGS_MAX_HEADER_LIST_SIZE distribution",
+      [](const corpus::ScanReport& r) -> const ValueCounter& {
+        return r.max_header_list_size;
+      },
+      [](const corpus::EpochMarginals& m)
+          -> const std::vector<corpus::ValueCount>& {
+        return m.max_header_list_size;
+      });
+}

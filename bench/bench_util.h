@@ -1,0 +1,60 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints it side by side with the published numbers. `H2R_SCALE` (env)
+// subsamples the corpus 1/N for quick runs; the default is the paper's full
+// population. `H2R_SEED` overrides the corpus seed.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "corpus/marginals.h"
+#include "corpus/population.h"
+#include "corpus/scan.h"
+#include "util/stats.h"
+
+namespace h2r::bench {
+
+inline double scale_from_env() {
+  const char* s = std::getenv("H2R_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v >= 1.0 ? v : 1.0;
+}
+
+inline std::uint64_t seed_from_env() {
+  const char* s = std::getenv("H2R_SEED");
+  return s == nullptr ? 42ull : std::strtoull(s, nullptr, 10);
+}
+
+inline void print_banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  const double scale = scale_from_env();
+  if (scale > 1.0) {
+    std::printf("(corpus subsampled 1/%.0f via H2R_SCALE; counts below are "
+                "scaled back up for comparison)\n",
+                scale);
+  }
+  std::printf("================================================================\n");
+}
+
+/// Scales a scanned count back up to full-population units for display.
+inline std::uint64_t upscaled(std::size_t count) {
+  return static_cast<std::uint64_t>(static_cast<double>(count) *
+                                    scale_from_env() + 0.5);
+}
+
+/// "12,345 (paper: 12,337)" cell helper.
+inline std::string vs_paper(std::size_t measured, std::size_t paper) {
+  return with_commas(upscaled(measured)) + "  (paper: " + with_commas(paper) +
+         ")";
+}
+
+inline corpus::Population population_for(corpus::Epoch epoch) {
+  return corpus::generate_population(epoch, seed_from_env(), scale_from_env());
+}
+
+}  // namespace h2r::bench

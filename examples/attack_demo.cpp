@@ -1,0 +1,104 @@
+// Attack demo: the three DoS vectors the paper's Section VI warns about,
+// staged one by one against a live engine so the mechanics are visible —
+// the interactive companion to bench_ablation_dos.
+//
+//   $ ./build/examples/attack_demo
+#include <cstdio>
+
+#include "core/client.h"
+#include "core/session.h"
+#include "hpack/encoder.h"
+#include "server/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace h2r;
+
+server::Http2Server victim() {
+  return server::Http2Server(server::h2o_profile(),
+                             server::Site::standard_testbed_site());
+}
+
+void slow_read_attack() {
+  std::printf("== Attack 1: slow read (malicious receiver, §V-D1 / [20]) ==\n");
+  auto server = victim();
+  core::ClientOptions opts;
+  opts.settings = {{h2::SettingId::kInitialWindowSize, 1}};
+  opts.auto_stream_window_update = false;  // never release anything
+  core::ClientConnection client(opts);
+  for (int i = 0; i < 16; ++i) {
+    client.send_request("/large/" + std::to_string(i % 8));
+  }
+  core::run_exchange(client, server);
+  std::printf(
+      "  16 requests, SETTINGS_INITIAL_WINDOW_SIZE=1, no window updates:\n"
+      "  server now pins %zu bytes of response data for 16 octets leaked\n"
+      "  (amplification bounded only by MAX_CONCURRENT_STREAMS)\n\n",
+      server.pending_response_octets());
+}
+
+void priority_churn_attack() {
+  std::printf("== Attack 2: PRIORITY churn (complexity attack, §VI / [26]) ==\n");
+  auto server = victim();
+  core::ClientConnection client;
+  Rng rng(1);
+  const int frames = 4096;
+  for (int i = 0; i < frames; ++i) {
+    const std::uint32_t sid = 2 * static_cast<std::uint32_t>(i % 512) + 1;
+    const std::uint32_t dep =
+        i == 0 ? 0 : 2 * static_cast<std::uint32_t>(rng.next_below(512)) + 1;
+    if (dep == sid) continue;
+    client.send_priority(sid, {.dependency = dep,
+                               .weight_field =
+                                   static_cast<std::uint8_t>(rng.next_below(256)),
+                               .exclusive = rng.next_bool(0.3)});
+  }
+  core::run_exchange(client, server);
+  std::printf(
+      "  %d PRIORITY frames against idle streams: the server materialized a\n"
+      "  %zu-node dependency tree and rebuilt it on every frame — pure\n"
+      "  attacker-controlled CPU and memory, no request ever sent\n\n",
+      frames, server.priority_tree().size());
+}
+
+void header_bomb_attack() {
+  std::printf("== Attack 3: HPACK table churn (header bomb, §VI) ==\n");
+  auto server = victim();
+  core::ClientConnection client;
+  hpack::Encoder attacker;
+  for (int i = 0; i < 64; ++i) {
+    hpack::HeaderList headers = {{":method", "GET"},
+                                 {":scheme", "https"},
+                                 {":authority", "victim"},
+                                 {":path", "/small"}};
+    for (int j = 0; j < 16; ++j) {
+      headers.emplace_back("x-bomb-" + std::to_string(i * 16 + j),
+                           std::string(48, 'x'));
+    }
+    client.send_frame(h2::make_headers(
+        static_cast<std::uint32_t>(i * 2 + 1), attacker.encode(headers), true));
+  }
+  core::run_exchange(client, server);
+  std::printf(
+      "  64 requests x 16 unique 48-octet headers: decoder table holds %zu\n"
+      "  of a %u-octet cap — the default SETTINGS_HEADER_TABLE_SIZE bounds\n"
+      "  the damage, which is why §V-C finds every server keeping it\n\n",
+      server.decoder_table_octets(), server.profile().header_table_size);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Demonstrating the HTTP/2 abuse vectors discussed in Section VI of\n"
+      "\"Are HTTP/2 Servers Ready Yet?\" against the in-process engine.\n\n");
+  slow_read_attack();
+  priority_churn_attack();
+  header_bomb_attack();
+  std::printf(
+      "Defenses the paper suggests: lower bounds on client window values,\n"
+      "server-side priority-tree rate limits, and conservative header-table\n"
+      "sizes (the deployed default).\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// h2scope_cli: the command-line face of the probe suite, mirroring how the
+// paper's released H2Scope tool is used — pick a target, pick probes, get a
+// frame-level verdict for each.
+//
+//   $ ./build/examples/h2scope_cli --target nginx --probe all
+//   $ ./build/examples/h2scope_cli --target litespeed --probe flow,priority
+//   $ ./build/examples/h2scope_cli --list
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/report.h"
+
+namespace {
+
+using namespace h2r;
+
+std::set<std::string> parse_probes(const std::string& csv) {
+  std::set<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.insert(item);
+  if (out.count("all")) {
+    out = {"negotiation", "settings", "multiplexing", "flow",
+           "priority",    "push",     "hpack",        "ping"};
+  }
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "usage: h2scope_cli [--target PROFILE] [--probe LIST|all] [--list]\n"
+      "probes: negotiation settings multiplexing flow priority push hpack "
+      "ping\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target_key = "nginx";
+  std::string probe_csv = "all";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--target") && i + 1 < argc) {
+      target_key = argv[++i];
+    } else if (!std::strcmp(argv[i], "--probe") && i + 1 < argc) {
+      probe_csv = argv[++i];
+    } else if (!std::strcmp(argv[i], "--list")) {
+      std::printf(
+          "profiles: nginx litespeed h2o nghttpd tengine apache gse "
+          "cloudflare-nginx ideawebserver tengine-aserver\n");
+      return 0;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+
+  core::Target target;
+  try {
+    target = core::Target::testbed(server::profile_by_key(target_key));
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown profile '%s' (try --list)\n",
+                 target_key.c_str());
+    return 1;
+  }
+  const auto probes = parse_probes(probe_csv);
+  std::printf("H2Scope scanning %s ...\n\n", target.host.c_str());
+
+  if (probes.count("negotiation")) {
+    const auto r = core::probe_negotiation(target);
+    std::printf("[negotiation]  ALPN h2: %s   NPN h2: %s   established: %s\n",
+                r.alpn_h2 ? "yes" : "no", r.npn_h2 ? "yes" : "no",
+                r.h2_established ? "yes" : "no");
+    const auto h2c = core::probe_h2c_upgrade(target);
+    std::printf("[negotiation]  h2c upgrade: %s (\"%s\")\n",
+                h2c.switched ? "accepted" : "declined",
+                h2c.status_line.c_str());
+  }
+  if (probes.count("settings")) {
+    const auto r = core::probe_settings(target);
+    auto opt = [](std::optional<std::uint32_t> v) {
+      return v ? std::to_string(*v) : std::string("-");
+    };
+    std::printf(
+        "[settings]     MCS=%s IWS=%s MFS=%s MHLS=%s entries=%zu%s "
+        "server=\"%s\"\n",
+        opt(r.max_concurrent_streams).c_str(),
+        opt(r.initial_window_size).c_str(), opt(r.max_frame_size).c_str(),
+        opt(r.max_header_list_size).c_str(), r.settings_entry_count,
+        r.preemptive_window_bonus ? " +preemptive-WINDOW_UPDATE" : "",
+        r.server_header.c_str());
+  }
+  if (probes.count("multiplexing")) {
+    const auto r = core::probe_multiplexing(target);
+    std::printf("[multiplexing] %s (%d interleave switches, %d/4 complete)\n",
+                r.supported ? "supported" : "NOT supported",
+                r.interleave_switches, r.streams_completed);
+  }
+  if (probes.count("flow")) {
+    const auto sframe = core::probe_data_frame_control(target);
+    const auto zero = core::probe_zero_window_headers(target);
+    const auto wu = core::probe_window_update_reactions(target);
+    std::printf("[flow]         Sframe=1 -> %s (first DATA %zu B)\n",
+                std::string(to_string(sframe.outcome)).c_str(),
+                sframe.first_data_size);
+    std::printf("[flow]         window=0: HEADERS %s, DATA %s\n",
+                zero.headers_received ? "received" : "WITHHELD",
+                zero.data_received ? "LEAKED" : "withheld");
+    std::printf(
+        "[flow]         WINDOW_UPDATE(0): stream -> %s, connection -> %s\n",
+        std::string(to_string(wu.zero_on_stream)).c_str(),
+        std::string(to_string(wu.zero_on_connection)).c_str());
+    std::printf(
+        "[flow]         overflow: stream -> %s, connection -> %s\n",
+        std::string(to_string(wu.large_on_stream)).c_str(),
+        std::string(to_string(wu.large_on_connection)).c_str());
+  }
+  if (probes.count("priority")) {
+    const auto r = core::probe_priority_mechanism(target);
+    const auto sd = core::probe_self_dependency(target);
+    std::printf(
+        "[priority]     Algorithm 1: %s (first-DATA rule: %s, last-DATA "
+        "rule: %s)\n",
+        r.passes() ? "PASS" : "FAIL", r.pass_by_first_data ? "pass" : "fail",
+        r.pass_by_last_data ? "pass" : "fail");
+    std::printf("[priority]     self-dependency -> %s\n",
+                std::string(to_string(sd.reaction)).c_str());
+  }
+  if (probes.count("push")) {
+    const auto r = core::probe_server_push(target);
+    std::printf("[push]         %s", r.push_received ? "PUSH_PROMISE received:"
+                                                     : "no push\n");
+    if (r.push_received) {
+      for (const auto& p : r.pushed_paths) std::printf(" %s", p.c_str());
+      std::printf(" (%zu bytes)\n", r.pushed_bytes);
+    }
+  }
+  if (probes.count("hpack")) {
+    const auto r = core::probe_hpack_ratio(target);
+    std::printf("[hpack]        compression ratio r=%.3f over %zu blocks (",
+                r.ratio, r.header_sizes.size());
+    for (std::size_t i = 0; i < r.header_sizes.size(); ++i) {
+      std::printf("%s%zu", i ? " " : "", r.header_sizes[i]);
+    }
+    std::printf(" bytes)\n");
+  }
+  if (probes.count("ping")) {
+    Rng rng(1);
+    const auto r = core::probe_ping(target, 8, rng);
+    double avg = 0;
+    for (double v : r.h2_ping_ms) avg += v;
+    std::printf("[ping]         %s; mean simulated RTT %.1f ms\n",
+                r.supported ? "supported" : "NOT supported",
+                r.h2_ping_ms.empty() ? 0.0 : avg / r.h2_ping_ms.size());
+  }
+  return 0;
+}

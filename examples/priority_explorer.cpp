@@ -1,0 +1,107 @@
+// Priority explorer: walks through the paper's Figure 1 / Tables I-II
+// dependency-tree example interactively — builds the tree, applies both
+// PRIORITY-frame variants, and shows how each scheduler discipline would
+// serve the streams.
+//
+//   $ ./build/examples/priority_explorer
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "h2/priority_tree.h"
+
+namespace {
+
+using namespace h2r;
+
+// Stream letters of the paper's Figure 1, mapped onto client stream ids.
+constexpr std::uint32_t A = 1, B = 3, C = 5, D = 7, E = 9, F = 11;
+
+std::string letter(std::uint32_t id) {
+  switch (id) {
+    case A: return "A";
+    case B: return "B";
+    case C: return "C";
+    case D: return "D";
+    case E: return "E";
+    case F: return "F";
+    default: return "#" + std::to_string(id);
+  }
+}
+
+void print_tree(const h2::PriorityTree& tree, std::uint32_t node = 0,
+                int depth = 0) {
+  if (node != 0) {
+    std::printf("%*s%s (weight %d)\n", depth * 4, "", letter(node).c_str(),
+                tree.weight_of(node));
+  }
+  for (std::uint32_t child : tree.children_of(node)) {
+    print_tree(tree, child, node == 0 ? depth : depth + 1);
+  }
+}
+
+h2::PriorityTree build_table1_tree() {
+  // Table I: A depends on the root; B, C, D on A; E on B; F on D.
+  h2::PriorityTree tree;
+  (void)tree.declare(A, {.dependency = 0, .weight_field = 0});
+  (void)tree.declare(B, {.dependency = A, .weight_field = 0});
+  (void)tree.declare(C, {.dependency = A, .weight_field = 0});
+  (void)tree.declare(D, {.dependency = A, .weight_field = 0});
+  (void)tree.declare(E, {.dependency = B, .weight_field = 0});
+  (void)tree.declare(F, {.dependency = D, .weight_field = 0});
+  return tree;
+}
+
+void serve_all(h2::PriorityTree& tree, const char* title) {
+  std::printf("%s: ", title);
+  std::map<std::uint32_t, int> pending = {{A, 1}, {B, 1}, {C, 1},
+                                          {D, 1}, {E, 1}, {F, 1}};
+  auto wants = [&](std::uint32_t id) { return pending[id] > 0; };
+  while (std::uint32_t next = tree.next_stream(wants)) {
+    std::printf("%s ", letter(next).c_str());
+    --pending[next];
+    tree.account(next, 1000);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== The dependency tree of Table I (Figure 1, panel 1) ==\n");
+  h2::PriorityTree tree = build_table1_tree();
+  print_tree(tree);
+
+  std::printf(
+      "\n== PRIORITY frame, Table II row 1: A depends on B, EXCLUSIVE ==\n"
+      "(Figure 1, panel 2 — A adopts all of B's former children)\n");
+  h2::PriorityTree exclusive = build_table1_tree();
+  (void)exclusive.reprioritize(
+      A, {.dependency = B, .weight_field = 0, .exclusive = true});
+  print_tree(exclusive);
+
+  std::printf(
+      "\n== PRIORITY frame, Table II row 2: A depends on B, non-exclusive ==\n"
+      "(Figure 1, panel 3 — A becomes a sibling of E under B)\n");
+  h2::PriorityTree plain = build_table1_tree();
+  (void)plain.reprioritize(
+      A, {.dependency = B, .weight_field = 0, .exclusive = false});
+  print_tree(plain);
+
+  std::printf(
+      "\n== Scheduling order under the RFC 7540 dependency discipline ==\n");
+  h2::PriorityTree original = build_table1_tree();
+  serve_all(original, "Table I tree    ");
+  serve_all(exclusive, "after exclusive ");
+  serve_all(plain, "after non-excl. ");
+
+  std::printf(
+      "\n== Self-dependency (Section III-C2) ==\n"
+      "PRIORITY making A depend on itself -> %s\n",
+      build_table1_tree()
+          .reprioritize(A, {.dependency = A})
+          .to_string()
+          .c_str());
+  return 0;
+}

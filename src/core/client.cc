@@ -1,0 +1,311 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+namespace h2r::core {
+namespace {
+
+using h2::Frame;
+using h2::FrameType;
+
+std::size_t payload_wire_size(const Frame& f) {
+  if (f.is<h2::HeadersPayload>()) return f.as<h2::HeadersPayload>().fragment.size();
+  if (f.is<h2::PushPromisePayload>()) {
+    return f.as<h2::PushPromisePayload>().fragment.size();
+  }
+  if (f.is<h2::DataPayload>()) return f.as<h2::DataPayload>().data.size();
+  return 0;
+}
+
+}  // namespace
+
+ClientConnection::ClientConnection(ClientOptions options)
+    : options_(std::move(options)),
+      parser_(h2::kMaxAllowedFrameSize),  // accept whatever the server sends
+      encoder_({.policy = hpack::IndexingPolicy::kAggressive,
+                .use_huffman = true}),
+      decoder_() {
+  out_.insert(out_.end(), h2::kClientPreface.begin(), h2::kClientPreface.end());
+  send_frame(h2::make_settings(options_.settings));
+}
+
+Bytes ClientConnection::take_output() { return std::move(out_); }
+
+void ClientConnection::send_frame(const Frame& frame) {
+  const Bytes wire = h2::serialize_frame(frame);
+  out_.insert(out_.end(), wire.begin(), wire.end());
+}
+
+std::uint32_t ClientConnection::send_request(
+    const std::string& path, std::optional<h2::PriorityInfo> priority,
+    bool end_stream) {
+  const std::uint32_t id = next_stream_id_;
+  next_stream_id_ += 2;
+  sent_any_request_ = true;
+  hpack::HeaderList headers = {{":method", "GET"},
+                               {":scheme", "https"},
+                               {":authority", options_.authority},
+                               {":path", path}};
+  send_frame(h2::make_headers(id, encoder_.encode(headers), end_stream,
+                              /*end_headers=*/true, priority));
+  return id;
+}
+
+std::uint32_t ClientConnection::send_request_with_body(
+    const std::string& path, Bytes body, const std::string& content_type) {
+  const std::uint32_t id = next_stream_id_;
+  next_stream_id_ += 2;
+  sent_any_request_ = true;
+  hpack::HeaderList headers = {{":method", "POST"},
+                               {":scheme", "https"},
+                               {":authority", options_.authority},
+                               {":path", path},
+                               {"content-type", content_type},
+                               {"content-length", std::to_string(body.size())}};
+  send_frame(h2::make_headers(id, encoder_.encode(headers),
+                              /*end_stream=*/false));
+  Upload upload{.body = std::move(body), .offset = 0,
+                .window = h2::FlowWindow(upload_initial_window_)};
+  uploads_.emplace(id, std::move(upload));
+  flush_uploads();
+  return id;
+}
+
+std::size_t ClientConnection::pending_upload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, u] : uploads_) total += u.body.size() - u.offset;
+  return total;
+}
+
+void ClientConnection::flush_uploads() {
+  for (auto it = uploads_.begin(); it != uploads_.end();) {
+    Upload& u = it->second;
+    bool done = false;
+    while (u.offset < u.body.size()) {
+      const auto budget = std::min<std::int64_t>(
+          {static_cast<std::int64_t>(u.body.size() - u.offset),
+           u.window.available(), upload_conn_window_.available(),
+           static_cast<std::int64_t>(h2::kDefaultMaxFrameSize)});
+      if (budget <= 0) break;
+      Bytes chunk(u.body.begin() + static_cast<std::ptrdiff_t>(u.offset),
+                  u.body.begin() +
+                      static_cast<std::ptrdiff_t>(u.offset + budget));
+      u.offset += static_cast<std::size_t>(budget);
+      (void)u.window.consume(budget);
+      (void)upload_conn_window_.consume(budget);
+      done = u.offset == u.body.size();
+      send_frame(h2::make_data(it->first, std::move(chunk), done));
+    }
+    // Zero-length bodies still need their END_STREAM.
+    if (u.body.empty()) {
+      send_frame(h2::make_data(it->first, {}, true));
+      done = true;
+    }
+    it = done ? uploads_.erase(it) : std::next(it);
+  }
+}
+
+void ClientConnection::send_ping(std::array<std::uint8_t, 8> opaque) {
+  send_frame(h2::make_ping(opaque, /*ack=*/false));
+}
+
+void ClientConnection::send_window_update(std::uint32_t stream_id,
+                                          std::uint32_t increment) {
+  send_frame(h2::make_window_update(stream_id, increment));
+}
+
+void ClientConnection::send_priority(std::uint32_t stream_id,
+                                     const h2::PriorityInfo& info) {
+  send_frame(h2::make_priority(stream_id, info));
+}
+
+void ClientConnection::send_rst_stream(std::uint32_t stream_id,
+                                       h2::ErrorCode code) {
+  send_frame(h2::make_rst_stream(stream_id, code));
+}
+
+void ClientConnection::send_settings(
+    std::vector<std::pair<h2::SettingId, std::uint32_t>> entries) {
+  send_frame(h2::make_settings(std::move(entries)));
+}
+
+void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
+  if (dead_) return;
+  parser_.feed(bytes);
+  while (auto next = parser_.next()) {
+    if (!next->ok()) {
+      dead_ = true;
+      return;
+    }
+    const std::size_t size = payload_wire_size(next->value());
+    on_frame(std::move(next->value()), size);
+  }
+}
+
+void ClientConnection::on_frame(Frame frame, std::size_t payload_size) {
+  ReceivedFrame ev;
+  ev.sequence = events_.size();
+  ev.header_block_size = payload_size;
+
+  switch (frame.type()) {
+    case FrameType::kData: {
+      response_seen_ = true;
+      const auto& d = frame.as<h2::DataPayload>();
+      data_bytes_[frame.stream_id] += d.data.size();
+      if (frame.has_flag(h2::flags::kEndStream)) {
+        complete_[frame.stream_id] = true;
+      }
+      if (!d.data.empty()) {
+        const auto n = static_cast<std::uint32_t>(d.data.size());
+        if (options_.auto_connection_window_update) send_window_update(0, n);
+        if (options_.auto_stream_window_update && !complete_[frame.stream_id]) {
+          send_window_update(frame.stream_id, n);
+        }
+      }
+      break;
+    }
+    case FrameType::kHeaders: {
+      response_seen_ = true;
+      const auto& payload = frame.as<h2::HeadersPayload>();
+      if (!frame.has_flag(h2::flags::kEndHeaders)) {
+        // Header block continues in CONTINUATION frames (§4.3).
+        continuation_stream_ = frame.stream_id;
+        continuation_buffer_ = payload.fragment;
+        continuation_end_stream_ = frame.has_flag(h2::flags::kEndStream);
+        break;
+      }
+      auto decoded = decoder_.decode(payload.fragment);
+      if (decoded.ok()) ev.headers = std::move(decoded).value();
+      if (frame.has_flag(h2::flags::kEndStream)) {
+        complete_[frame.stream_id] = true;
+      }
+      break;
+    }
+    case FrameType::kContinuation: {
+      if (!continuation_stream_ || *continuation_stream_ != frame.stream_id) {
+        break;  // stray CONTINUATION; record the event, decode nothing
+      }
+      const auto& fragment = frame.as<h2::ContinuationPayload>().fragment;
+      continuation_buffer_.insert(continuation_buffer_.end(), fragment.begin(),
+                                  fragment.end());
+      if (!frame.has_flag(h2::flags::kEndHeaders)) break;
+      auto decoded = decoder_.decode(continuation_buffer_);
+      if (decoded.ok()) ev.headers = std::move(decoded).value();
+      ev.header_block_size = continuation_buffer_.size();
+      if (continuation_end_stream_) complete_[frame.stream_id] = true;
+      continuation_stream_.reset();
+      continuation_buffer_.clear();
+      break;
+    }
+    case FrameType::kPushPromise: {
+      const auto& pp = frame.as<h2::PushPromisePayload>();
+      auto decoded = decoder_.decode(pp.fragment);
+      if (decoded.ok()) {
+        ev.headers = decoded.value();
+        pushed_[pp.promised_stream_id] = std::move(decoded).value();
+      }
+      break;
+    }
+    case FrameType::kSettings: {
+      if (!frame.has_flag(h2::flags::kAck)) {
+        if (!server_settings_received_) {
+          server_settings_received_ = true;
+          server_settings_entry_count_ =
+              frame.as<h2::SettingsPayload>().entries.size();
+        }
+        (void)server_settings_.apply_frame(frame.as<h2::SettingsPayload>());
+        send_frame(h2::make_settings_ack());
+        // Honor the server's header table preference for *our* encoder.
+        encoder_.set_table_capacity(
+            std::min(server_settings_.header_table_size(),
+                     h2::kDefaultHeaderTableSize));
+        // §6.9.2: retroactively adjust upload windows to the server's
+        // announced SETTINGS_INITIAL_WINDOW_SIZE.
+        const std::uint32_t new_iws = server_settings_.initial_window_size();
+        if (new_iws != upload_initial_window_) {
+          for (auto& [id, u] : uploads_) {
+            (void)u.window.adjust_initial(upload_initial_window_, new_iws);
+          }
+          upload_initial_window_ = new_iws;
+          flush_uploads();
+        }
+      }
+      break;
+    }
+    case FrameType::kPing: {
+      if (!frame.has_flag(h2::flags::kAck)) {
+        send_frame(h2::make_ping(frame.as<h2::PingPayload>().opaque, true));
+      }
+      break;
+    }
+    case FrameType::kRstStream:
+      rst_[frame.stream_id] = frame.as<h2::RstStreamPayload>().error;
+      break;
+    case FrameType::kGoaway:
+      goaway_ = frame.as<h2::GoawayPayload>();
+      break;
+    case FrameType::kWindowUpdate: {
+      const std::uint32_t increment =
+          frame.as<h2::WindowUpdatePayload>().increment;
+      // "Preemptive": a connection-scope window raise before the server has
+      // produced any response frame — the Nginx §V-C idiom.
+      if (frame.stream_id == 0 && !response_seen_) {
+        preemptive_window_bonus_ += increment;
+      }
+      if (frame.stream_id == 0) {
+        (void)upload_conn_window_.expand(increment);
+      } else if (auto it = uploads_.find(frame.stream_id); it != uploads_.end()) {
+        (void)it->second.window.expand(increment);
+      }
+      flush_uploads();
+      break;
+    }
+    default:
+      break;
+  }
+  events_.push_back(std::move(ev));
+  events_.back().frame = std::move(frame);
+}
+
+std::vector<const ReceivedFrame*> ClientConnection::frames_of(
+    h2::FrameType type, std::optional<std::uint32_t> stream_id) const {
+  std::vector<const ReceivedFrame*> out;
+  for (const auto& ev : events_) {
+    if (ev.frame.type() != type) continue;
+    if (stream_id && ev.frame.stream_id != *stream_id) continue;
+    out.push_back(&ev);
+  }
+  return out;
+}
+
+std::optional<h2::ErrorCode> ClientConnection::rst_on(
+    std::uint32_t stream_id) const {
+  auto it = rst_.find(stream_id);
+  if (it == rst_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ClientConnection::data_received(std::uint32_t stream_id) const {
+  auto it = data_bytes_.find(stream_id);
+  return it == data_bytes_.end() ? 0 : it->second;
+}
+
+bool ClientConnection::stream_complete(std::uint32_t stream_id) const {
+  auto it = complete_.find(stream_id);
+  return it != complete_.end() && it->second;
+}
+
+std::optional<hpack::HeaderList> ClientConnection::response_headers(
+    std::uint32_t stream_id) const {
+  for (const auto& ev : events_) {
+    const auto type = ev.frame.type();
+    if ((type == h2::FrameType::kHeaders ||
+         type == h2::FrameType::kContinuation) &&
+        ev.frame.stream_id == stream_id && ev.headers) {
+      return ev.headers;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace h2r::core

@@ -1,0 +1,180 @@
+// H2Scope's client-side HTTP/2 endpoint.
+//
+// Unlike a browser, this client exists to send *arbitrary* — including
+// deliberately malformed — frame sequences and to record everything the
+// server sends back, in arrival order, with wire-level sizes. Every probe
+// in probes.h is built from this vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2/constants.h"
+#include "h2/frame.h"
+#include "h2/flow_control.h"
+#include "h2/frame_codec.h"
+#include "h2/settings.h"
+#include "hpack/decoder.h"
+#include "hpack/encoder.h"
+#include "util/bytes.h"
+
+namespace h2r::core {
+
+/// One frame as received from the server, with observation metadata.
+struct ReceivedFrame {
+  h2::Frame frame;
+  std::size_t sequence = 0;          ///< arrival index on this connection
+  std::size_t header_block_size = 0; ///< HPACK fragment octets (HEADERS/PP)
+  std::optional<hpack::HeaderList> headers;  ///< decoded block, if any
+};
+
+struct ClientOptions {
+  /// SETTINGS entries announced in the connection preface. The probes use
+  /// this to plant SETTINGS_INITIAL_WINDOW_SIZE = 1 / 0 / 2^31-1 etc.
+  std::vector<std::pair<h2::SettingId, std::uint32_t>> settings;
+  /// Replenish the connection window as DATA arrives. Algorithm 1 switches
+  /// this off to deplete the connection window (§III-C step 1).
+  bool auto_connection_window_update = true;
+  /// Replenish per-stream windows as DATA arrives.
+  bool auto_stream_window_update = true;
+  std::string authority = "example.test";
+};
+
+class ClientConnection {
+ public:
+  explicit ClientConnection(ClientOptions options = {});
+
+  // ---- transport --------------------------------------------------------
+  /// Drains queued client->server bytes (preface + frames).
+  [[nodiscard]] Bytes take_output();
+  /// Feeds server->client bytes; frames are parsed and recorded.
+  void receive(std::span<const std::uint8_t> bytes);
+  /// False after a GOAWAY was received or a parse error poisoned the link.
+  [[nodiscard]] bool alive() const noexcept { return !dead_; }
+
+  // ---- actions ----------------------------------------------------------
+  /// Opens a stream with a GET for @p path; returns the stream id.
+  std::uint32_t send_request(const std::string& path,
+                             std::optional<h2::PriorityInfo> priority = {},
+                             bool end_stream = true);
+
+  /// Opens a POST stream carrying @p body. The body is streamed in DATA
+  /// frames under proper client-side flow control: chunks respect the
+  /// server's announced stream window and connection window, and stalled
+  /// uploads resume when the server's WINDOW_UPDATEs arrive.
+  std::uint32_t send_request_with_body(const std::string& path, Bytes body,
+                                       const std::string& content_type =
+                                           "application/octet-stream");
+
+  /// Octets of queued upload bodies not yet shipped (flow-control blocked).
+  [[nodiscard]] std::size_t pending_upload_bytes() const;
+
+  /// Escape hatch: serialize any frame as-is (malformed probes).
+  void send_frame(const h2::Frame& frame);
+
+  void send_ping(std::array<std::uint8_t, 8> opaque);
+  void send_window_update(std::uint32_t stream_id, std::uint32_t increment);
+  void send_priority(std::uint32_t stream_id, const h2::PriorityInfo& info);
+  void send_rst_stream(std::uint32_t stream_id, h2::ErrorCode code);
+  void send_settings(
+      std::vector<std::pair<h2::SettingId, std::uint32_t>> entries);
+
+  // ---- observations -----------------------------------------------------
+  [[nodiscard]] const std::vector<ReceivedFrame>& events() const noexcept {
+    return events_;
+  }
+
+  /// Frames of @p type on @p stream_id, in arrival order.
+  [[nodiscard]] std::vector<const ReceivedFrame*> frames_of(
+      h2::FrameType type,
+      std::optional<std::uint32_t> stream_id = std::nullopt) const;
+
+  /// Server's advertised SETTINGS (first non-ACK SETTINGS frame).
+  [[nodiscard]] const h2::SettingsMap& server_settings() const noexcept {
+    return server_settings_;
+  }
+  [[nodiscard]] bool server_settings_received() const noexcept {
+    return server_settings_received_;
+  }
+  /// Raw entry count of the server's first SETTINGS frame (0 = the "NULL"
+  /// rows of Tables V-VII: a bare, empty SETTINGS frame).
+  [[nodiscard]] std::size_t server_settings_entry_count() const noexcept {
+    return server_settings_entry_count_;
+  }
+
+  /// Connection-scoped WINDOW_UPDATE increments received before the first
+  /// request was sent (the Nginx §V-C idiom).
+  [[nodiscard]] std::uint64_t preemptive_window_bonus() const noexcept {
+    return preemptive_window_bonus_;
+  }
+
+  [[nodiscard]] bool goaway_received() const noexcept { return goaway_.has_value(); }
+  [[nodiscard]] const std::optional<h2::GoawayPayload>& goaway() const {
+    return goaway_;
+  }
+  /// RST_STREAM code received on @p stream_id, if any.
+  [[nodiscard]] std::optional<h2::ErrorCode> rst_on(std::uint32_t stream_id) const;
+
+  /// Total DATA payload octets received on @p stream_id.
+  [[nodiscard]] std::size_t data_received(std::uint32_t stream_id) const;
+  /// True once END_STREAM was seen on @p stream_id.
+  [[nodiscard]] bool stream_complete(std::uint32_t stream_id) const;
+  /// Decoded response headers for @p stream_id (first HEADERS), if seen.
+  [[nodiscard]] std::optional<hpack::HeaderList> response_headers(
+      std::uint32_t stream_id) const;
+  /// Streams promised to us via PUSH_PROMISE, with their request headers.
+  [[nodiscard]] const std::map<std::uint32_t, hpack::HeaderList>& pushes() const {
+    return pushed_;
+  }
+
+  [[nodiscard]] std::uint32_t last_stream_id() const noexcept {
+    return next_stream_id_ >= 2 ? next_stream_id_ - 2 : 0;
+  }
+
+ private:
+  void on_frame(h2::Frame frame, std::size_t payload_size);
+
+  ClientOptions options_;
+  h2::FrameParser parser_;
+  hpack::Encoder encoder_;
+  hpack::Decoder decoder_;
+  h2::SettingsMap server_settings_;
+  bool server_settings_received_ = false;
+  std::size_t server_settings_entry_count_ = 0;
+
+  std::uint32_t next_stream_id_ = 1;
+  bool sent_any_request_ = false;
+  bool response_seen_ = false;
+  std::uint64_t preemptive_window_bonus_ = 0;
+
+  std::vector<ReceivedFrame> events_;
+  std::map<std::uint32_t, std::size_t> data_bytes_;
+  std::map<std::uint32_t, bool> complete_;
+  std::map<std::uint32_t, h2::ErrorCode> rst_;
+  std::map<std::uint32_t, hpack::HeaderList> pushed_;
+  std::optional<h2::GoawayPayload> goaway_;
+
+  // Reassembly of server header blocks split across CONTINUATIONs (§4.3).
+  std::optional<std::uint32_t> continuation_stream_;
+  Bytes continuation_buffer_;
+  bool continuation_end_stream_ = false;
+
+  // Upload (client->server DATA) flow control state.
+  struct Upload {
+    Bytes body;
+    std::size_t offset = 0;
+    h2::FlowWindow window;  ///< stream-scope budget, from server SETTINGS
+  };
+  void flush_uploads();
+  std::map<std::uint32_t, Upload> uploads_;
+  h2::FlowWindow upload_conn_window_{h2::kDefaultInitialWindowSize};
+  std::uint32_t upload_initial_window_ = h2::kDefaultInitialWindowSize;
+
+  Bytes out_;
+  bool dead_ = false;
+};
+
+}  // namespace h2r::core

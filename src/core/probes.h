@@ -1,0 +1,221 @@
+// The H2Scope probe suite — one function per measurement method of
+// Section III of the paper, each returning a structured result.
+//
+// Every probe opens a fresh connection to the target (as the paper's scans
+// do) so no probe contaminates another's HPACK or flow-control state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "h2/constants.h"
+#include "net/alpn.h"
+#include "net/path.h"
+#include "server/engine.h"
+#include "server/profile.h"
+#include "server/site.h"
+#include "util/rng.h"
+
+namespace h2r::core {
+
+/// One scan target: a (virtual) host with its server behaviour, content,
+/// and network path.
+struct Target {
+  std::string host;
+  server::ServerProfile profile;
+  server::Site site;
+  net::PathModel path;
+  /// Whether this host offers "h2" at all (non-HTTP/2 corpus sites don't).
+  bool offers_h2 = true;
+
+  [[nodiscard]] server::Http2Server make_server() const {
+    return server::Http2Server(profile, site);
+  }
+
+  /// A target wired to the paper's testbed content for @p profile.
+  static Target testbed(server::ServerProfile profile);
+};
+
+// ------------------------------------------------------------ negotiation
+
+/// Section IV-A: can an HTTP/2 connection be established, and via which
+/// TLS extension?
+struct NegotiationProbeResult {
+  bool alpn_h2 = false;  ///< "h2" selected via ALPN
+  bool npn_h2 = false;   ///< "h2" selectable via NPN
+  bool h2_established = false;
+};
+
+NegotiationProbeResult probe_negotiation(const Target& target);
+
+/// Section IV-A's other connection path: cleartext HTTP/1.1 Upgrade to h2c.
+struct H2cProbeResult {
+  bool switched = false;       ///< 101 Switching Protocols
+  std::string status_line;     ///< what the server actually answered
+};
+
+H2cProbeResult probe_h2c_upgrade(const Target& target);
+
+// ---------------------------------------------------------------- settings
+
+/// Section V-C: the SETTINGS values a server announces. nullopt = the
+/// parameter was absent from the SETTINGS frame ("NULL" in Tables V-VII).
+struct SettingsProbeResult {
+  bool headers_received = false;  ///< did a request complete at all
+  std::size_t settings_entry_count = 0;  ///< 0 = "NULL" (empty SETTINGS)
+  std::optional<std::uint32_t> header_table_size;
+  std::optional<std::uint32_t> max_concurrent_streams;
+  std::optional<std::uint32_t> initial_window_size;
+  std::optional<std::uint32_t> max_frame_size;
+  std::optional<std::uint32_t> max_header_list_size;
+  /// Connection WINDOW_UPDATE received before any request (Nginx idiom).
+  std::uint64_t preemptive_window_bonus = 0;
+  std::string server_header;  ///< value of the `server` response header
+};
+
+SettingsProbeResult probe_settings(const Target& target);
+
+// ------------------------------------------------------------ multiplexing
+
+/// Section III-A1: N parallel downloads of large objects; multiplexing is
+/// inferred from response interleaving.
+struct MultiplexingProbeResult {
+  bool supported = false;    ///< DATA frames of distinct streams interleaved
+  int streams_completed = 0;
+  int interleave_switches = 0;  ///< stream changes across the DATA sequence
+};
+
+MultiplexingProbeResult probe_multiplexing(const Target& target,
+                                           int num_streams = 4);
+
+/// Section V-A (last paragraph): behaviour when the *server* caps
+/// MAX_CONCURRENT_STREAMS at 0 or 1: excess requests should be refused.
+struct ConcurrencyLimitProbeResult {
+  bool refused_when_zero = false;  ///< RST_STREAM on first request at cap 0
+  bool refused_second_when_one = false;  ///< RST on 2nd concurrent at cap 1
+};
+
+ConcurrencyLimitProbeResult probe_concurrency_limit(const Target& target);
+
+// ------------------------------------------------------------ flow control
+
+/// Section III-B1: does SETTINGS_INITIAL_WINDOW_SIZE = Sframe bound the
+/// response DATA frame size?
+enum class SmallWindowOutcome : std::uint8_t {
+  kRespectsWindow,  ///< first DATA payload == Sframe
+  kZeroLengthData,  ///< zero-length DATA received
+  kNoResponse,      ///< neither HEADERS nor DATA (LiteSpeed-like)
+  kOversized,       ///< DATA larger than the window (violation)
+};
+
+std::string_view to_string(SmallWindowOutcome o) noexcept;
+
+struct DataFrameControlResult {
+  SmallWindowOutcome outcome = SmallWindowOutcome::kNoResponse;
+  std::size_t first_data_size = 0;
+  bool headers_received = false;
+};
+
+DataFrameControlResult probe_data_frame_control(const Target& target,
+                                                std::uint32_t sframe = 1);
+
+/// Section III-B2: with SETTINGS_INITIAL_WINDOW_SIZE = 0 the server must
+/// still send HEADERS (flow control governs DATA only).
+struct ZeroWindowHeadersResult {
+  bool headers_received = false;
+  bool data_received = false;  ///< any DATA would be a violation
+};
+
+ZeroWindowHeadersResult probe_zero_window_headers(const Target& target);
+
+/// Sections III-B3/III-B4: how the server reacts to a zero or overflowing
+/// WINDOW_UPDATE, on stream and connection scope.
+enum class UpdateReaction : std::uint8_t {
+  kIgnored,
+  kRstStream,
+  kGoaway,
+  kGoawayWithDebug,
+};
+
+std::string_view to_string(UpdateReaction r) noexcept;
+
+struct WindowUpdateProbeResult {
+  UpdateReaction zero_on_stream = UpdateReaction::kIgnored;
+  UpdateReaction zero_on_connection = UpdateReaction::kIgnored;
+  UpdateReaction large_on_stream = UpdateReaction::kIgnored;
+  UpdateReaction large_on_connection = UpdateReaction::kIgnored;
+  std::string zero_debug_data;  ///< GOAWAY debug text, when provided
+};
+
+WindowUpdateProbeResult probe_window_update_reactions(const Target& target);
+
+// ---------------------------------------------------------------- priority
+
+/// Section III-C Algorithm 1. The verdicts mirror §V-E1: priority order
+/// inferred from the last DATA frame per stream, from the first, and from
+/// both.
+struct PriorityProbeResult {
+  bool ran = false;  ///< false when context preparation failed
+  bool pass_by_last_data = false;
+  bool pass_by_first_data = false;
+  bool pass_by_both = false;
+  /// HEADERS for the probe requests arrived while the connection window
+  /// was exhausted (some servers withhold them, §V-D2 note).
+  bool headers_during_zero_window = false;
+
+  [[nodiscard]] bool passes() const noexcept { return ran && pass_by_both; }
+};
+
+PriorityProbeResult probe_priority_mechanism(const Target& target);
+
+/// Section III-C2: PRIORITY frame making a stream depend on itself.
+struct SelfDependencyProbeResult {
+  UpdateReaction reaction = UpdateReaction::kIgnored;
+};
+
+SelfDependencyProbeResult probe_self_dependency(const Target& target);
+
+// ------------------------------------------------------------------ push
+
+/// Section III-D: enable push, fetch the front page, watch for
+/// PUSH_PROMISE.
+struct PushProbeResult {
+  bool push_received = false;
+  std::vector<std::string> pushed_paths;
+  std::size_t pushed_bytes = 0;  ///< DATA received on promised streams
+};
+
+PushProbeResult probe_server_push(const Target& target,
+                                  const std::string& page = "/");
+
+// ------------------------------------------------------------------ hpack
+
+/// Section III-E: H identical requests; compression ratio r of Equation 1.
+struct HpackProbeResult {
+  bool ran = false;
+  double ratio = 1.0;  ///< r = sum(S_i) / (S_1 * H)
+  std::vector<std::size_t> header_sizes;
+};
+
+HpackProbeResult probe_hpack_ratio(const Target& target, int h = 8,
+                                   const std::string& path = "/");
+
+// ------------------------------------------------------------------- ping
+
+/// Section III-F: RTT via HTTP/2 PING compared with ICMP, TCP handshake,
+/// and HTTP/1.1 request timing.
+struct PingProbeResult {
+  bool supported = false;  ///< ACK with identical payload received
+  std::vector<double> h2_ping_ms;
+  std::vector<double> icmp_ms;
+  std::vector<double> tcp_handshake_ms;
+  std::vector<double> http11_ms;
+};
+
+PingProbeResult probe_ping(const Target& target, int samples, Rng& rng);
+
+}  // namespace h2r::core

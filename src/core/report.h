@@ -1,0 +1,42 @@
+// Full characterization of one server — the per-column content of the
+// paper's Table III, produced purely from wire-level observation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/probes.h"
+
+namespace h2r::core {
+
+struct Characterization {
+  std::string server_key;  ///< profile key / column header
+
+  NegotiationProbeResult negotiation;
+  SettingsProbeResult settings;
+  MultiplexingProbeResult multiplexing;
+  ConcurrencyLimitProbeResult concurrency_limit;
+  DataFrameControlResult data_frame_control;
+  ZeroWindowHeadersResult zero_window_headers;
+  WindowUpdateProbeResult window_update;
+  PriorityProbeResult priority;
+  SelfDependencyProbeResult self_dependency;
+  PushProbeResult push;
+  HpackProbeResult hpack;
+  PingProbeResult ping;
+
+  /// The fourteen Table III row labels, in the paper's order.
+  static const std::vector<std::string>& row_labels();
+
+  /// This server's cell values for the fourteen rows, in the same order
+  /// ("support", "RST_STREAM", "pass", ...).
+  [[nodiscard]] std::vector<std::string> row_values() const;
+};
+
+/// Runs every probe of Section III against @p target.
+Characterization characterize(const Target& target, Rng& rng);
+
+/// The RFC 7540 reference column the paper prints alongside the servers.
+std::vector<std::string> rfc7540_reference_column();
+
+}  // namespace h2r::core

@@ -1,0 +1,18 @@
+#include "core/session.h"
+
+namespace h2r::core {
+
+int run_exchange(ClientConnection& client, server::Http2Server& server,
+                 int max_rounds) {
+  int rounds = 0;
+  for (; rounds < max_rounds; ++rounds) {
+    const Bytes c2s = client.take_output();
+    if (!c2s.empty()) server.receive(c2s);
+    const Bytes s2c = server.take_output();
+    if (!s2c.empty()) client.receive(s2c);
+    if (c2s.empty() && s2c.empty()) break;
+  }
+  return rounds;
+}
+
+}  // namespace h2r::core

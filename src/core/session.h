@@ -1,0 +1,17 @@
+// Lockstep transport between a ClientConnection and an Http2Server.
+//
+// The probes are synchronous: a "round" ships all pending client bytes to
+// the server, then all pending server bytes back. Exchanges run until both
+// directions are idle (or a round cap is hit, which indicates a bug).
+#pragma once
+
+#include "core/client.h"
+#include "server/engine.h"
+
+namespace h2r::core {
+
+/// Pumps bytes both ways until quiescent. Returns the number of rounds run.
+int run_exchange(ClientConnection& client, server::Http2Server& server,
+                 int max_rounds = 4096);
+
+}  // namespace h2r::core

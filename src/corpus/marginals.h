@@ -1,0 +1,87 @@
+// The paper's measured marginal distributions, transcribed as data.
+//
+// These are the *inputs* to corpus generation: the synthetic Alexa
+// population is seeded so that a full H2Scope scan re-derives them. Section
+// and table references are to "Are HTTP/2 Servers Ready Yet?" (ICDCS'17).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace h2r::corpus {
+
+/// The two measurement campaigns.
+enum class Epoch : std::uint8_t {
+  kExp1,  ///< July 2016
+  kExp2,  ///< January 2017
+};
+
+std::string_view to_string(Epoch e) noexcept;
+
+/// (value, site count) pair for a SETTINGS distribution table.
+struct ValueCount {
+  std::int64_t value;  ///< kNullValue / kUnlimitedValue are sentinels
+  std::size_t count;
+};
+
+/// Sentinel: site announces an empty SETTINGS frame ("NULL" rows).
+inline constexpr std::int64_t kNullValue = -1;
+/// Sentinel: parameter omitted while others are present ("unlimited").
+inline constexpr std::int64_t kUnlimitedValue = -2;
+
+struct EpochMarginals {
+  Epoch epoch;
+
+  // ---- §V-B adoption ----------------------------------------------------
+  std::size_t total_scanned;     ///< 1,000,000 Alexa sites
+  std::size_t npn_sites;         ///< h2 via NPN
+  std::size_t alpn_sites;        ///< h2 via ALPN
+  std::size_t responding_sites;  ///< returned HEADERS; basis of all tables
+
+  // ---- Table IV: server families >1000 sites + remainder ----------------
+  std::vector<std::pair<std::string, std::size_t>> server_families;
+  std::size_t other_family_sites;  ///< responding sites beyond Table IV
+
+  // ---- Tables V / VI / VII ----------------------------------------------
+  std::vector<ValueCount> initial_window_size;    // Table V
+  std::vector<ValueCount> max_frame_size;         // Table VI
+  std::vector<ValueCount> max_header_list_size;   // Table VII
+
+  // ---- Figure 2 (no exact table in the paper; shape-calibrated) ---------
+  std::vector<ValueCount> max_concurrent_streams;
+
+  // ---- §V-D flow control -------------------------------------------------
+  std::size_t sframe_respecting_sites;   // V-D1: 1-byte DATA
+  std::size_t sframe_zero_length_sites;  // V-D1: zero-length DATA
+  std::size_t sframe_no_response_sites;  // V-D1: silent
+  std::size_t sframe_silent_litespeed;   // ...of which LiteSpeed
+  std::size_t zero_window_headers_sites; // V-D2: HEADERS at window 0
+  std::size_t zero_wu_rst_sites;         // V-D3 stream scope
+  std::size_t zero_wu_goaway_sites;
+  std::size_t zero_wu_debug_sites;
+  std::size_t large_wu_conn_goaway_sites;   // V-D4
+  std::size_t large_wu_stream_rst_sites;
+
+  // ---- §V-E priority ------------------------------------------------------
+  std::size_t priority_pass_last_sites;   // by last-DATA rule (superset)
+  std::size_t priority_pass_first_sites;  // by first-DATA rule (superset)
+  std::size_t priority_pass_both_sites;
+  std::size_t self_dep_rst_sites;  // V-E2; remainder splits GOAWAY/ignore
+
+  // ---- §V-F push -----------------------------------------------------------
+  std::vector<std::string> push_sites;  ///< hostnames observed pushing
+
+  // ---- §V-G HPACK -----------------------------------------------------------
+  /// Fraction of each family's sites that index response headers (drives
+  /// the Figure 4/5 per-family ratio CDFs; keys match server_families).
+  std::vector<std::pair<std::string, double>> hpack_aggressive_fraction;
+  /// Fraction of responding sites whose responses grow cookies (r > 1,
+  /// filtered out of Figures 4/5 by the paper).
+  double cookie_churn_fraction;
+};
+
+/// The transcribed marginals for an epoch.
+const EpochMarginals& marginals(Epoch epoch);
+
+}  // namespace h2r::corpus

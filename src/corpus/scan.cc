@@ -1,0 +1,238 @@
+#include "corpus/scan.h"
+
+#include <atomic>
+#include <thread>
+
+namespace h2r::corpus {
+namespace {
+
+using core::SmallWindowOutcome;
+using core::Target;
+using core::UpdateReaction;
+
+/// Families whose HPACK ratio CDFs the paper plots (Figures 4 and 5).
+bool hpack_family_of_interest(const std::string& family) {
+  return family == "gse" || family == "nginx" || family == "tengine" ||
+         family == "litespeed" || family == "ideawebserver" ||
+         family == "tengine-aserver";
+}
+
+/// Per-worker accumulator, merged under a single lock at the end.
+struct Partial {
+  ScanReport r;
+
+  void observe(const SiteSpec& spec, const ScanOptions& opts) {
+    const Target target = spec.to_target();
+
+    const auto negotiation = core::probe_negotiation(target);
+    if (negotiation.npn_h2) ++r.npn_sites;
+    if (negotiation.alpn_h2) ++r.alpn_sites;
+    if (!negotiation.h2_established) return;
+
+    const auto settings = core::probe_settings(target);
+    if (!settings.headers_received) return;
+    ++r.responding_sites;
+    ++r.server_counts[settings.server_header];
+
+    if (opts.probe_settings) {
+      if (settings.settings_entry_count == 0) {
+        r.initial_window_size.add(kNullValue);
+        r.max_frame_size.add(kNullValue);
+        r.max_header_list_size.add(kNullValue);
+        r.max_concurrent_streams.add(kNullValue);
+      } else {
+        r.initial_window_size.add(
+            settings.initial_window_size
+                ? static_cast<std::int64_t>(*settings.initial_window_size)
+                : kUnlimitedValue);
+        r.max_frame_size.add(
+            settings.max_frame_size
+                ? static_cast<std::int64_t>(*settings.max_frame_size)
+                : kUnlimitedValue);
+        r.max_header_list_size.add(
+            settings.max_header_list_size
+                ? static_cast<std::int64_t>(*settings.max_header_list_size)
+                : kUnlimitedValue);
+        r.max_concurrent_streams.add(
+            settings.max_concurrent_streams
+                ? static_cast<std::int64_t>(*settings.max_concurrent_streams)
+                : kUnlimitedValue);
+      }
+    }
+
+    if (opts.probe_flow_control) {
+      const auto sframe = core::probe_data_frame_control(target);
+      switch (sframe.outcome) {
+        case SmallWindowOutcome::kRespectsWindow:
+          ++r.sframe_respecting;
+          break;
+        case SmallWindowOutcome::kZeroLengthData:
+          ++r.sframe_zero_length;
+          break;
+        case SmallWindowOutcome::kNoResponse:
+          ++r.sframe_no_response;
+          if (spec.family == "litespeed") ++r.sframe_no_response_litespeed;
+          break;
+        case SmallWindowOutcome::kOversized:
+          break;
+      }
+      if (core::probe_zero_window_headers(target).headers_received) {
+        ++r.zero_window_headers_ok;
+      }
+      const auto wu = core::probe_window_update_reactions(target);
+      switch (wu.zero_on_stream) {
+        case UpdateReaction::kRstStream:
+          ++r.zero_wu_rst;
+          break;
+        case UpdateReaction::kIgnored:
+          ++r.zero_wu_ignore;
+          break;
+        case UpdateReaction::kGoaway:
+          ++r.zero_wu_goaway;
+          break;
+        case UpdateReaction::kGoawayWithDebug:
+          ++r.zero_wu_goaway_debug;
+          break;
+      }
+      if (wu.zero_on_connection != UpdateReaction::kIgnored) {
+        ++r.zero_wu_conn_error;
+      }
+      if (wu.large_on_connection == UpdateReaction::kGoaway) {
+        ++r.large_wu_conn_goaway;
+      }
+      if (wu.large_on_stream == UpdateReaction::kRstStream) {
+        ++r.large_wu_stream_rst;
+      } else {
+        ++r.large_wu_stream_ignore;
+      }
+    }
+
+    if (opts.probe_priority) {
+      const auto prio = core::probe_priority_mechanism(target);
+      if (prio.ran) {
+        if (prio.pass_by_last_data) ++r.priority_pass_last;
+        if (prio.pass_by_first_data) ++r.priority_pass_first;
+        if (prio.pass_by_both) ++r.priority_pass_both;
+      }
+      switch (core::probe_self_dependency(target).reaction) {
+        case UpdateReaction::kRstStream:
+          ++r.self_dep_rst;
+          break;
+        case UpdateReaction::kGoaway:
+        case UpdateReaction::kGoawayWithDebug:
+          ++r.self_dep_goaway;
+          break;
+        case UpdateReaction::kIgnored:
+          ++r.self_dep_ignore;
+          break;
+      }
+    }
+
+    if (opts.probe_push) {
+      if (core::probe_server_push(target).push_received) {
+        r.push_hosts.push_back(spec.host);
+      }
+    }
+
+    if (opts.probe_hpack && hpack_family_of_interest(spec.family)) {
+      const auto hpack = core::probe_hpack_ratio(target, opts.hpack_h);
+      if (hpack.ran) {
+        if (hpack.ratio > 1.0) {
+          ++r.hpack_filtered_out;  // the paper drops r > 1 (§V-G)
+        } else {
+          r.hpack_ratio_by_family[spec.family].push_back(hpack.ratio);
+        }
+      }
+    }
+  }
+
+  void merge_into(ScanReport& total) const {
+    total.npn_sites += r.npn_sites;
+    total.alpn_sites += r.alpn_sites;
+    total.responding_sites += r.responding_sites;
+    for (const auto& [name, count] : r.server_counts) {
+      total.server_counts[name] += count;
+    }
+    for (const auto& [v, c] : r.initial_window_size.counts()) {
+      total.initial_window_size.add(v, c);
+    }
+    for (const auto& [v, c] : r.max_frame_size.counts()) {
+      total.max_frame_size.add(v, c);
+    }
+    for (const auto& [v, c] : r.max_header_list_size.counts()) {
+      total.max_header_list_size.add(v, c);
+    }
+    for (const auto& [v, c] : r.max_concurrent_streams.counts()) {
+      total.max_concurrent_streams.add(v, c);
+    }
+    total.sframe_respecting += r.sframe_respecting;
+    total.sframe_zero_length += r.sframe_zero_length;
+    total.sframe_no_response += r.sframe_no_response;
+    total.sframe_no_response_litespeed += r.sframe_no_response_litespeed;
+    total.zero_window_headers_ok += r.zero_window_headers_ok;
+    total.zero_wu_rst += r.zero_wu_rst;
+    total.zero_wu_ignore += r.zero_wu_ignore;
+    total.zero_wu_goaway += r.zero_wu_goaway;
+    total.zero_wu_goaway_debug += r.zero_wu_goaway_debug;
+    total.zero_wu_conn_error += r.zero_wu_conn_error;
+    total.large_wu_conn_goaway += r.large_wu_conn_goaway;
+    total.large_wu_stream_rst += r.large_wu_stream_rst;
+    total.large_wu_stream_ignore += r.large_wu_stream_ignore;
+    total.priority_pass_last += r.priority_pass_last;
+    total.priority_pass_first += r.priority_pass_first;
+    total.priority_pass_both += r.priority_pass_both;
+    total.self_dep_rst += r.self_dep_rst;
+    total.self_dep_goaway += r.self_dep_goaway;
+    total.self_dep_ignore += r.self_dep_ignore;
+    total.push_hosts.insert(total.push_hosts.end(), r.push_hosts.begin(),
+                            r.push_hosts.end());
+    for (const auto& [family, ratios] : r.hpack_ratio_by_family) {
+      auto& dst = total.hpack_ratio_by_family[family];
+      dst.insert(dst.end(), ratios.begin(), ratios.end());
+    }
+    total.hpack_filtered_out += r.hpack_filtered_out;
+  }
+};
+
+}  // namespace
+
+std::size_t ScanReport::hpack_sample_size() const {
+  std::size_t n = 0;
+  for (const auto& [family, ratios] : hpack_ratio_by_family) n += ratios.size();
+  return n;
+}
+
+ScanReport scan_population(const Population& population,
+                           const ScanOptions& options) {
+  const int threads = options.threads > 0
+                          ? options.threads
+                          : static_cast<int>(std::max(
+                                1u, std::thread::hardware_concurrency()));
+
+  std::vector<Partial> partials(static_cast<std::size_t>(threads));
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      // Like the paper's scanner: each worker pulls the next unscanned site.
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= population.sites.size()) return;
+        partials[static_cast<std::size_t>(t)].observe(population.sites[i],
+                                                      options);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  ScanReport total;
+  total.epoch = population.epoch;
+  total.total_scanned = population.total_scanned;
+  for (const auto& p : partials) p.merge_into(total);
+  total.distinct_server_kinds = total.server_counts.size();
+  std::sort(total.push_hosts.begin(), total.push_hosts.end());
+  return total;
+}
+
+}  // namespace h2r::corpus

@@ -1,0 +1,89 @@
+// Large-scale scan driver: runs the Section III probe suite over a whole
+// synthetic population using a worker pool (the paper's H2Scope uses a
+// thread pool the same way, Section IV-B) and aggregates the observations
+// into exactly the quantities the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/probes.h"
+#include "corpus/population.h"
+#include "util/stats.h"
+
+namespace h2r::corpus {
+
+struct ScanOptions {
+  int threads = 0;        ///< 0 = hardware concurrency
+  int hpack_h = 8;        ///< requests per site for Equation 1
+  bool probe_settings = true;
+  bool probe_flow_control = true;
+  bool probe_priority = true;
+  bool probe_push = true;
+  bool probe_hpack = true;
+  std::uint64_t seed = 7;
+};
+
+/// Everything a full scan learns, pre-aggregated.
+struct ScanReport {
+  Epoch epoch{};
+  std::size_t total_scanned = 0;
+
+  // §V-B adoption.
+  std::size_t npn_sites = 0;
+  std::size_t alpn_sites = 0;
+  std::size_t responding_sites = 0;
+
+  // Table IV (full census; benches filter to >1,000).
+  std::map<std::string, std::size_t> server_counts;
+  std::size_t distinct_server_kinds = 0;
+
+  // Tables V-VII + Fig 2. kNullValue keys mark empty-SETTINGS sites,
+  // kUnlimitedValue marks parameter-absent-but-SETTINGS-present.
+  ValueCounter initial_window_size;
+  ValueCounter max_frame_size;
+  ValueCounter max_header_list_size;
+  ValueCounter max_concurrent_streams;
+
+  // §V-D flow control.
+  std::size_t sframe_respecting = 0;
+  std::size_t sframe_zero_length = 0;
+  std::size_t sframe_no_response = 0;
+  std::size_t sframe_no_response_litespeed = 0;
+  std::size_t zero_window_headers_ok = 0;
+  std::size_t zero_wu_rst = 0;
+  std::size_t zero_wu_ignore = 0;
+  std::size_t zero_wu_goaway = 0;
+  std::size_t zero_wu_goaway_debug = 0;
+  std::size_t zero_wu_conn_error = 0;
+  std::size_t large_wu_conn_goaway = 0;
+  std::size_t large_wu_stream_rst = 0;
+  std::size_t large_wu_stream_ignore = 0;
+
+  // §V-E priority.
+  std::size_t priority_pass_last = 0;
+  std::size_t priority_pass_first = 0;
+  std::size_t priority_pass_both = 0;
+  std::size_t self_dep_rst = 0;
+  std::size_t self_dep_goaway = 0;
+  std::size_t self_dep_ignore = 0;
+
+  // §V-F push.
+  std::vector<std::string> push_hosts;
+
+  // §V-G / Figures 4-5: per-family compression ratios (r <= 1 retained,
+  // r > 1 filtered, as the paper does).
+  std::map<std::string, std::vector<double>> hpack_ratio_by_family;
+  std::size_t hpack_filtered_out = 0;  ///< sites with r > 1
+
+  /// Sites making up the Figures 4/5 sample (sum over families).
+  [[nodiscard]] std::size_t hpack_sample_size() const;
+};
+
+/// Scans @p population with the probes selected in @p options.
+ScanReport scan_population(const Population& population,
+                           const ScanOptions& options = {});
+
+}  // namespace h2r::corpus

@@ -1,0 +1,83 @@
+#include "h2/constants.h"
+
+namespace h2r::h2 {
+
+std::string_view to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kHeaders:
+      return "HEADERS";
+    case FrameType::kPriority:
+      return "PRIORITY";
+    case FrameType::kRstStream:
+      return "RST_STREAM";
+    case FrameType::kSettings:
+      return "SETTINGS";
+    case FrameType::kPushPromise:
+      return "PUSH_PROMISE";
+    case FrameType::kPing:
+      return "PING";
+    case FrameType::kGoaway:
+      return "GOAWAY";
+    case FrameType::kWindowUpdate:
+      return "WINDOW_UPDATE";
+    case FrameType::kContinuation:
+      return "CONTINUATION";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNoError:
+      return "NO_ERROR";
+    case ErrorCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case ErrorCode::kInternalError:
+      return "INTERNAL_ERROR";
+    case ErrorCode::kFlowControlError:
+      return "FLOW_CONTROL_ERROR";
+    case ErrorCode::kSettingsTimeout:
+      return "SETTINGS_TIMEOUT";
+    case ErrorCode::kStreamClosed:
+      return "STREAM_CLOSED";
+    case ErrorCode::kFrameSizeError:
+      return "FRAME_SIZE_ERROR";
+    case ErrorCode::kRefusedStream:
+      return "REFUSED_STREAM";
+    case ErrorCode::kCancel:
+      return "CANCEL";
+    case ErrorCode::kCompressionError:
+      return "COMPRESSION_ERROR";
+    case ErrorCode::kConnectError:
+      return "CONNECT_ERROR";
+    case ErrorCode::kEnhanceYourCalm:
+      return "ENHANCE_YOUR_CALM";
+    case ErrorCode::kInadequateSecurity:
+      return "INADEQUATE_SECURITY";
+    case ErrorCode::kHttp11Required:
+      return "HTTP_1_1_REQUIRED";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view to_string(SettingId id) noexcept {
+  switch (id) {
+    case SettingId::kHeaderTableSize:
+      return "SETTINGS_HEADER_TABLE_SIZE";
+    case SettingId::kEnablePush:
+      return "SETTINGS_ENABLE_PUSH";
+    case SettingId::kMaxConcurrentStreams:
+      return "SETTINGS_MAX_CONCURRENT_STREAMS";
+    case SettingId::kInitialWindowSize:
+      return "SETTINGS_INITIAL_WINDOW_SIZE";
+    case SettingId::kMaxFrameSize:
+      return "SETTINGS_MAX_FRAME_SIZE";
+    case SettingId::kMaxHeaderListSize:
+      return "SETTINGS_MAX_HEADER_LIST_SIZE";
+  }
+  return "SETTINGS_UNKNOWN";
+}
+
+}  // namespace h2r::h2

@@ -1,0 +1,91 @@
+// Wire-level constants of RFC 7540.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace h2r::h2 {
+
+/// The ten frame types of RFC 7540 §6 (values are the on-wire type octet).
+enum class FrameType : std::uint8_t {
+  kData = 0x0,
+  kHeaders = 0x1,
+  kPriority = 0x2,
+  kRstStream = 0x3,
+  kSettings = 0x4,
+  kPushPromise = 0x5,
+  kPing = 0x6,
+  kGoaway = 0x7,
+  kWindowUpdate = 0x8,
+  kContinuation = 0x9,
+};
+
+std::string_view to_string(FrameType type) noexcept;
+
+/// Frame flags (§6.*); meaning depends on the frame type.
+namespace flags {
+inline constexpr std::uint8_t kEndStream = 0x1;   // DATA, HEADERS
+inline constexpr std::uint8_t kAck = 0x1;         // SETTINGS, PING
+inline constexpr std::uint8_t kEndHeaders = 0x4;  // HEADERS, PUSH_PROMISE, CONTINUATION
+inline constexpr std::uint8_t kPadded = 0x8;      // DATA, HEADERS, PUSH_PROMISE
+inline constexpr std::uint8_t kPriority = 0x20;   // HEADERS
+}  // namespace flags
+
+/// Error codes (§7).
+enum class ErrorCode : std::uint32_t {
+  kNoError = 0x0,
+  kProtocolError = 0x1,
+  kInternalError = 0x2,
+  kFlowControlError = 0x3,
+  kSettingsTimeout = 0x4,
+  kStreamClosed = 0x5,
+  kFrameSizeError = 0x6,
+  kRefusedStream = 0x7,
+  kCancel = 0x8,
+  kCompressionError = 0x9,
+  kConnectError = 0xa,
+  kEnhanceYourCalm = 0xb,
+  kInadequateSecurity = 0xc,
+  kHttp11Required = 0xd,
+};
+
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// SETTINGS parameter identifiers (§6.5.2).
+enum class SettingId : std::uint16_t {
+  kHeaderTableSize = 0x1,
+  kEnablePush = 0x2,
+  kMaxConcurrentStreams = 0x3,
+  kInitialWindowSize = 0x4,
+  kMaxFrameSize = 0x5,
+  kMaxHeaderListSize = 0x6,
+};
+
+std::string_view to_string(SettingId id) noexcept;
+
+/// Protocol defaults (§6.5.2, §6.9).
+inline constexpr std::uint32_t kDefaultHeaderTableSize = 4096;
+inline constexpr std::uint32_t kDefaultEnablePush = 1;
+inline constexpr std::uint32_t kDefaultInitialWindowSize = 65'535;
+inline constexpr std::uint32_t kDefaultMaxFrameSize = 16'384;
+inline constexpr std::uint32_t kMaxAllowedFrameSize = 16'777'215;  // 2^24-1
+inline constexpr std::int64_t kMaxWindowSize = 0x7FFF'FFFF;        // 2^31-1
+inline constexpr std::uint32_t kMaxStreamId = 0x7FFF'FFFF;
+
+/// Size of the fixed frame header (§4.1).
+inline constexpr std::size_t kFrameHeaderSize = 9;
+
+/// PING opaque payload size (§6.7).
+inline constexpr std::size_t kPingPayloadSize = 8;
+
+/// Client connection preface (§3.5).
+inline constexpr std::string_view kClientPreface =
+    "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
+
+/// Stream-0 alias used for connection-scoped frames.
+inline constexpr std::uint32_t kConnectionStreamId = 0;
+
+/// Default weight assigned when priority information is absent (§5.3.5).
+inline constexpr int kDefaultWeight = 16;
+
+}  // namespace h2r::h2

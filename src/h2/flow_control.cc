@@ -1,0 +1,37 @@
+#include "h2/flow_control.h"
+
+namespace h2r::h2 {
+
+Status FlowWindow::consume(std::int64_t n) {
+  if (n < 0) return InvalidArgumentError("consume: negative octet count");
+  if (n > window_) {
+    return FlowControlViolationError("DATA exceeds flow-control window");
+  }
+  window_ -= n;
+  return OkStatus();
+}
+
+Status FlowWindow::expand(std::uint32_t increment) {
+  if (increment == 0) {
+    return ProtocolViolationError("WINDOW_UPDATE increment of 0");
+  }
+  const std::int64_t next = window_ + static_cast<std::int64_t>(increment);
+  if (next > kMaxWindowSize) {
+    return FlowControlViolationError("flow-control window exceeds 2^31-1");
+  }
+  window_ = next;
+  return OkStatus();
+}
+
+Status FlowWindow::adjust_initial(std::int64_t old_initial,
+                                  std::int64_t new_initial) {
+  const std::int64_t next = window_ + (new_initial - old_initial);
+  if (next > kMaxWindowSize) {
+    return FlowControlViolationError(
+        "SETTINGS window adjustment exceeds 2^31-1");
+  }
+  window_ = next;
+  return OkStatus();
+}
+
+}  // namespace h2r::h2

@@ -1,0 +1,50 @@
+// Flow-control window accounting (RFC 7540 §5.2, §6.9).
+//
+// One FlowWindow instance tracks one direction of one scope (a stream, or
+// the connection). Windows are signed: a SETTINGS_INITIAL_WINDOW_SIZE
+// decrease can legally drive a stream window negative (§6.9.2).
+//
+// The paper's flow-control probes (Section III-B) hammer on exactly the two
+// edge rules encoded here: an increment of zero is an error for the
+// receiver, and total window must never exceed 2^31-1.
+#pragma once
+
+#include <cstdint>
+
+#include "h2/constants.h"
+#include "util/status.h"
+
+namespace h2r::h2 {
+
+class FlowWindow {
+ public:
+  explicit FlowWindow(std::int64_t initial = kDefaultInitialWindowSize) noexcept
+      : window_(initial) {}
+
+  /// Octets currently sendable; <= 0 means blocked.
+  [[nodiscard]] std::int64_t available() const noexcept { return window_; }
+
+  /// Consumes @p n octets (a DATA frame was sent/received against this
+  /// window). Errors with FLOW_CONTROL_ERROR when n exceeds the window —
+  /// the receive-side check of §6.9.
+  Status consume(std::int64_t n);
+
+  /// Applies a WINDOW_UPDATE increment. Enforces both §6.9 rules:
+  /// increment 0 => PROTOCOL_ERROR (stream error at the caller's scope);
+  /// resulting window > 2^31-1 => FLOW_CONTROL_ERROR.
+  Status expand(std::uint32_t increment);
+
+  /// Adjusts for a change of SETTINGS_INITIAL_WINDOW_SIZE (§6.9.2): the
+  /// delta is applied to the *current* window, which may go negative.
+  /// Errors when the adjustment overflows 2^31-1.
+  Status adjust_initial(std::int64_t old_initial, std::int64_t new_initial);
+
+  /// Forces an absolute value (used when constructing windows for streams
+  /// created after a SETTINGS change).
+  void reset_to(std::int64_t value) noexcept { window_ = value; }
+
+ private:
+  std::int64_t window_;
+};
+
+}  // namespace h2r::h2

@@ -1,0 +1,154 @@
+#include "h2/frame.h"
+
+#include <sstream>
+
+namespace h2r::h2 {
+namespace {
+
+struct TypeVisitor {
+  FrameType operator()(const DataPayload&) const { return FrameType::kData; }
+  FrameType operator()(const HeadersPayload&) const { return FrameType::kHeaders; }
+  FrameType operator()(const PriorityPayload&) const { return FrameType::kPriority; }
+  FrameType operator()(const RstStreamPayload&) const { return FrameType::kRstStream; }
+  FrameType operator()(const SettingsPayload&) const { return FrameType::kSettings; }
+  FrameType operator()(const PushPromisePayload&) const {
+    return FrameType::kPushPromise;
+  }
+  FrameType operator()(const PingPayload&) const { return FrameType::kPing; }
+  FrameType operator()(const GoawayPayload&) const { return FrameType::kGoaway; }
+  FrameType operator()(const WindowUpdatePayload&) const {
+    return FrameType::kWindowUpdate;
+  }
+  FrameType operator()(const ContinuationPayload&) const {
+    return FrameType::kContinuation;
+  }
+  FrameType operator()(const UnknownPayload& u) const {
+    return static_cast<FrameType>(u.type);
+  }
+};
+
+std::size_t payload_size_hint(const Frame& f) {
+  if (f.is<DataPayload>()) return f.as<DataPayload>().data.size();
+  if (f.is<HeadersPayload>()) return f.as<HeadersPayload>().fragment.size();
+  if (f.is<GoawayPayload>()) return 8 + f.as<GoawayPayload>().debug_data.size();
+  if (f.is<SettingsPayload>()) return 6 * f.as<SettingsPayload>().entries.size();
+  return 0;
+}
+
+}  // namespace
+
+FrameType Frame::type() const noexcept { return std::visit(TypeVisitor{}, payload); }
+
+std::string Frame::describe() const {
+  std::ostringstream os;
+  os << to_string(type()) << "(stream=" << stream_id << ", flags=0x" << std::hex
+     << static_cast<int>(flags) << std::dec;
+  const std::size_t n = payload_size_hint(*this);
+  if (n > 0) os << ", " << n << "B";
+  if (is<RstStreamPayload>()) {
+    os << ", " << to_string(as<RstStreamPayload>().error);
+  }
+  if (is<GoawayPayload>()) {
+    os << ", " << to_string(as<GoawayPayload>().error);
+  }
+  if (is<WindowUpdatePayload>()) {
+    os << ", +" << as<WindowUpdatePayload>().increment;
+  }
+  os << ")";
+  return os.str();
+}
+
+Frame make_data(std::uint32_t stream_id, Bytes data, bool end_stream) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.flags = end_stream ? flags::kEndStream : 0;
+  f.payload = DataPayload{.data = std::move(data)};
+  return f;
+}
+
+Frame make_headers(std::uint32_t stream_id, Bytes fragment, bool end_stream,
+                   bool end_headers, std::optional<PriorityInfo> priority) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.flags = static_cast<std::uint8_t>((end_stream ? flags::kEndStream : 0) |
+                                      (end_headers ? flags::kEndHeaders : 0) |
+                                      (priority ? flags::kPriority : 0));
+  f.payload = HeadersPayload{.fragment = std::move(fragment), .priority = priority};
+  return f;
+}
+
+Frame make_priority(std::uint32_t stream_id, PriorityInfo info) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.payload = PriorityPayload{.info = info};
+  return f;
+}
+
+Frame make_rst_stream(std::uint32_t stream_id, ErrorCode error) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.payload = RstStreamPayload{.error = error};
+  return f;
+}
+
+Frame make_settings(std::vector<std::pair<SettingId, std::uint32_t>> entries) {
+  Frame f;
+  SettingsPayload payload;
+  payload.entries.reserve(entries.size());
+  for (const auto& [id, value] : entries) {
+    payload.entries.emplace_back(static_cast<std::uint16_t>(id), value);
+  }
+  f.payload = std::move(payload);
+  return f;
+}
+
+Frame make_settings_ack() {
+  Frame f;
+  f.flags = flags::kAck;
+  f.payload = SettingsPayload{};
+  return f;
+}
+
+Frame make_push_promise(std::uint32_t stream_id, std::uint32_t promised_id,
+                        Bytes fragment) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.flags = flags::kEndHeaders;
+  f.payload = PushPromisePayload{.promised_stream_id = promised_id,
+                                 .fragment = std::move(fragment)};
+  return f;
+}
+
+Frame make_ping(std::array<std::uint8_t, kPingPayloadSize> opaque, bool ack) {
+  Frame f;
+  f.flags = ack ? flags::kAck : 0;
+  f.payload = PingPayload{.opaque = opaque};
+  return f;
+}
+
+Frame make_goaway(std::uint32_t last_stream_id, ErrorCode error,
+                  std::string debug) {
+  Frame f;
+  f.payload = GoawayPayload{.last_stream_id = last_stream_id,
+                            .error = error,
+                            .debug_data = bytes_of(debug)};
+  return f;
+}
+
+Frame make_window_update(std::uint32_t stream_id, std::uint32_t increment) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.payload = WindowUpdatePayload{.increment = increment};
+  return f;
+}
+
+Frame make_continuation(std::uint32_t stream_id, Bytes fragment,
+                        bool end_headers) {
+  Frame f;
+  f.stream_id = stream_id;
+  f.flags = end_headers ? flags::kEndHeaders : 0;
+  f.payload = ContinuationPayload{.fragment = std::move(fragment)};
+  return f;
+}
+
+}  // namespace h2r::h2

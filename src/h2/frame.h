@@ -1,0 +1,147 @@
+// Typed in-memory frame model (RFC 7540 §4, §6).
+//
+// A Frame is the parsed form: type-specific payloads live in a variant, and
+// padding has already been stripped/accounted. The codec (frame_codec.h)
+// converts between this model and wire bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "h2/constants.h"
+#include "util/bytes.h"
+
+namespace h2r::h2 {
+
+/// Stream dependency triple carried by PRIORITY frames and prioritized
+/// HEADERS (§5.3.1). `weight_field` is the on-wire octet; effective weight
+/// is weight_field + 1 (1..256).
+struct PriorityInfo {
+  std::uint32_t dependency = 0;
+  std::uint8_t weight_field = kDefaultWeight - 1;
+  bool exclusive = false;
+
+  [[nodiscard]] int weight() const noexcept { return weight_field + 1; }
+
+  friend bool operator==(const PriorityInfo&, const PriorityInfo&) = default;
+};
+
+struct DataPayload {
+  Bytes data;
+  std::uint8_t pad_length = 0;  ///< padding octets requested at serialization
+};
+
+struct HeadersPayload {
+  Bytes fragment;  ///< HPACK header block fragment
+  std::optional<PriorityInfo> priority;
+  std::uint8_t pad_length = 0;
+};
+
+struct PriorityPayload {
+  PriorityInfo info;
+};
+
+struct RstStreamPayload {
+  ErrorCode error = ErrorCode::kNoError;
+};
+
+struct SettingsPayload {
+  /// Raw (id, value) pairs in wire order; unknown ids are preserved, as
+  /// required by §6.5.2 ("must ignore" = skip, not reject).
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> entries;
+};
+
+struct PushPromisePayload {
+  std::uint32_t promised_stream_id = 0;
+  Bytes fragment;
+  std::uint8_t pad_length = 0;
+};
+
+struct PingPayload {
+  std::array<std::uint8_t, kPingPayloadSize> opaque{};
+};
+
+struct GoawayPayload {
+  std::uint32_t last_stream_id = 0;
+  ErrorCode error = ErrorCode::kNoError;
+  Bytes debug_data;
+};
+
+struct WindowUpdatePayload {
+  std::uint32_t increment = 0;
+};
+
+struct ContinuationPayload {
+  Bytes fragment;
+};
+
+/// Frames with a type octet outside 0x0..0x9 — must be ignored (§4.1) but
+/// are surfaced so probes can send them deliberately.
+struct UnknownPayload {
+  std::uint8_t type = 0;
+  Bytes data;
+};
+
+using FramePayload =
+    std::variant<DataPayload, HeadersPayload, PriorityPayload, RstStreamPayload,
+                 SettingsPayload, PushPromisePayload, PingPayload, GoawayPayload,
+                 WindowUpdatePayload, ContinuationPayload, UnknownPayload>;
+
+/// One parsed HTTP/2 frame.
+struct Frame {
+  std::uint8_t flags = 0;
+  std::uint32_t stream_id = 0;
+  FramePayload payload;
+
+  /// The frame's wire type (derived from the payload alternative).
+  [[nodiscard]] FrameType type() const noexcept;
+
+  [[nodiscard]] bool has_flag(std::uint8_t flag) const noexcept {
+    return (flags & flag) != 0;
+  }
+
+  /// Typed payload access; throws std::bad_variant_access on mismatch
+  /// (programmer error — check type() first for data-driven paths).
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::get<T>(payload);
+  }
+  template <typename T>
+  [[nodiscard]] T& as() {
+    return std::get<T>(payload);
+  }
+
+  template <typename T>
+  [[nodiscard]] bool is() const noexcept {
+    return std::holds_alternative<T>(payload);
+  }
+
+  /// One-line rendering for traces: "HEADERS(stream=1, flags=0x5, 23B)".
+  [[nodiscard]] std::string describe() const;
+};
+
+// ---- Factories for the common cases (keep call sites declarative). ----
+
+Frame make_data(std::uint32_t stream_id, Bytes data, bool end_stream);
+Frame make_headers(std::uint32_t stream_id, Bytes fragment, bool end_stream,
+                   bool end_headers = true,
+                   std::optional<PriorityInfo> priority = std::nullopt);
+Frame make_priority(std::uint32_t stream_id, PriorityInfo info);
+Frame make_rst_stream(std::uint32_t stream_id, ErrorCode error);
+Frame make_settings(std::vector<std::pair<SettingId, std::uint32_t>> entries);
+Frame make_settings_ack();
+Frame make_push_promise(std::uint32_t stream_id, std::uint32_t promised_id,
+                        Bytes fragment);
+Frame make_ping(std::array<std::uint8_t, kPingPayloadSize> opaque,
+                bool ack = false);
+Frame make_goaway(std::uint32_t last_stream_id, ErrorCode error,
+                  std::string debug = {});
+Frame make_window_update(std::uint32_t stream_id, std::uint32_t increment);
+Frame make_continuation(std::uint32_t stream_id, Bytes fragment,
+                        bool end_headers);
+
+}  // namespace h2r::h2

@@ -1,0 +1,338 @@
+#include "h2/frame_codec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h2r::h2 {
+namespace {
+
+constexpr std::uint32_t kStreamIdMask = 0x7FFF'FFFFu;
+
+void write_frame_header(ByteWriter& out, std::size_t length, FrameType type,
+                        std::uint8_t flagbits, std::uint32_t stream_id) {
+  if (length > kMaxAllowedFrameSize) {
+    throw std::invalid_argument("frame payload exceeds 2^24-1");
+  }
+  out.write_u24(static_cast<std::uint32_t>(length));
+  out.write_u8(static_cast<std::uint8_t>(type));
+  out.write_u8(flagbits);
+  out.write_u32(stream_id & kStreamIdMask);
+}
+
+void write_priority_info(ByteWriter& out, const PriorityInfo& p) {
+  out.write_u32((p.dependency & kStreamIdMask) |
+                (p.exclusive ? 0x8000'0000u : 0u));
+  out.write_u8(p.weight_field);
+}
+
+struct SerializeVisitor {
+  const Frame& frame;
+  ByteWriter& out;
+
+  void operator()(const DataPayload& p) const {
+    const bool padded = p.pad_length > 0;
+    const std::size_t length =
+        p.data.size() + (padded ? 1 + p.pad_length : 0);
+    write_frame_header(out, length, FrameType::kData,
+                       static_cast<std::uint8_t>(frame.flags |
+                                                 (padded ? flags::kPadded : 0)),
+                       frame.stream_id);
+    if (padded) out.write_u8(p.pad_length);
+    out.write_bytes(p.data);
+    for (int i = 0; i < p.pad_length; ++i) out.write_u8(0);
+  }
+
+  void operator()(const HeadersPayload& p) const {
+    const bool padded = p.pad_length > 0;
+    std::uint8_t flagbits = frame.flags;
+    std::size_t length = p.fragment.size();
+    if (padded) {
+      flagbits |= flags::kPadded;
+      length += 1 + p.pad_length;
+    }
+    if (p.priority) {
+      flagbits |= flags::kPriority;
+      length += 5;
+    }
+    write_frame_header(out, length, FrameType::kHeaders, flagbits,
+                       frame.stream_id);
+    if (padded) out.write_u8(p.pad_length);
+    if (p.priority) write_priority_info(out, *p.priority);
+    out.write_bytes(p.fragment);
+    for (int i = 0; i < p.pad_length; ++i) out.write_u8(0);
+  }
+
+  void operator()(const PriorityPayload& p) const {
+    write_frame_header(out, 5, FrameType::kPriority, frame.flags,
+                       frame.stream_id);
+    write_priority_info(out, p.info);
+  }
+
+  void operator()(const RstStreamPayload& p) const {
+    write_frame_header(out, 4, FrameType::kRstStream, frame.flags,
+                       frame.stream_id);
+    out.write_u32(static_cast<std::uint32_t>(p.error));
+  }
+
+  void operator()(const SettingsPayload& p) const {
+    write_frame_header(out, p.entries.size() * 6, FrameType::kSettings,
+                       frame.flags, frame.stream_id);
+    for (const auto& [id, value] : p.entries) {
+      out.write_u16(id);
+      out.write_u32(value);
+    }
+  }
+
+  void operator()(const PushPromisePayload& p) const {
+    const bool padded = p.pad_length > 0;
+    std::uint8_t flagbits = frame.flags;
+    std::size_t length = 4 + p.fragment.size();
+    if (padded) {
+      flagbits |= flags::kPadded;
+      length += 1 + p.pad_length;
+    }
+    write_frame_header(out, length, FrameType::kPushPromise, flagbits,
+                       frame.stream_id);
+    if (padded) out.write_u8(p.pad_length);
+    out.write_u32(p.promised_stream_id & kStreamIdMask);
+    out.write_bytes(p.fragment);
+    for (int i = 0; i < p.pad_length; ++i) out.write_u8(0);
+  }
+
+  void operator()(const PingPayload& p) const {
+    write_frame_header(out, kPingPayloadSize, FrameType::kPing, frame.flags,
+                       frame.stream_id);
+    out.write_bytes(p.opaque);
+  }
+
+  void operator()(const GoawayPayload& p) const {
+    write_frame_header(out, 8 + p.debug_data.size(), FrameType::kGoaway,
+                       frame.flags, frame.stream_id);
+    out.write_u32(p.last_stream_id & kStreamIdMask);
+    out.write_u32(static_cast<std::uint32_t>(p.error));
+    out.write_bytes(p.debug_data);
+  }
+
+  void operator()(const WindowUpdatePayload& p) const {
+    write_frame_header(out, 4, FrameType::kWindowUpdate, frame.flags,
+                       frame.stream_id);
+    out.write_u32(p.increment & kStreamIdMask);
+  }
+
+  void operator()(const ContinuationPayload& p) const {
+    write_frame_header(out, p.fragment.size(), FrameType::kContinuation,
+                       frame.flags, frame.stream_id);
+    out.write_bytes(p.fragment);
+  }
+
+  void operator()(const UnknownPayload& p) const {
+    write_frame_header(out, p.data.size(), static_cast<FrameType>(p.type),
+                       frame.flags, frame.stream_id);
+    out.write_bytes(p.data);
+  }
+};
+
+/// Strips the optional Pad Length prefix and trailing padding. Returns the
+/// unpadded body view or a PROTOCOL_ERROR when padding >= remaining length.
+Result<std::span<const std::uint8_t>> strip_padding(
+    std::span<const std::uint8_t> payload, bool padded) {
+  if (!padded) return payload;
+  if (payload.empty()) {
+    return ProtocolViolationError("PADDED frame with empty payload");
+  }
+  const std::uint8_t pad = payload[0];
+  if (pad + 1u > payload.size()) {
+    return ProtocolViolationError("padding exceeds frame payload");
+  }
+  return payload.subspan(1, payload.size() - 1 - pad);
+}
+
+PriorityInfo read_priority_info(ByteReader& r) {
+  // Caller has verified at least 5 octets remain.
+  const std::uint32_t word = r.read_u32().value();
+  PriorityInfo p;
+  p.exclusive = (word & 0x8000'0000u) != 0;
+  p.dependency = word & kStreamIdMask;
+  p.weight_field = r.read_u8().value();
+  return p;
+}
+
+}  // namespace
+
+Bytes serialize_frame(const Frame& frame) {
+  ByteWriter out;
+  std::visit(SerializeVisitor{frame, out}, frame.payload);
+  return out.take();
+}
+
+Bytes serialize_frames(std::span<const Frame> frames) {
+  ByteWriter out;
+  for (const auto& f : frames) {
+    std::visit(SerializeVisitor{f, out}, f.payload);
+  }
+  return out.take();
+}
+
+FrameParser::FrameParser(std::uint32_t max_frame_size)
+    : max_frame_size_(max_frame_size) {}
+
+void FrameParser::feed(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Result<Frame>> FrameParser::next() {
+  if (poisoned_) return Result<Frame>{*poisoned_};
+  // Compact lazily so feed() stays amortized O(1).
+  if (consumed_ > 0 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const std::span<const std::uint8_t> avail{buf_.data() + consumed_,
+                                            buf_.size() - consumed_};
+  if (avail.size() < kFrameHeaderSize) return std::nullopt;
+
+  ByteReader header(avail.first(kFrameHeaderSize));
+  const std::uint32_t length = header.read_u24().value();
+  const std::uint8_t type = header.read_u8().value();
+  const std::uint8_t flagbits = header.read_u8().value();
+  const std::uint32_t stream_id = header.read_u32().value() & kStreamIdMask;
+
+  if (length > max_frame_size_) {
+    poisoned_ = FrameSizeViolationError("frame exceeds SETTINGS_MAX_FRAME_SIZE");
+    return Result<Frame>{*poisoned_};
+  }
+  if (avail.size() < kFrameHeaderSize + length) return std::nullopt;
+
+  const auto payload = avail.subspan(kFrameHeaderSize, length);
+  consumed_ += kFrameHeaderSize + length;
+
+  auto parsed = parse_payload(type, flagbits, stream_id, payload);
+  if (!parsed.ok()) {
+    poisoned_ = parsed.status();
+  }
+  return parsed;
+}
+
+Result<Frame> FrameParser::parse_payload(std::uint8_t type, std::uint8_t flagbits,
+                                         std::uint32_t stream_id,
+                                         std::span<const std::uint8_t> payload) {
+  Frame f;
+  f.flags = flagbits;
+  f.stream_id = stream_id;
+
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kData: {
+      H2R_ASSIGN_OR_RETURN(auto body,
+                           strip_padding(payload, flagbits & flags::kPadded));
+      f.payload = DataPayload{.data = Bytes(body.begin(), body.end())};
+      return f;
+    }
+    case FrameType::kHeaders: {
+      H2R_ASSIGN_OR_RETURN(auto body,
+                           strip_padding(payload, flagbits & flags::kPadded));
+      HeadersPayload hp;
+      ByteReader r(body);
+      if (flagbits & flags::kPriority) {
+        if (r.remaining() < 5) {
+          return FrameSizeViolationError("HEADERS with PRIORITY too short");
+        }
+        hp.priority = read_priority_info(r);
+      }
+      H2R_ASSIGN_OR_RETURN(auto frag, r.read_bytes(r.remaining()));
+      hp.fragment.assign(frag.begin(), frag.end());
+      f.payload = std::move(hp);
+      return f;
+    }
+    case FrameType::kPriority: {
+      if (payload.size() != 5) {
+        return FrameSizeViolationError("PRIORITY length != 5");
+      }
+      ByteReader r(payload);
+      f.payload = PriorityPayload{.info = read_priority_info(r)};
+      return f;
+    }
+    case FrameType::kRstStream: {
+      if (payload.size() != 4) {
+        return FrameSizeViolationError("RST_STREAM length != 4");
+      }
+      ByteReader r(payload);
+      f.payload = RstStreamPayload{
+          .error = static_cast<ErrorCode>(r.read_u32().value())};
+      return f;
+    }
+    case FrameType::kSettings: {
+      if (payload.size() % 6 != 0) {
+        return FrameSizeViolationError("SETTINGS length not multiple of 6");
+      }
+      if ((flagbits & flags::kAck) && !payload.empty()) {
+        return FrameSizeViolationError("SETTINGS ACK with payload");
+      }
+      SettingsPayload sp;
+      ByteReader r(payload);
+      while (!r.empty()) {
+        const std::uint16_t id = r.read_u16().value();
+        const std::uint32_t value = r.read_u32().value();
+        sp.entries.emplace_back(id, value);
+      }
+      f.payload = std::move(sp);
+      return f;
+    }
+    case FrameType::kPushPromise: {
+      H2R_ASSIGN_OR_RETURN(auto body,
+                           strip_padding(payload, flagbits & flags::kPadded));
+      if (body.size() < 4) {
+        return FrameSizeViolationError("PUSH_PROMISE too short");
+      }
+      ByteReader r(body);
+      PushPromisePayload pp;
+      pp.promised_stream_id = r.read_u32().value() & kStreamIdMask;
+      H2R_ASSIGN_OR_RETURN(auto frag, r.read_bytes(r.remaining()));
+      pp.fragment.assign(frag.begin(), frag.end());
+      f.payload = std::move(pp);
+      return f;
+    }
+    case FrameType::kPing: {
+      if (payload.size() != kPingPayloadSize) {
+        return FrameSizeViolationError("PING length != 8");
+      }
+      PingPayload pp;
+      std::copy(payload.begin(), payload.end(), pp.opaque.begin());
+      f.payload = pp;
+      return f;
+    }
+    case FrameType::kGoaway: {
+      if (payload.size() < 8) {
+        return FrameSizeViolationError("GOAWAY too short");
+      }
+      ByteReader r(payload);
+      GoawayPayload gp;
+      gp.last_stream_id = r.read_u32().value() & kStreamIdMask;
+      gp.error = static_cast<ErrorCode>(r.read_u32().value());
+      H2R_ASSIGN_OR_RETURN(auto debug, r.read_bytes(r.remaining()));
+      gp.debug_data.assign(debug.begin(), debug.end());
+      f.payload = std::move(gp);
+      return f;
+    }
+    case FrameType::kWindowUpdate: {
+      if (payload.size() != 4) {
+        return FrameSizeViolationError("WINDOW_UPDATE length != 4");
+      }
+      ByteReader r(payload);
+      f.payload =
+          WindowUpdatePayload{.increment = r.read_u32().value() & kStreamIdMask};
+      return f;
+    }
+    case FrameType::kContinuation: {
+      f.payload =
+          ContinuationPayload{.fragment = Bytes(payload.begin(), payload.end())};
+      return f;
+    }
+  }
+  // §4.1: unknown types must be ignored; we surface them tagged so a caller
+  // can choose to skip.
+  f.payload =
+      UnknownPayload{.type = type, .data = Bytes(payload.begin(), payload.end())};
+  return f;
+}
+
+}  // namespace h2r::h2

@@ -1,0 +1,58 @@
+// Frame <-> bytes conversion (RFC 7540 §4.1-4.2, §6).
+//
+// `serialize_frame` is pure. `FrameParser` is incremental: feed it arbitrary
+// byte chunks (as a transport delivers them) and poll complete frames out.
+// Violations that RFC 7540 defines as connection errors (oversized frames,
+// malformed fixed-size payloads, bad padding) surface as error Results.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "h2/frame.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace h2r::h2 {
+
+/// Serializes one frame, including its 9-octet header.
+/// Throws std::invalid_argument for unserializable model states (payload
+/// larger than 2^24-1, pad >= payload+1, increments with the reserved bit).
+Bytes serialize_frame(const Frame& frame);
+
+/// Serializes a sequence of frames back-to-back.
+Bytes serialize_frames(std::span<const Frame> frames);
+
+/// Incremental parser for one direction of a connection.
+class FrameParser {
+ public:
+  /// @param max_frame_size our advertised SETTINGS_MAX_FRAME_SIZE: inbound
+  ///        frames longer than this are FRAME_SIZE_ERRORs.
+  explicit FrameParser(std::uint32_t max_frame_size = kDefaultMaxFrameSize);
+
+  /// Appends transport bytes to the internal reassembly buffer.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete frame.
+  /// - nullopt: need more bytes.
+  /// - Result with error: stream is poisoned (connection error); subsequent
+  ///   calls keep returning the same error.
+  [[nodiscard]] std::optional<Result<Frame>> next();
+
+  /// Raises the acceptable frame size (after the peer ACKs our SETTINGS).
+  void set_max_frame_size(std::uint32_t size) { max_frame_size_ = size; }
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buf_.size(); }
+
+ private:
+  [[nodiscard]] Result<Frame> parse_payload(std::uint8_t type, std::uint8_t flagbits,
+                                            std::uint32_t stream_id,
+                                            std::span<const std::uint8_t> payload);
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  // bytes of buf_ already parsed
+  std::uint32_t max_frame_size_;
+  std::optional<Status> poisoned_;
+};
+
+}  // namespace h2r::h2

@@ -1,0 +1,76 @@
+#include "h2/settings.h"
+
+namespace h2r::h2 {
+
+Status SettingsMap::apply(std::uint16_t id, std::uint32_t value) {
+  switch (static_cast<SettingId>(id)) {
+    case SettingId::kEnablePush:
+      if (value > 1) {
+        return ProtocolViolationError("SETTINGS_ENABLE_PUSH must be 0 or 1");
+      }
+      break;
+    case SettingId::kInitialWindowSize:
+      if (value > static_cast<std::uint32_t>(kMaxWindowSize)) {
+        return FlowControlViolationError(
+            "SETTINGS_INITIAL_WINDOW_SIZE exceeds 2^31-1");
+      }
+      break;
+    case SettingId::kMaxFrameSize:
+      if (value < kDefaultMaxFrameSize || value > kMaxAllowedFrameSize) {
+        return ProtocolViolationError(
+            "SETTINGS_MAX_FRAME_SIZE outside [2^14, 2^24-1]");
+      }
+      break;
+    default:
+      break;  // unknown or unconstrained ids: record as-is
+  }
+  values_[id] = value;
+  return OkStatus();
+}
+
+Status SettingsMap::apply_frame(const SettingsPayload& payload) {
+  for (const auto& [id, value] : payload.entries) {
+    H2R_RETURN_IF_ERROR(apply(id, value));
+  }
+  return OkStatus();
+}
+
+std::uint32_t SettingsMap::header_table_size() const {
+  return raw(SettingId::kHeaderTableSize).value_or(kDefaultHeaderTableSize);
+}
+
+bool SettingsMap::enable_push() const {
+  return raw(SettingId::kEnablePush).value_or(kDefaultEnablePush) == 1;
+}
+
+std::optional<std::uint32_t> SettingsMap::max_concurrent_streams() const {
+  return raw(SettingId::kMaxConcurrentStreams);
+}
+
+std::uint32_t SettingsMap::initial_window_size() const {
+  return raw(SettingId::kInitialWindowSize).value_or(kDefaultInitialWindowSize);
+}
+
+std::uint32_t SettingsMap::max_frame_size() const {
+  return raw(SettingId::kMaxFrameSize).value_or(kDefaultMaxFrameSize);
+}
+
+std::optional<std::uint32_t> SettingsMap::max_header_list_size() const {
+  return raw(SettingId::kMaxHeaderListSize);
+}
+
+std::optional<std::uint32_t> SettingsMap::raw(SettingId id) const {
+  auto it = values_.find(static_cast<std::uint16_t>(id));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<SettingId, std::uint32_t>> SettingsMap::to_entries() const {
+  std::vector<std::pair<SettingId, std::uint32_t>> out;
+  for (const auto& [id, value] : values_) {
+    out.emplace_back(static_cast<SettingId>(id), value);
+  }
+  return out;
+}
+
+}  // namespace h2r::h2

@@ -1,0 +1,143 @@
+#include "h2/stream.h"
+
+namespace h2r::h2 {
+
+std::string_view to_string(StreamState state) noexcept {
+  switch (state) {
+    case StreamState::kIdle:
+      return "idle";
+    case StreamState::kReservedLocal:
+      return "reserved(local)";
+    case StreamState::kReservedRemote:
+      return "reserved(remote)";
+    case StreamState::kOpen:
+      return "open";
+    case StreamState::kHalfClosedLocal:
+      return "half-closed(local)";
+    case StreamState::kHalfClosedRemote:
+      return "half-closed(remote)";
+    case StreamState::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+Status StreamStateMachine::close_from_send_end() {
+  switch (state_) {
+    case StreamState::kOpen:
+      state_ = StreamState::kHalfClosedLocal;
+      return OkStatus();
+    case StreamState::kHalfClosedRemote:
+      state_ = StreamState::kClosed;
+      return OkStatus();
+    default:
+      return InternalError("END_STREAM sent in state " +
+                           std::string(to_string(state_)));
+  }
+}
+
+Status StreamStateMachine::close_from_recv_end() {
+  switch (state_) {
+    case StreamState::kOpen:
+      state_ = StreamState::kHalfClosedRemote;
+      return OkStatus();
+    case StreamState::kHalfClosedLocal:
+      state_ = StreamState::kClosed;
+      return OkStatus();
+    default:
+      return ProtocolViolationError("END_STREAM received in state " +
+                                    std::string(to_string(state_)));
+  }
+}
+
+Status StreamStateMachine::on_send_headers(bool end_stream) {
+  switch (state_) {
+    case StreamState::kIdle:
+      state_ = StreamState::kOpen;
+      break;
+    case StreamState::kReservedLocal:
+      // Pushed response headers: reserved(local) -> half-closed(remote).
+      state_ = StreamState::kHalfClosedRemote;
+      break;
+    case StreamState::kOpen:
+    case StreamState::kHalfClosedRemote:
+      break;  // trailers
+    default:
+      return InternalError("HEADERS sent in state " +
+                           std::string(to_string(state_)));
+  }
+  if (end_stream) return close_from_send_end();
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_recv_headers(bool end_stream) {
+  switch (state_) {
+    case StreamState::kIdle:
+      state_ = StreamState::kOpen;
+      break;
+    case StreamState::kReservedRemote:
+      state_ = StreamState::kHalfClosedLocal;
+      break;
+    case StreamState::kOpen:
+    case StreamState::kHalfClosedLocal:
+      break;  // trailers
+    case StreamState::kClosed:
+      return Status{StatusCode::kProtocolError, "HEADERS on closed stream"};
+    default:
+      return ProtocolViolationError("HEADERS received in state " +
+                                    std::string(to_string(state_)));
+  }
+  if (end_stream) return close_from_recv_end();
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_send_data(bool end_stream) {
+  if (!can_send_data()) {
+    return InternalError("DATA sent in state " + std::string(to_string(state_)));
+  }
+  if (end_stream) return close_from_send_end();
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_recv_data(bool end_stream) {
+  if (!can_receive_data()) {
+    return Status{StatusCode::kProtocolError,
+                  "DATA received in state " + std::string(to_string(state_))};
+  }
+  if (end_stream) return close_from_recv_end();
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_send_rst() {
+  if (state_ == StreamState::kIdle) {
+    return InternalError("RST_STREAM sent on idle stream");
+  }
+  state_ = StreamState::kClosed;
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_recv_rst() {
+  if (state_ == StreamState::kIdle) {
+    return ProtocolViolationError("RST_STREAM received on idle stream");
+  }
+  state_ = StreamState::kClosed;
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_send_push_promise() {
+  if (state_ != StreamState::kIdle) {
+    return InternalError("PUSH_PROMISE reserves non-idle stream");
+  }
+  state_ = StreamState::kReservedLocal;
+  return OkStatus();
+}
+
+Status StreamStateMachine::on_recv_push_promise() {
+  if (state_ != StreamState::kIdle) {
+    return ProtocolViolationError("PUSH_PROMISE reserves non-idle stream");
+  }
+  state_ = StreamState::kReservedRemote;
+  return OkStatus();
+}
+
+}  // namespace h2r::h2

@@ -1,0 +1,70 @@
+// Stream lifecycle state machine (RFC 7540 §5.1).
+//
+// Tracks one stream from the perspective of one endpoint. Transition
+// methods return PROTOCOL_ERROR / STREAM_CLOSED statuses when a frame is
+// illegal in the current state, mirroring the RFC's error assignments.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace h2r::h2 {
+
+enum class StreamState : std::uint8_t {
+  kIdle,
+  kReservedLocal,   // we sent PUSH_PROMISE
+  kReservedRemote,  // peer sent PUSH_PROMISE
+  kOpen,
+  kHalfClosedLocal,   // we sent END_STREAM
+  kHalfClosedRemote,  // peer sent END_STREAM
+  kClosed,
+};
+
+std::string_view to_string(StreamState state) noexcept;
+
+class StreamStateMachine {
+ public:
+  explicit StreamStateMachine(std::uint32_t stream_id,
+                              StreamState initial = StreamState::kIdle) noexcept
+      : id_(stream_id), state_(initial) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] StreamState state() const noexcept { return state_; }
+  [[nodiscard]] bool closed() const noexcept {
+    return state_ == StreamState::kClosed;
+  }
+
+  /// True when this endpoint may still send DATA on the stream.
+  [[nodiscard]] bool can_send_data() const noexcept {
+    return state_ == StreamState::kOpen ||
+           state_ == StreamState::kHalfClosedRemote;
+  }
+
+  /// True when DATA from the peer is acceptable.
+  [[nodiscard]] bool can_receive_data() const noexcept {
+    return state_ == StreamState::kOpen ||
+           state_ == StreamState::kHalfClosedLocal;
+  }
+
+  // -- transitions; @p end_stream marks the END_STREAM flag ---------------
+  Status on_send_headers(bool end_stream);
+  Status on_recv_headers(bool end_stream);
+  Status on_send_data(bool end_stream);
+  Status on_recv_data(bool end_stream);
+  Status on_send_rst();
+  Status on_recv_rst();
+  /// PUSH_PROMISE reserves the *promised* stream; call on that stream's SM.
+  Status on_send_push_promise();
+  Status on_recv_push_promise();
+
+ private:
+  Status close_from_send_end();
+  Status close_from_recv_end();
+
+  std::uint32_t id_;
+  StreamState state_;
+};
+
+}  // namespace h2r::h2

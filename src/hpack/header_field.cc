@@ -1,0 +1,18 @@
+#include "hpack/header_field.h"
+
+namespace h2r::hpack {
+
+std::size_t header_list_size(const HeaderList& headers) noexcept {
+  std::size_t total = 0;
+  for (const auto& h : headers) total += h.hpack_size();
+  return total;
+}
+
+std::string_view find_header(const HeaderList& headers, std::string_view name) {
+  for (const auto& h : headers) {
+    if (h.name == name) return h.value;
+  }
+  return {};
+}
+
+}  // namespace h2r::hpack

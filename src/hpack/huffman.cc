@@ -1,0 +1,114 @@
+#include "hpack/huffman.h"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "hpack/huffman_table.h"
+
+namespace h2r::hpack {
+namespace {
+
+using detail::kHuffmanTable;
+
+/// Flat binary trie over the canonical codes. Node 0 is the root; children
+/// index into the same vector; `symbol >= 0` marks a leaf.
+struct DecodeTrie {
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::int32_t symbol = -1;
+  };
+  std::vector<Node> nodes;
+
+  DecodeTrie() {
+    nodes.emplace_back();
+    for (std::size_t sym = 0; sym < kHuffmanTable.size(); ++sym) {
+      const auto [bits, length] = kHuffmanTable[sym];
+      std::int32_t cur = 0;
+      for (int b = length - 1; b >= 0; --b) {
+        const int bit = static_cast<int>((bits >> b) & 1u);
+        if (nodes[static_cast<std::size_t>(cur)].child[bit] < 0) {
+          nodes[static_cast<std::size_t>(cur)].child[bit] =
+              static_cast<std::int32_t>(nodes.size());
+          nodes.emplace_back();
+        }
+        cur = nodes[static_cast<std::size_t>(cur)].child[bit];
+      }
+      nodes[static_cast<std::size_t>(cur)].symbol = static_cast<std::int32_t>(sym);
+    }
+  }
+};
+
+const DecodeTrie& trie() {
+  static const DecodeTrie t;
+  return t;
+}
+
+constexpr std::int32_t kEosSymbol = 256;
+
+}  // namespace
+
+std::size_t huffman_encoded_size(std::string_view s) noexcept {
+  std::uint64_t bits = 0;
+  for (unsigned char c : s) bits += kHuffmanTable[c].length;
+  return static_cast<std::size_t>((bits + 7) / 8);
+}
+
+void huffman_encode(ByteWriter& out, std::string_view s) {
+  std::uint64_t acc = 0;  // bit accumulator, most-significant side first
+  int acc_bits = 0;
+  for (unsigned char c : s) {
+    const auto [code, length] = kHuffmanTable[c];
+    acc = (acc << length) | code;
+    acc_bits += length;
+    while (acc_bits >= 8) {
+      acc_bits -= 8;
+      out.write_u8(static_cast<std::uint8_t>(acc >> acc_bits));
+    }
+  }
+  if (acc_bits > 0) {
+    // Pad with the most-significant bits of EOS (all ones).
+    const int pad = 8 - acc_bits;
+    acc = (acc << pad) | ((1u << pad) - 1u);
+    out.write_u8(static_cast<std::uint8_t>(acc));
+  }
+}
+
+Result<std::string> huffman_decode(std::span<const std::uint8_t> data) {
+  const auto& t = trie();
+  std::string out;
+  out.reserve(data.size() * 2);
+  std::int32_t cur = 0;
+  int bits_in_flight = 0;    // bits consumed since last emitted symbol
+  bool all_ones = true;      // whether those bits are all ones (EOS prefix)
+  for (std::uint8_t octet : data) {
+    for (int b = 7; b >= 0; --b) {
+      const int bit = (octet >> b) & 1;
+      cur = t.nodes[static_cast<std::size_t>(cur)].child[bit];
+      if (cur < 0) {
+        return CompressionFailureError("Huffman: invalid code path");
+      }
+      ++bits_in_flight;
+      all_ones = all_ones && bit == 1;
+      const std::int32_t sym = t.nodes[static_cast<std::size_t>(cur)].symbol;
+      if (sym >= 0) {
+        if (sym == kEosSymbol) {
+          return CompressionFailureError("Huffman: EOS decoded in body");
+        }
+        out.push_back(static_cast<char>(sym));
+        cur = 0;
+        bits_in_flight = 0;
+        all_ones = true;
+      }
+    }
+  }
+  if (bits_in_flight > 7) {
+    return CompressionFailureError("Huffman: padding longer than 7 bits");
+  }
+  if (bits_in_flight > 0 && !all_ones) {
+    return CompressionFailureError("Huffman: padding is not an EOS prefix");
+  }
+  return out;
+}
+
+}  // namespace h2r::hpack

@@ -1,0 +1,30 @@
+// HPACK Huffman string coding (RFC 7541 §5.2 + Appendix B).
+//
+// Encoding walks the canonical code table; decoding walks a binary trie built
+// once from the same table. Per §5.2, unconsumed trailing bits must form a
+// strict prefix of the EOS code (i.e. up to 7 one-bits); anything else — an
+// actually-decoded EOS, >7 padding bits, or zero bits in the padding — is a
+// compression error, and the probes rely on that strictness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace h2r::hpack {
+
+/// Exact octet count @p s occupies after Huffman coding (no encode needed).
+std::size_t huffman_encoded_size(std::string_view s) noexcept;
+
+/// Appends the Huffman coding of @p s to @p out.
+void huffman_encode(ByteWriter& out, std::string_view s);
+
+/// Decodes @p data fully. Fails on EOS in the body, invalid padding, or
+/// truncated codes.
+Result<std::string> huffman_decode(std::span<const std::uint8_t> data);
+
+}  // namespace h2r::hpack

@@ -1,0 +1,54 @@
+#include "hpack/integer.h"
+
+#include <stdexcept>
+
+namespace h2r::hpack {
+
+void encode_integer(ByteWriter& out, std::uint32_t value, int prefix_bits,
+                    std::uint8_t first_octet_high) {
+  if (prefix_bits < 1 || prefix_bits > 8) {
+    throw std::invalid_argument("encode_integer: prefix_bits outside 1..8");
+  }
+  const auto max_prefix = static_cast<std::uint32_t>((1u << prefix_bits) - 1);
+  if ((first_octet_high & max_prefix) != 0) {
+    throw std::invalid_argument("encode_integer: high bits intersect prefix");
+  }
+  if (value < max_prefix) {
+    out.write_u8(static_cast<std::uint8_t>(first_octet_high | value));
+    return;
+  }
+  out.write_u8(static_cast<std::uint8_t>(first_octet_high | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.write_u8(static_cast<std::uint8_t>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.write_u8(static_cast<std::uint8_t>(value));
+}
+
+Result<std::uint32_t> decode_integer(ByteReader& in, std::uint8_t first_octet,
+                                     int prefix_bits) {
+  if (prefix_bits < 1 || prefix_bits > 8) {
+    return InvalidArgumentError("decode_integer: prefix_bits outside 1..8");
+  }
+  const auto max_prefix = static_cast<std::uint32_t>((1u << prefix_bits) - 1);
+  std::uint64_t value = first_octet & max_prefix;
+  if (value < max_prefix) return static_cast<std::uint32_t>(value);
+
+  int shift = 0;
+  for (;;) {
+    H2R_ASSIGN_OR_RETURN(std::uint8_t octet, in.read_u8());
+    value += static_cast<std::uint64_t>(octet & 0x7F) << shift;
+    if (value > 0xFFFFFFFFull) {
+      return CompressionFailureError("HPACK integer exceeds 2^32-1");
+    }
+    if ((octet & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 28) {
+      return CompressionFailureError("HPACK integer continuation too long");
+    }
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace h2r::hpack

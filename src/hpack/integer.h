@@ -1,0 +1,29 @@
+// HPACK primitive integer representation (RFC 7541 §5.1).
+//
+// An integer is packed into the low `prefix_bits` of the first octet; values
+// that do not fit continue in a little-endian base-128 tail. The decoder
+// guards against the unbounded-continuation attack by capping decoded values
+// at 2^32-1 (larger values are meaningless anywhere in HPACK/HTTP2).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace h2r::hpack {
+
+/// Appends the §5.1 representation of @p value.
+/// @param first_octet_high bits already chosen for the octet's high side
+///        (e.g. 0x80 for an indexed header field); must not intersect the
+///        prefix mask.
+/// @param prefix_bits number of low bits available in the first octet (1..8).
+void encode_integer(ByteWriter& out, std::uint32_t value, int prefix_bits,
+                    std::uint8_t first_octet_high);
+
+/// Decodes a §5.1 integer whose first octet has already been consumed as
+/// @p first_octet. Continuation octets are pulled from @p in.
+Result<std::uint32_t> decode_integer(ByteReader& in, std::uint8_t first_octet,
+                                     int prefix_bits);
+
+}  // namespace h2r::hpack

@@ -1,0 +1,145 @@
+#include "hpack/table.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace h2r::hpack {
+namespace {
+
+/// RFC 7541 Appendix A, verbatim.
+const std::array<HeaderField, kStaticTableSize>& static_table() {
+  static const std::array<HeaderField, kStaticTableSize> kTable = {{
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":path", "/index.html"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "204"},
+      {":status", "206"},
+      {":status", "304"},
+      {":status", "400"},
+      {":status", "404"},
+      {":status", "500"},
+      {"accept-charset", ""},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", ""},
+      {"accept-ranges", ""},
+      {"accept", ""},
+      {"access-control-allow-origin", ""},
+      {"age", ""},
+      {"allow", ""},
+      {"authorization", ""},
+      {"cache-control", ""},
+      {"content-disposition", ""},
+      {"content-encoding", ""},
+      {"content-language", ""},
+      {"content-length", ""},
+      {"content-location", ""},
+      {"content-range", ""},
+      {"content-type", ""},
+      {"cookie", ""},
+      {"date", ""},
+      {"etag", ""},
+      {"expect", ""},
+      {"expires", ""},
+      {"from", ""},
+      {"host", ""},
+      {"if-match", ""},
+      {"if-modified-since", ""},
+      {"if-none-match", ""},
+      {"if-range", ""},
+      {"if-unmodified-since", ""},
+      {"last-modified", ""},
+      {"link", ""},
+      {"location", ""},
+      {"max-forwards", ""},
+      {"proxy-authenticate", ""},
+      {"proxy-authorization", ""},
+      {"range", ""},
+      {"referer", ""},
+      {"refresh", ""},
+      {"retry-after", ""},
+      {"server", ""},
+      {"set-cookie", ""},
+      {"strict-transport-security", ""},
+      {"transfer-encoding", ""},
+      {"user-agent", ""},
+      {"vary", ""},
+      {"via", ""},
+      {"www-authenticate", ""},
+  }};
+  return kTable;
+}
+
+}  // namespace
+
+const HeaderField& static_table_entry(std::uint32_t index_1based) {
+  if (index_1based < 1 || index_1based > kStaticTableSize) {
+    throw std::out_of_range("static_table_entry index");
+  }
+  return static_table()[index_1based - 1];
+}
+
+Result<HeaderField> IndexTable::at(std::uint32_t index) const {
+  if (index == 0) {
+    return CompressionFailureError("HPACK index 0 is invalid");
+  }
+  if (index <= kStaticTableSize) {
+    return static_table()[index - 1];
+  }
+  const std::uint32_t dyn = index - kStaticTableSize - 1;
+  if (dyn >= dynamic_.size()) {
+    return CompressionFailureError("HPACK index beyond dynamic table");
+  }
+  return dynamic_[dyn];
+}
+
+void IndexTable::insert(const HeaderField& field) {
+  const std::size_t entry_size = field.hpack_size();
+  if (entry_size > capacity_) {
+    // §4.4: too-large entry flushes the table and is itself not inserted.
+    dynamic_.clear();
+    size_octets_ = 0;
+    return;
+  }
+  dynamic_.push_front(field);
+  size_octets_ += entry_size;
+  evict_until_fits();
+}
+
+void IndexTable::set_capacity(std::uint32_t capacity) {
+  capacity_ = capacity;
+  evict_until_fits();
+}
+
+void IndexTable::evict_until_fits() {
+  while (size_octets_ > capacity_) {
+    size_octets_ -= dynamic_.back().hpack_size();
+    dynamic_.pop_back();
+  }
+}
+
+MatchResult IndexTable::find(const HeaderField& field) const {
+  MatchResult best;
+  const auto& st = static_table();
+  for (std::uint32_t i = 0; i < st.size(); ++i) {
+    if (st[i].name != field.name) continue;
+    if (st[i].value == field.value) {
+      return {.index = i + 1, .value_matched = true};
+    }
+    if (best.index == 0) best.index = i + 1;
+  }
+  for (std::uint32_t i = 0; i < dynamic_.size(); ++i) {
+    if (dynamic_[i].name != field.name) continue;
+    if (dynamic_[i].value == field.value) {
+      return {.index = kStaticTableSize + 1 + i, .value_matched = true};
+    }
+    if (best.index == 0) best.index = kStaticTableSize + 1 + i;
+  }
+  return best;
+}
+
+}  // namespace h2r::hpack

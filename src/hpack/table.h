@@ -1,0 +1,72 @@
+// HPACK indexing tables (RFC 7541 §2.3).
+//
+// The unified address space maps index 1..61 onto the fixed static table and
+// 62.. onto the dynamic table (most recently inserted first). Both encoder
+// and decoder embed an IndexTable; keeping insertion/eviction here is what
+// guarantees the two sides stay synchronized as long as they see the same
+// instruction stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "hpack/header_field.h"
+#include "util/status.h"
+
+namespace h2r::hpack {
+
+/// Number of entries in the RFC 7541 Appendix A static table.
+inline constexpr std::uint32_t kStaticTableSize = 61;
+
+/// Default SETTINGS_HEADER_TABLE_SIZE (RFC 7540 §6.5.2).
+inline constexpr std::uint32_t kDefaultDynamicTableCapacity = 4096;
+
+/// Entry of the static table; values may be empty.
+const HeaderField& static_table_entry(std::uint32_t index_1based);
+
+/// Result of a table lookup during encoding.
+struct MatchResult {
+  std::uint32_t index = 0;   ///< unified index, 0 = no match at all
+  bool value_matched = false;  ///< true: full (name,value) match
+};
+
+/// The dynamic table plus unified static+dynamic addressing.
+class IndexTable {
+ public:
+  explicit IndexTable(std::uint32_t capacity = kDefaultDynamicTableCapacity)
+      : capacity_(capacity) {}
+
+  /// Entry at unified @p index (1-based). Errors on 0 or out-of-range —
+  /// a COMPRESSION_ERROR at the connection level for a decoder.
+  [[nodiscard]] Result<HeaderField> at(std::uint32_t index) const;
+
+  /// Inserts at the head of the dynamic table, evicting from the tail until
+  /// the size constraint holds (§4.4). An entry larger than the capacity
+  /// empties the table and inserts nothing — that is legal.
+  void insert(const HeaderField& field);
+
+  /// §4.3: lowers/raises capacity, evicting as needed. Called on dynamic
+  /// table size update instructions and on SETTINGS_HEADER_TABLE_SIZE.
+  void set_capacity(std::uint32_t capacity);
+
+  /// Best match for @p field in the unified space. Prefers a full
+  /// (name, value) match; otherwise any name match.
+  [[nodiscard]] MatchResult find(const HeaderField& field) const;
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size_octets() const noexcept { return size_octets_; }
+  [[nodiscard]] std::size_t dynamic_entry_count() const noexcept {
+    return dynamic_.size();
+  }
+
+ private:
+  void evict_until_fits();
+
+  std::deque<HeaderField> dynamic_;  // front = most recent = index 62
+  std::uint32_t capacity_;
+  std::size_t size_octets_ = 0;
+};
+
+}  // namespace h2r::hpack

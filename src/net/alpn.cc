@@ -1,0 +1,55 @@
+#include "net/alpn.h"
+
+#include <algorithm>
+
+namespace h2r::net {
+namespace {
+
+bool contains(const std::vector<std::string>& haystack, const std::string& s) {
+  return std::find(haystack.begin(), haystack.end(), s) != haystack.end();
+}
+
+}  // namespace
+
+NegotiationResult negotiate_alpn(const std::vector<std::string>& client_offer,
+                                 const TlsEndpointConfig& server) {
+  NegotiationResult out;
+  if (!server.supports_alpn) return out;
+  out.used_alpn = true;
+  for (const auto& proto : server.protocols) {  // server preference wins
+    if (contains(client_offer, proto)) {
+      out.protocol = proto;
+      return out;
+    }
+  }
+  return out;
+}
+
+NegotiationResult negotiate_npn(const std::vector<std::string>& client_preference,
+                                const TlsEndpointConfig& server) {
+  NegotiationResult out;
+  if (!server.supports_npn) return out;
+  out.used_npn = true;
+  for (const auto& proto : client_preference) {  // client preference wins
+    if (contains(server.protocols, proto)) {
+      out.protocol = proto;
+      return out;
+    }
+  }
+  return out;
+}
+
+NegotiationResult negotiate(const std::vector<std::string>& client_protocols,
+                            const TlsEndpointConfig& server) {
+  NegotiationResult alpn = negotiate_alpn(client_protocols, server);
+  if (!alpn.protocol.empty()) return alpn;
+  NegotiationResult npn = negotiate_npn(client_protocols, server);
+  if (!npn.protocol.empty()) return npn;
+  // Report which mechanisms were attempted even on failure.
+  NegotiationResult none;
+  none.used_alpn = alpn.used_alpn;
+  none.used_npn = npn.used_npn;
+  return none;
+}
+
+}  // namespace h2r::net

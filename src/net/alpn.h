@@ -1,0 +1,56 @@
+// TLS application-protocol negotiation model (ALPN, RFC 7301; NPN, its
+// draft predecessor). No cryptography — the paper only uses TLS to select
+// the protocol, and H2Scope's first step is exactly this negotiation
+// (Section IV-A).
+//
+// The directional difference matters and is modeled faithfully:
+//   ALPN: client offers a list in ClientHello, the *server* selects.
+//   NPN:  server advertises a list, the *client* selects.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace h2r::net {
+
+/// Protocol identifiers as they appear on the wire.
+inline constexpr const char* kProtoH2 = "h2";
+inline constexpr const char* kProtoHttp11 = "http/1.1";
+inline constexpr const char* kProtoSpdy31 = "spdy/3.1";
+
+/// What a TLS endpoint is willing to negotiate.
+struct TlsEndpointConfig {
+  bool supports_alpn = true;
+  bool supports_npn = true;
+  /// Protocols in preference order (most preferred first).
+  std::vector<std::string> protocols = {kProtoH2, kProtoHttp11};
+};
+
+/// Outcome of one negotiation attempt.
+struct NegotiationResult {
+  std::string protocol;      ///< selected protocol, empty = none agreed
+  bool used_alpn = false;
+  bool used_npn = false;
+
+  [[nodiscard]] bool selected_h2() const { return protocol == kProtoH2; }
+};
+
+/// ALPN: @p client_offer is sent in ClientHello; the server picks its most
+/// preferred protocol present in the offer. Empty result protocol when the
+/// server has ALPN disabled or no overlap exists.
+NegotiationResult negotiate_alpn(const std::vector<std::string>& client_offer,
+                                 const TlsEndpointConfig& server);
+
+/// NPN: the server advertises its list; the client picks its own most
+/// preferred protocol from it.
+NegotiationResult negotiate_npn(const std::vector<std::string>& client_preference,
+                                const TlsEndpointConfig& server);
+
+/// H2Scope's strategy (Section IV-A): try ALPN, fall back to NPN.
+NegotiationResult negotiate(const std::vector<std::string>& client_protocols,
+                            const TlsEndpointConfig& server);
+
+}  // namespace h2r::net

@@ -1,0 +1,25 @@
+// Deterministic virtual time.
+//
+// All simulated latencies are expressed in virtual milliseconds; nothing in
+// the library reads a wall clock, which is what makes measurement runs
+// reproducible bit-for-bit from a seed.
+#pragma once
+
+namespace h2r::net {
+
+class VirtualClock {
+ public:
+  /// Current virtual time in milliseconds since simulation start.
+  [[nodiscard]] double now_ms() const noexcept { return now_ms_; }
+
+  /// Advances time; negative advances are a programmer error.
+  void advance_ms(double delta_ms) {
+    if (delta_ms < 0) delta_ms = 0;
+    now_ms_ += delta_ms;
+  }
+
+ private:
+  double now_ms_ = 0;
+};
+
+}  // namespace h2r::net

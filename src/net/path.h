@@ -1,0 +1,77 @@
+// Network path model: where the paper measures real Internet RTTs, we model
+// the delay components that distinguish its four measurement methods
+// (Section III-F / Figure 6):
+//
+//   ICMP ping        = propagation + jitter + icmp processing
+//   TCP handshake    = propagation + jitter + kernel SYN processing
+//   HTTP/2 PING      = propagation + jitter + h2 frame processing
+//   HTTP/1.1 request = propagation + jitter + *server think time* (request
+//                      parsing, handler execution, response generation)
+//
+// The paper's observation — PING ≈ TCP ≈ ICMP, HTTP/1.1 visibly larger —
+// falls out of think time dominating the small per-layer costs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/rng.h"
+
+namespace h2r::net {
+
+struct PathModel {
+  std::string label;              ///< e.g. the probed site's host name
+  double base_rtt_ms = 50;        ///< two-way propagation delay
+  double jitter_ms = 3;           ///< uniform [0, jitter) queueing noise
+  double icmp_processing_ms = 0.3;  ///< router/host ICMP echo handling
+  double tcp_syn_processing_ms = 0.2;  ///< kernel SYN/ACK turnaround
+  double h2_ping_processing_ms = 0.4;  ///< PING frame parse + ACK emit
+  double http11_think_ms = 25;    ///< request handling + response generation
+  double http11_think_jitter_ms = 15;  ///< handler-dependent variance
+  /// Packet loss rate on the path. HTTP/2's single TCP connection is
+  /// throughput-capped by loss (the §VI concern: "its performance may be
+  /// significantly affected in a lossy environment"); the cap follows the
+  /// Mathis model, throughput <= MSS/RTT * C/sqrt(loss).
+  double loss_rate = 0.0;
+
+  /// One RTT sample as ICMP ping would observe it.
+  [[nodiscard]] double sample_icmp(Rng& rng) const {
+    return base_rtt_ms + rng.next_double() * jitter_ms + icmp_processing_ms;
+  }
+
+  /// One RTT sample from TCP SYN -> SYN/ACK timing.
+  [[nodiscard]] double sample_tcp_handshake(Rng& rng) const {
+    return base_rtt_ms + rng.next_double() * jitter_ms + tcp_syn_processing_ms;
+  }
+
+  /// One RTT sample from HTTP/2 PING -> PING/ACK timing.
+  [[nodiscard]] double sample_h2_ping(Rng& rng) const {
+    return base_rtt_ms + rng.next_double() * jitter_ms + h2_ping_processing_ms;
+  }
+
+  /// One RTT estimate from HTTP/1.1 request -> response timing; includes
+  /// the server think time the other three methods avoid.
+  [[nodiscard]] double sample_http11(Rng& rng) const {
+    return base_rtt_ms + rng.next_double() * jitter_ms + http11_think_ms +
+           rng.next_double() * http11_think_jitter_ms;
+  }
+
+  /// One-way latency (half the base RTT plus half a jitter draw) — used by
+  /// the page-load simulator for per-leg timing.
+  [[nodiscard]] double sample_one_way(Rng& rng) const {
+    return (base_rtt_ms + rng.next_double() * jitter_ms) / 2.0;
+  }
+
+  /// Loss-capped throughput of one TCP connection (Mathis et al.):
+  /// min(link bandwidth, MSS/RTT * 1.22/sqrt(p)). Returns kbps.
+  [[nodiscard]] double tcp_throughput_kbps(double link_kbps) const {
+    if (loss_rate <= 0) return link_kbps;
+    constexpr double kMssBits = 1460.0 * 8.0;
+    const double cap_kbps =
+        kMssBits / base_rtt_ms * 1.22 / std::sqrt(loss_rate);
+    return std::min(link_kbps, cap_kbps);
+  }
+};
+
+}  // namespace h2r::net

@@ -1,0 +1,161 @@
+#include "net/upgrade.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "h2/frame.h"
+
+namespace h2r::net {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Case-insensitive header lookup over raw HTTP/1.1 text.
+std::optional<std::string> find_http1_header(const std::string& text,
+                                             const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  std::getline(in, line);  // request line
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (lower(line.substr(0, colon)) != lower(name)) continue;
+    std::string value = line.substr(colon + 1);
+    const auto start = value.find_first_not_of(' ');
+    return start == std::string::npos ? "" : value.substr(start);
+  }
+  return std::nullopt;
+}
+
+/// Serializes SETTINGS entries as the raw §6.5.1 payload (no frame header),
+/// which is what HTTP2-Settings carries.
+Bytes settings_payload(
+    const std::vector<std::pair<h2::SettingId, std::uint32_t>>& entries) {
+  ByteWriter w;
+  for (const auto& [id, value] : entries) {
+    w.write_u16(static_cast<std::uint16_t>(id));
+    w.write_u32(value);
+  }
+  return w.take();
+}
+
+}  // namespace
+
+std::string base64url_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t v = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = data[i] << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+  } else if (rest == 2) {
+    const std::uint32_t v = (data[i] << 16) | (data[i + 1] << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+  }
+  return out;  // §3.2.1: no padding
+}
+
+Result<Bytes> base64url_decode(std::string_view text) {
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '-') return 62;
+    if (c == '_') return 63;
+    return -1;
+  };
+  if (text.size() % 4 == 1) {
+    return InvalidArgumentError("base64url: impossible length");
+  }
+  Bytes out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int v = value_of(c);
+    if (v < 0) return InvalidArgumentError("base64url: bad character");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits));
+    }
+  }
+  return out;
+}
+
+std::string render_upgrade_request(const UpgradeRequest& request) {
+  std::ostringstream out;
+  out << request.method << " " << request.path << " HTTP/1.1\r\n";
+  out << "Host: " << request.host << "\r\n";
+  out << "Connection: Upgrade, HTTP2-Settings\r\n";
+  out << "Upgrade: h2c\r\n";
+  out << "HTTP2-Settings: " << base64url_encode(settings_payload(request.settings))
+      << "\r\n\r\n";
+  return out.str();
+}
+
+UpgradeResult process_upgrade_request(const std::string& http1_request,
+                                      bool server_supports_h2c) {
+  UpgradeResult result;
+
+  const auto upgrade = find_http1_header(http1_request, "Upgrade");
+  const auto connection = find_http1_header(http1_request, "Connection");
+  const auto smuggled = find_http1_header(http1_request, "HTTP2-Settings");
+
+  const bool well_formed =
+      upgrade && lower(*upgrade).find("h2c") != std::string::npos &&
+      connection && lower(*connection).find("upgrade") != std::string::npos &&
+      smuggled;
+  if (!well_formed || !server_supports_h2c) {
+    result.status_line = "HTTP/1.1 200 OK";
+    return result;
+  }
+
+  auto payload = base64url_decode(*smuggled);
+  if (!payload.ok()) {
+    // §3.2.1: a malformed HTTP2-Settings makes the request malformed.
+    result.status_line = "HTTP/1.1 400 Bad Request";
+    return result;
+  }
+  ByteReader r({payload->data(), payload->size()});
+  while (r.remaining() >= 6) {
+    const auto id = r.read_u16().value();
+    const auto value = r.read_u32().value();
+    if (!result.client_settings.apply(id, value).ok()) {
+      result.status_line = "HTTP/1.1 400 Bad Request";
+      return result;
+    }
+  }
+  if (!r.empty()) {
+    result.status_line = "HTTP/1.1 400 Bad Request";
+    return result;
+  }
+
+  result.switched = true;
+  result.status_line = "HTTP/1.1 101 Switching Protocols";
+  return result;
+}
+
+}  // namespace h2r::net

@@ -1,0 +1,52 @@
+// Cleartext HTTP/2 negotiation via HTTP/1.1 Upgrade ("h2c", RFC 7540 §3.2).
+//
+// The paper's Section IV-A describes both connection paths: over TLS the
+// client uses ALPN/NPN (alpn.h); without TLS it sends an HTTP/1.1 request
+// carrying `Upgrade: h2c` plus an HTTP2-Settings header, and a willing
+// server answers `101 Switching Protocols` before speaking frames. This
+// module models that exchange at the header level (no TCP), which is all
+// the probe needs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2/settings.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace h2r::net {
+
+/// The client's upgrade offer: an HTTP/1.1 request with the three headers
+/// §3.2 requires (Connection, Upgrade, HTTP2-Settings).
+struct UpgradeRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string host;
+  /// The SETTINGS payload to smuggle in HTTP2-Settings (base64url-coded on
+  /// the wire).
+  std::vector<std::pair<h2::SettingId, std::uint32_t>> settings;
+};
+
+/// Renders the §3.2 upgrade request as HTTP/1.1 text.
+std::string render_upgrade_request(const UpgradeRequest& request);
+
+/// What a server did with an upgrade offer.
+struct UpgradeResult {
+  bool switched = false;      ///< 101 Switching Protocols received
+  std::string status_line;    ///< first line of the HTTP/1.1 response
+  h2::SettingsMap client_settings;  ///< decoded from HTTP2-Settings (server side)
+};
+
+/// Server side: parses an HTTP/1.1 request; if it is a well-formed h2c
+/// upgrade offer and @p server_supports_h2c, accepts with 101 (and decodes
+/// the client's smuggled SETTINGS), otherwise answers 200 over HTTP/1.1.
+UpgradeResult process_upgrade_request(const std::string& http1_request,
+                                      bool server_supports_h2c);
+
+/// base64url without padding, as HTTP2-Settings requires (RFC 7540 §3.2.1).
+std::string base64url_encode(std::span<const std::uint8_t> data);
+Result<Bytes> base64url_decode(std::string_view text);
+
+}  // namespace h2r::net

@@ -1,0 +1,52 @@
+// Page-load time simulator (paper §V-F / Figure 3).
+//
+// Models one visit over an HTTP/2 connection: TCP + TLS setup, the HTML
+// fetch, then depth-by-depth resource loading where all resources of a
+// depth share the downlink (request multiplexing). With push enabled, the
+// pushable depth-1 resources start flowing right behind the HTML — the
+// discovery round trip for them disappears, which is exactly the saving
+// the paper (and [21]) attributes to push.
+#pragma once
+
+#include "net/path.h"
+#include "pageload/page.h"
+#include "util/rng.h"
+
+namespace h2r::pageload {
+
+struct LoadConditions {
+  net::PathModel path;            ///< RTT model for the client-site path
+  double bandwidth_kbps = 4'000;  ///< link downlink throughput
+  bool push_enabled = true;
+  /// Parallel TCP connections. HTTP/2 uses 1; HTTP/1.1-era sharding uses
+  /// ~6. Matters only on lossy paths, where each connection is separately
+  /// throughput-capped (the §VI single-connection concern).
+  int connections = 1;
+  /// Fraction of pushable resources already in the client cache. Pushed
+  /// copies of cached resources are pure waste (§VI: "if the client
+  /// already caches these web objects, the pushed data wastes the network
+  /// bandwidth").
+  double cached_fraction = 0.0;
+};
+
+/// Full outcome of one visit.
+struct LoadResult {
+  double plt_ms = 0;
+  std::size_t pushed_bytes = 0;        ///< octets arriving via PUSH_PROMISE
+  std::size_t wasted_push_bytes = 0;   ///< pushed despite being cached
+};
+
+/// Simulates one visit with full accounting.
+LoadResult simulate_page_load(const Page& page, const LoadConditions& cond,
+                              Rng& rng);
+
+/// Milliseconds from navigation start to the last resource byte.
+double simulate_page_load_ms(const Page& page, const LoadConditions& cond,
+                             Rng& rng);
+
+/// Convenience: 30-visit experiment as in §V-F, returning all samples.
+std::vector<double> visit_repeatedly(const Page& page,
+                                     const LoadConditions& cond, int visits,
+                                     Rng& rng);
+
+}  // namespace h2r::pageload

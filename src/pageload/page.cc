@@ -1,0 +1,50 @@
+#include "pageload/page.h"
+
+#include <algorithm>
+
+namespace h2r::pageload {
+
+int Page::max_depth() const {
+  int d = 0;
+  for (const auto& r : resources) d = std::max(d, r.depth);
+  return d;
+}
+
+std::size_t Page::total_bytes() const {
+  std::size_t n = html_size;
+  for (const auto& r : resources) n += r.size_bytes;
+  return n;
+}
+
+Page Page::synthesize(const std::string& host, Rng& rng) {
+  Page page;
+  page.host = host;
+  page.html_size = 20'000 + rng.next_below(80'000);
+
+  const int depth1 = 8 + static_cast<int>(rng.next_below(20));
+  const int depth2 = 2 + static_cast<int>(rng.next_below(10));
+  const int depth3 = static_cast<int>(rng.next_below(5));
+
+  auto add = [&](int depth, int index, std::size_t min_size,
+                 std::size_t spread, bool pushable) {
+    PageResource r;
+    r.path = "/d" + std::to_string(depth) + "/res" + std::to_string(index);
+    r.size_bytes = min_size + rng.next_below(spread);
+    r.depth = depth;
+    r.pushable = pushable;
+    page.resources.push_back(std::move(r));
+  };
+
+  for (int i = 0; i < depth1; ++i) {
+    // The typical push configuration covers the render-critical depth-1
+    // assets (css/js/figures — §V-F: "they usually push objects like
+    // javascript, css, figures").
+    const bool pushable = i < depth1 / 2;
+    add(1, i, 5'000, 120'000, pushable);
+  }
+  for (int i = 0; i < depth2; ++i) add(2, i, 2'000, 60'000, false);
+  for (int i = 0; i < depth3; ++i) add(3, i, 1'000, 30'000, false);
+  return page;
+}
+
+}  // namespace h2r::pageload

@@ -1,0 +1,38 @@
+// Web page model for the server-push experiment (paper §V-F / Figure 3).
+//
+// A page is an HTML document plus dependent resources organized in
+// discovery depths: depth-1 resources are referenced by the HTML, depth-2
+// by depth-1 resources (fonts from CSS, XHR from JS), and so on. Server
+// push can eliminate the discovery round trip of depth-1 resources that
+// the site lists for pushing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace h2r::pageload {
+
+struct PageResource {
+  std::string path;
+  std::size_t size_bytes = 0;
+  int depth = 1;          ///< discovery depth (1 = referenced by the HTML)
+  bool pushable = false;  ///< statically listed in the site's push config
+};
+
+struct Page {
+  std::string host;
+  std::size_t html_size = 0;
+  std::vector<PageResource> resources;
+
+  [[nodiscard]] int max_depth() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+
+  /// Synthesizes a realistic page for @p host: 10-40 resources across 2-3
+  /// depths, 0.5-4 MB total, with the depth-1 CSS/JS/image set pushable.
+  static Page synthesize(const std::string& host, Rng& rng);
+};
+
+}  // namespace h2r::pageload

@@ -1,0 +1,840 @@
+#include "server/engine.h"
+
+#include <algorithm>
+
+namespace h2r::server {
+namespace {
+
+using h2::ErrorCode;
+using h2::Frame;
+using h2::FrameType;
+
+constexpr std::size_t kEmitQuantum = 16'384;  ///< per-pick DATA chunk cap
+constexpr std::uint32_t kTinyWindowThreshold = 1'024;
+
+/// Fixed virtual date — the engine never reads a wall clock.
+constexpr const char* kHttpDate = "Mon, 04 Jul 2016 10:00:00 GMT";
+
+hpack::EncoderOptions encoder_options(const ServerProfile& p) {
+  return {.policy = p.response_indexing,
+          .use_huffman = p.use_huffman,
+          .table_capacity = h2::kDefaultHeaderTableSize};
+}
+
+hpack::DecoderOptions decoder_options(const ServerProfile& p) {
+  hpack::DecoderOptions o;
+  o.max_table_capacity = p.header_table_size;
+  if (p.max_header_list_size) o.max_header_list_size = *p.max_header_list_size;
+  return o;
+}
+
+}  // namespace
+
+Http2Server::Http2Server(ServerProfile profile, Site site, StartMode mode)
+    : profile_(std::move(profile)),
+      site_(std::move(site)),
+      encoder_(encoder_options(profile_)),
+      decoder_(decoder_options(profile_)),
+      conn_send_window_(h2::kDefaultInitialWindowSize),
+      conn_recv_window_(h2::kDefaultInitialWindowSize),
+      start_mode_(mode) {
+  if (start_mode_ == StartMode::kH2c) {
+    // Nothing is sent until the HTTP/1.1 upgrade offer arrives (§3.2).
+    return;
+  }
+  send_connection_preface();
+}
+
+void Http2Server::send_connection_preface() {
+  // Server connection preface: a SETTINGS frame (§3.5), possibly followed by
+  // the Nginx-style connection WINDOW_UPDATE (§V-C of the paper).
+  std::vector<std::pair<h2::SettingId, std::uint32_t>> entries;
+  // Default-valued HEADER_TABLE_SIZE is omitted, like real deployments: the
+  // paper infers "all servers use the default" from its absence (§V-C), and
+  // the corpus "NULL" sites send an entirely empty SETTINGS frame.
+  if (profile_.header_table_size != h2::kDefaultHeaderTableSize) {
+    entries.emplace_back(h2::SettingId::kHeaderTableSize,
+                         profile_.header_table_size);
+  }
+  if (profile_.max_concurrent_streams) {
+    entries.emplace_back(h2::SettingId::kMaxConcurrentStreams,
+                         *profile_.max_concurrent_streams);
+  }
+  if (profile_.initial_window_size) {
+    entries.emplace_back(h2::SettingId::kInitialWindowSize,
+                         *profile_.initial_window_size);
+  }
+  if (profile_.max_frame_size) {
+    entries.emplace_back(h2::SettingId::kMaxFrameSize, *profile_.max_frame_size);
+  }
+  if (profile_.max_header_list_size) {
+    entries.emplace_back(h2::SettingId::kMaxHeaderListSize,
+                         *profile_.max_header_list_size);
+  }
+  for (const auto& [id, value] : entries) {
+    (void)our_settings_.apply(static_cast<std::uint16_t>(id), value);
+  }
+  // Inbound frame size limit is what *we* advertised, not what the peer did.
+  parser_.set_max_frame_size(
+      profile_.max_frame_size.value_or(h2::kDefaultMaxFrameSize));
+  send_frame(h2::make_settings(entries));
+  if (profile_.window_update_after_settings &&
+      profile_.connection_window_bonus > 0) {
+    (void)conn_recv_window_.expand(profile_.connection_window_bonus);
+    send_frame(h2::make_window_update(0, profile_.connection_window_bonus));
+  }
+}
+
+void Http2Server::shutdown() {
+  if (dead_ || draining_) return;
+  draining_ = true;
+  send_frame(h2::make_goaway(last_client_stream_id_, ErrorCode::kNoError,
+                             "shutting down"));
+  pump();
+  if (active_stream_count() == 0) dead_ = true;
+}
+
+void Http2Server::receive(std::span<const std::uint8_t> bytes) {
+  if (dead_) return;
+
+  // h2c bootstrap: buffer HTTP/1.1 text until the upgrade offer is complete.
+  if (start_mode_ == StartMode::kH2c && !upgraded_) {
+    http1_buffer_.append(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+    const auto end = http1_buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) return;  // request incomplete
+    const std::string request = http1_buffer_.substr(0, end + 4);
+    const std::string leftover = http1_buffer_.substr(end + 4);
+    http1_buffer_.clear();
+
+    const auto result =
+        net::process_upgrade_request(request, profile_.supports_h2c);
+    if (!result.switched) {
+      // Declined: answer over HTTP/1.1 and close (this engine is h2-only).
+      const std::string response = result.status_line +
+                                   "\r\nContent-Length: 0\r\nConnection: "
+                                   "close\r\n\r\n";
+      out_.insert(out_.end(), response.begin(), response.end());
+      dead_ = true;
+      return;
+    }
+    const std::string switching =
+        result.status_line + "\r\nConnection: Upgrade\r\nUpgrade: h2c\r\n\r\n";
+    out_.insert(out_.end(), switching.begin(), switching.end());
+    upgraded_ = true;
+    peer_settings_ = result.client_settings;  // HTTP2-Settings (§3.2.1)
+    send_connection_preface();
+
+    // §3.2: the upgraded request becomes stream 1, half-closed (remote).
+    last_client_stream_id_ = 1;
+    Stream stream(1, peer_settings_.initial_window_size(),
+                  our_settings_.initial_window_size());
+    (void)stream.sm.on_recv_headers(/*end_stream=*/true);
+    stream.request_headers = {{":method", "GET"},
+                              {":scheme", "http"},
+                              {":authority", site_.host()},
+                              {":path", "/"}};
+    auto [pos, inserted] = streams_.emplace(1u, std::move(stream));
+    if (scheduler_uses_tree(profile_.scheduler)) {
+      (void)tree_.declare_default(1);
+    }
+    start_response(pos->second);
+    if (!dead_) maybe_push(pos->second);
+    pump();
+    if (leftover.empty()) return;
+    // The client may have optimistically begun the h2 preface.
+    receive({reinterpret_cast<const std::uint8_t*>(leftover.data()),
+             leftover.size()});
+    return;
+  }
+
+  // Consume the client connection preface before framing starts (§3.5).
+  std::size_t offset = 0;
+  while (preface_matched_ < h2::kClientPreface.size() && offset < bytes.size()) {
+    if (bytes[offset] !=
+        static_cast<std::uint8_t>(h2::kClientPreface[preface_matched_])) {
+      connection_error(ErrorCode::kProtocolError, "bad connection preface");
+      return;
+    }
+    ++preface_matched_;
+    ++offset;
+  }
+  parser_.feed(bytes.subspan(offset));
+
+  while (auto next = parser_.next()) {
+    if (!next->ok()) {
+      const auto code = next->status().code() == StatusCode::kFrameSizeError
+                            ? ErrorCode::kFrameSizeError
+                            : ErrorCode::kProtocolError;
+      connection_error(code, next->status().message());
+      return;
+    }
+    ++frames_received_;
+    on_frame(std::move(next->value()));
+    if (dead_) return;
+  }
+  pump();
+}
+
+Bytes Http2Server::take_output() { return std::move(out_); }
+
+std::size_t Http2Server::pending_response_octets() const {
+  std::size_t total = 0;
+  for (const auto& [id, s] : streams_) {
+    if (s.response_ready) total += s.body_size - s.body_offset;
+  }
+  return total;
+}
+
+std::size_t Http2Server::active_stream_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : streams_) {
+    if (!s.sm.closed() && !s.is_push) ++n;
+  }
+  return n;
+}
+
+// --------------------------------------------------------------- dispatch
+
+void Http2Server::on_frame(Frame frame) {
+  // A header block in flight admits only CONTINUATION on the same stream.
+  if (continuation_stream_ && frame.type() != FrameType::kContinuation) {
+    connection_error(ErrorCode::kProtocolError,
+                     "frame interleaved into header block");
+    return;
+  }
+  switch (frame.type()) {
+    case FrameType::kData:
+      return handle_data(frame);
+    case FrameType::kHeaders:
+      return handle_headers(std::move(frame));
+    case FrameType::kPriority:
+      return handle_priority(frame);
+    case FrameType::kRstStream:
+      return handle_rst_stream(frame);
+    case FrameType::kSettings:
+      return handle_settings(frame);
+    case FrameType::kPushPromise:
+      return connection_error(ErrorCode::kProtocolError,
+                              "client attempted PUSH_PROMISE");
+    case FrameType::kPing:
+      return handle_ping(frame);
+    case FrameType::kGoaway:
+      return handle_goaway(frame);
+    case FrameType::kWindowUpdate:
+      return handle_window_update(frame);
+    case FrameType::kContinuation:
+      return handle_continuation(std::move(frame));
+    default:
+      return;  // §4.1: unknown frame types are ignored
+  }
+}
+
+void Http2Server::handle_headers(Frame frame) {
+  const auto& payload = frame.as<h2::HeadersPayload>();
+  if (frame.stream_id == 0) {
+    return connection_error(ErrorCode::kProtocolError, "HEADERS on stream 0");
+  }
+  if (frame.stream_id % 2 == 0) {
+    return connection_error(ErrorCode::kProtocolError,
+                            "client HEADERS on even stream id");
+  }
+  if (!frame.has_flag(h2::flags::kEndHeaders)) {
+    continuation_stream_ = frame.stream_id;
+    continuation_fragment_ = payload.fragment;
+    continuation_end_stream_ = frame.has_flag(h2::flags::kEndStream);
+    continuation_priority_ = payload.priority;
+    return;
+  }
+  complete_headers(frame.stream_id, payload.fragment,
+                   frame.has_flag(h2::flags::kEndStream), payload.priority);
+}
+
+void Http2Server::handle_continuation(Frame frame) {
+  if (!continuation_stream_ || *continuation_stream_ != frame.stream_id) {
+    return connection_error(ErrorCode::kProtocolError,
+                            "unexpected CONTINUATION");
+  }
+  const auto& payload = frame.as<h2::ContinuationPayload>();
+  continuation_fragment_.insert(continuation_fragment_.end(),
+                                payload.fragment.begin(),
+                                payload.fragment.end());
+  if (!frame.has_flag(h2::flags::kEndHeaders)) return;
+  const std::uint32_t id = *continuation_stream_;
+  continuation_stream_.reset();
+  complete_headers(id, continuation_fragment_, continuation_end_stream_,
+                   continuation_priority_);
+  continuation_fragment_.clear();
+  continuation_priority_.reset();
+}
+
+void Http2Server::complete_headers(std::uint32_t stream_id,
+                                   const Bytes& fragment, bool end_stream,
+                                   std::optional<h2::PriorityInfo> priority) {
+  auto decoded = decoder_.decode(fragment);
+  if (!decoded.ok()) {
+    if (decoded.status().code() == StatusCode::kRefused) {
+      // Header list larger than we accept: stream-scoped refusal.
+      return stream_error(stream_id, ErrorCode::kRefusedStream);
+    }
+    return connection_error(ErrorCode::kCompressionError,
+                            decoded.status().message());
+  }
+
+  auto it = streams_.find(stream_id);
+  if (it != streams_.end()) {
+    // Trailers on an existing stream (§8.1): they update the lifecycle and,
+    // when they end the request, trigger the response.
+    if (!it->second.sm.on_recv_headers(end_stream).ok()) {
+      return connection_error(ErrorCode::kProtocolError,
+                              "HEADERS in invalid stream state");
+    }
+    if (end_stream && !it->second.response_ready) {
+      start_response(it->second);
+      if (!dead_) maybe_push(it->second);
+    }
+    return;
+  }
+
+  if (stream_id <= last_client_stream_id_ || client_goaway_) {
+    return connection_error(ErrorCode::kProtocolError,
+                            "HEADERS reuses an old stream id");
+  }
+  last_client_stream_id_ = stream_id;
+
+  if (draining_) {
+    // §6.8: streams above the GOAWAY watermark are refused, retryable.
+    Stream refused(stream_id, 0, 0);
+    (void)refused.sm.on_recv_headers(end_stream);
+    streams_.emplace(stream_id, std::move(refused));
+    return stream_error(stream_id, ErrorCode::kRefusedStream);
+  }
+
+  // Enforce our advertised SETTINGS_MAX_CONCURRENT_STREAMS: the §V-A probe
+  // sets it to 0 or 1 and expects RST_STREAM(REFUSED_STREAM) on overflow.
+  if (profile_.max_concurrent_streams &&
+      active_stream_count() >= *profile_.max_concurrent_streams) {
+    Stream rejected(stream_id, 0, 0);
+    (void)rejected.sm.on_recv_headers(end_stream);
+    streams_.emplace(stream_id, std::move(rejected));
+    return stream_error(stream_id, ErrorCode::kRefusedStream);
+  }
+
+  Stream stream(stream_id, peer_settings_.initial_window_size(),
+                our_settings_.initial_window_size());
+  if (!stream.sm.on_recv_headers(end_stream).ok()) {
+    return connection_error(ErrorCode::kProtocolError, "bad HEADERS state");
+  }
+  stream.request_headers = std::move(decoded).value();
+  auto [pos, inserted] = streams_.emplace(stream_id, std::move(stream));
+
+  // Request body still to come: make sure the client can actually send it.
+  // Servers announcing window 0 (the Nginx idiom) re-open per-stream
+  // windows on demand, exactly like they re-open the connection window.
+  if (!end_stream && profile_.window_update_after_settings &&
+      our_settings_.initial_window_size() == 0) {
+    const std::uint32_t grant = h2::kDefaultInitialWindowSize;
+    (void)pos->second.recv_window.expand(grant);
+    send_frame(h2::make_window_update(stream_id, grant));
+  }
+
+  if (priority) {
+    apply_priority_signal(stream_id, *priority, /*from_headers=*/true);
+    if (dead_) return;
+  } else if (scheduler_uses_tree(profile_.scheduler)) {
+    (void)tree_.declare_default(stream_id);
+  }
+
+  // Requests with a body (POST uploads) are answered once the body ends
+  // (handle_data); header-only requests are answered immediately.
+  if (end_stream) {
+    start_response(pos->second);
+    if (!dead_) maybe_push(pos->second);
+  }
+}
+
+void Http2Server::apply_priority_signal(std::uint32_t stream_id,
+                                        const h2::PriorityInfo& info,
+                                        bool from_headers) {
+  if (info.dependency == stream_id) {
+    // Self-dependency: RFC says stream error; real servers disagree
+    // (Table III row "Self-dependent Stream").
+    return react(profile_.self_dependency, stream_id, ErrorCode::kProtocolError,
+                 ErrorCode::kProtocolError, "stream cannot depend on itself");
+  }
+  if (!scheduler_uses_tree(profile_.scheduler)) {
+    return;  // priority is advisory; these servers simply ignore it
+  }
+  const Status applied = from_headers ? tree_.declare(stream_id, info)
+                                      : tree_.reprioritize(stream_id, info);
+  if (!applied.ok()) {
+    react(profile_.self_dependency, stream_id, ErrorCode::kProtocolError,
+          ErrorCode::kProtocolError, applied.message());
+  }
+}
+
+void Http2Server::handle_data(const Frame& frame) {
+  const auto& payload = frame.as<h2::DataPayload>();
+  const auto n = static_cast<std::int64_t>(payload.data.size());
+  const bool end_stream = frame.has_flag(h2::flags::kEndStream);
+  if (!conn_recv_window_.consume(n).ok()) {
+    return connection_error(ErrorCode::kFlowControlError,
+                            "client DATA overruns connection window");
+  }
+  auto it = streams_.find(frame.stream_id);
+  if (it == streams_.end()) {
+    return connection_error(ErrorCode::kProtocolError, "DATA on idle stream");
+  }
+  Stream& stream = it->second;
+  if (!stream.recv_window.consume(n).ok()) {
+    return stream_error(frame.stream_id, ErrorCode::kFlowControlError);
+  }
+  if (!stream.sm.on_recv_data(end_stream).ok()) {
+    return stream_error(frame.stream_id, ErrorCode::kStreamClosed);
+  }
+  stream.uploaded_bytes += payload.data.size();
+  // Replenish both windows so well-behaved uploads never stall.
+  if (n > 0) {
+    send_frame(h2::make_window_update(0, static_cast<std::uint32_t>(n)));
+    (void)conn_recv_window_.expand(static_cast<std::uint32_t>(n));
+    if (!end_stream) {
+      (void)stream.recv_window.expand(static_cast<std::uint32_t>(n));
+      send_frame(h2::make_window_update(frame.stream_id,
+                                        static_cast<std::uint32_t>(n)));
+    }
+  }
+  // A request whose body just completed is ready to answer now.
+  if (end_stream && !stream.response_ready) {
+    start_response(stream);
+    if (!dead_) maybe_push(stream);
+  }
+}
+
+void Http2Server::handle_priority(const Frame& frame) {
+  if (frame.stream_id == 0) {
+    return connection_error(ErrorCode::kProtocolError, "PRIORITY on stream 0");
+  }
+  apply_priority_signal(frame.stream_id, frame.as<h2::PriorityPayload>().info,
+                        /*from_headers=*/false);
+}
+
+void Http2Server::handle_rst_stream(const Frame& frame) {
+  if (frame.stream_id == 0) {
+    return connection_error(ErrorCode::kProtocolError, "RST_STREAM on stream 0");
+  }
+  auto it = streams_.find(frame.stream_id);
+  if (it == streams_.end()) {
+    return connection_error(ErrorCode::kProtocolError,
+                            "RST_STREAM on idle stream");
+  }
+  (void)it->second.sm.on_recv_rst();
+  close_stream(frame.stream_id);
+}
+
+void Http2Server::handle_settings(const Frame& frame) {
+  if (frame.has_flag(h2::flags::kAck)) return;
+  const std::uint32_t old_iws = peer_settings_.initial_window_size();
+  const Status applied =
+      peer_settings_.apply_frame(frame.as<h2::SettingsPayload>());
+  if (!applied.ok()) {
+    const auto code = applied.code() == StatusCode::kFlowControlError
+                          ? ErrorCode::kFlowControlError
+                          : ErrorCode::kProtocolError;
+    return connection_error(code, applied.message());
+  }
+  // §6.9.2: an INITIAL_WINDOW_SIZE change retroactively adjusts every
+  // stream window by the delta.
+  const std::uint32_t new_iws = peer_settings_.initial_window_size();
+  if (new_iws != old_iws) {
+    for (auto& [id, s] : streams_) {
+      if (!s.send_window.adjust_initial(old_iws, new_iws).ok()) {
+        return connection_error(ErrorCode::kFlowControlError,
+                                "SETTINGS window adjustment overflow");
+      }
+    }
+  }
+  // Our dynamic table may not exceed what the client is willing to hold.
+  const std::uint32_t table_cap = std::min(peer_settings_.header_table_size(),
+                                           h2::kDefaultHeaderTableSize);
+  if (table_cap != encoder_.table().capacity()) {
+    encoder_.set_table_capacity(table_cap);
+  }
+  send_frame(h2::make_settings_ack());
+}
+
+void Http2Server::handle_ping(const Frame& frame) {
+  if (frame.stream_id != 0) {
+    return connection_error(ErrorCode::kProtocolError, "PING on a stream");
+  }
+  if (frame.has_flag(h2::flags::kAck)) return;
+  // §6.7: respond with an identical payload, ACK set, at high priority —
+  // PINGs bypass the response scheduler entirely.
+  send_frame(h2::make_ping(frame.as<h2::PingPayload>().opaque, /*ack=*/true));
+}
+
+void Http2Server::handle_goaway(const Frame& frame) {
+  (void)frame;
+  client_goaway_ = true;
+}
+
+void Http2Server::handle_window_update(const Frame& frame) {
+  const std::uint32_t increment = frame.as<h2::WindowUpdatePayload>().increment;
+  const bool connection_scope = frame.stream_id == 0;
+
+  if (increment == 0) {
+    // The paper's zero-window-update probe (§III-B3). RFC: stream error on
+    // stream scope, connection error on connection scope — but Table III
+    // shows three distinct behaviours in the wild.
+    if (connection_scope) {
+      return react(profile_.zero_window_update_connection, 0,
+                   ErrorCode::kProtocolError, ErrorCode::kProtocolError,
+                   "window update shouldn't be zero");
+    }
+    return react(profile_.zero_window_update_stream, frame.stream_id,
+                 ErrorCode::kProtocolError, ErrorCode::kProtocolError,
+                 "window update shouldn't be zero");
+  }
+
+  if (connection_scope) {
+    if (!conn_send_window_.expand(increment).ok()) {
+      // §6.9.1 overflow past 2^31-1 (§III-B4 probe).
+      if (profile_.large_window_update_connection == ErrorReaction::kIgnore) {
+        conn_send_window_.reset_to(h2::kMaxWindowSize);  // saturate silently
+        return;
+      }
+      return react(profile_.large_window_update_connection, 0,
+                   ErrorCode::kFlowControlError, ErrorCode::kFlowControlError,
+                   "connection flow-control window overflow");
+    }
+    return;
+  }
+
+  auto it = streams_.find(frame.stream_id);
+  if (it == streams_.end() || it->second.sm.closed()) {
+    return;  // WINDOW_UPDATE may race with stream close; ignore (§5.1)
+  }
+  if (!it->second.send_window.expand(increment).ok()) {
+    if (profile_.large_window_update_stream == ErrorReaction::kIgnore) {
+      it->second.send_window.reset_to(h2::kMaxWindowSize);
+      return;
+    }
+    return react(profile_.large_window_update_stream, frame.stream_id,
+                 ErrorCode::kFlowControlError, ErrorCode::kFlowControlError,
+                 "stream flow-control window overflow");
+  }
+}
+
+// --------------------------------------------------------- request handling
+
+void Http2Server::start_response(Stream& stream) {
+  const std::string_view path =
+      hpack::find_header(stream.request_headers, ":path");
+  const std::string_view method =
+      hpack::find_header(stream.request_headers, ":method");
+  stream.resource = site_.find(std::string(path));
+
+  hpack::HeaderList headers;
+  if (method == "POST") {
+    // Upload sink: acknowledge with a body sized like the upload, so tests
+    // can verify the count end to end.
+    headers.emplace_back(":status", "200");
+    headers.emplace_back("server", profile_.server_header);
+    headers.emplace_back("date", kHttpDate);
+    headers.emplace_back("content-type", "text/plain");
+    headers.emplace_back("x-received-bytes",
+                         std::to_string(stream.uploaded_bytes));
+    stream.body_size = std::to_string(stream.uploaded_bytes).size();
+    headers.emplace_back("content-length", std::to_string(stream.body_size));
+    stream.resource = nullptr;
+    stream.response_headers = std::move(headers);
+    stream.response_ready = true;
+    return;
+  }
+  if (stream.resource != nullptr) {
+    headers.emplace_back(":status", "200");
+    stream.body_size = stream.resource->size;
+  } else {
+    headers.emplace_back(":status", "404");
+    stream.body_size = 180;  // synthetic error page
+  }
+  headers.emplace_back("server", profile_.server_header);
+  headers.emplace_back("date", kHttpDate);
+  headers.emplace_back("content-type", stream.resource != nullptr
+                                            ? stream.resource->content_type
+                                            : "text/html");
+  headers.emplace_back("content-length", std::to_string(stream.body_size));
+  for (const auto& extra : site_.extra_headers()) headers.push_back(extra);
+  // Cookie churn (§V-G): *later* responses grow extra set-cookie headers
+  // the first response lacked, making S1 < Si and pushing the measured
+  // compression ratio above 1 (the sites the paper filters out of Figs 4/5).
+  if (site_.cookie_churn() && cookie_counter_++ > 0) {
+    headers.emplace_back(
+        "set-cookie", "session=" + std::to_string(cookie_counter_) +
+                          "; Path=/; HttpOnly");
+  }
+  stream.response_headers = std::move(headers);
+  stream.response_ready = true;
+}
+
+void Http2Server::maybe_push(Stream& parent) {
+  if (!profile_.supports_push || !peer_settings_.enable_push()) return;
+  if (parent.is_push) return;
+  const std::string path{hpack::find_header(parent.request_headers, ":path")};
+  const auto* push_paths = site_.push_list(path);
+  if (push_paths == nullptr) return;
+
+  for (const auto& push_path : *push_paths) {
+    // Respect the client's concurrency cap on *our* streams (§6.5.2 — the
+    // paper notes MAX_CONCURRENT_STREAMS=0 disables push entirely).
+    if (auto cap = peer_settings_.max_concurrent_streams()) {
+      std::size_t pushes_active = 0;
+      for (const auto& [id, s] : streams_) {
+        if (s.is_push && !s.sm.closed()) ++pushes_active;
+      }
+      if (pushes_active >= *cap) return;
+    }
+    const Resource* resource = site_.find(push_path);
+    if (resource == nullptr) continue;
+
+    const std::uint32_t promised = next_push_stream_id_;
+    next_push_stream_id_ += 2;
+
+    hpack::HeaderList request = {{":method", "GET"},
+                                 {":scheme", "https"},
+                                 {":authority", site_.host()},
+                                 {":path", push_path}};
+    send_frame(h2::make_push_promise(parent.sm.id(), promised,
+                                     encoder_.encode(request)));
+
+    Stream pushed(promised, peer_settings_.initial_window_size(),
+                  our_settings_.initial_window_size());
+    (void)pushed.sm.on_send_push_promise();
+    pushed.is_push = true;
+    pushed.request_headers = std::move(request);
+    streams_.emplace(promised, std::move(pushed));
+    if (scheduler_uses_tree(profile_.scheduler)) {
+      // Pushed responses default to dependents of their parent (§5.3.5).
+      (void)tree_.declare(promised, {.dependency = parent.sm.id(),
+                                     .weight_field = h2::kDefaultWeight - 1});
+    }
+    start_response(streams_.at(promised));
+  }
+}
+
+// ----------------------------------------------------------------- pumping
+
+bool Http2Server::tiny_window_mode() const {
+  return peer_settings_.initial_window_size() < kTinyWindowThreshold;
+}
+
+bool Http2Server::stream_eligible(const Stream& s) const {
+  if (s.sm.closed() || !s.response_ready || s.stalled) return false;
+  if (!s.sm.can_send_data() && !(s.is_push && !s.headers_sent)) return false;
+
+  if (!s.headers_sent) {
+    if (profile_.flow_control_on_headers && s.send_window.available() <= 0) {
+      return false;  // the LiteSpeed HEADERS deviation (Table III)
+    }
+    if (profile_.headers_blocked_by_conn_window &&
+        conn_send_window_.available() <= 0) {
+      return false;  // §V-D2 wild deviation
+    }
+    return true;
+  }
+
+  const std::size_t remaining = s.body_size - s.body_offset;
+  if (remaining == 0) return false;
+  if (tiny_window_mode() &&
+      profile_.small_window_behavior == SmallWindowBehavior::kZeroLengthData) {
+    return !s.zero_length_emitted;
+  }
+  return s.send_window.available() > 0 && conn_send_window_.available() > 0;
+}
+
+std::uint32_t Http2Server::pick_round_robin(bool fcfs) {
+  // FCFS: lowest eligible id. Round robin: next eligible id after the last
+  // one served, cycling.
+  std::uint32_t first_eligible = 0;
+  std::uint32_t next_after = 0;
+  for (const auto& [id, s] : streams_) {
+    if (!stream_eligible(s)) continue;
+    if (first_eligible == 0) first_eligible = id;
+    if (next_after == 0 && id > last_round_robin_) next_after = id;
+  }
+  if (fcfs) return first_eligible;
+  return next_after != 0 ? next_after : first_eligible;
+}
+
+void Http2Server::pump() {
+  if (dead_) return;
+  for (;;) {
+    std::uint32_t id = 0;
+    const auto eligible = [this](std::uint32_t sid) {
+      auto it = streams_.find(sid);
+      return it != streams_.end() && stream_eligible(it->second);
+    };
+    switch (profile_.scheduler) {
+      case SchedulerKind::kPriorityTree:
+        id = tree_.next_stream(eligible);
+        break;
+      case SchedulerKind::kFairShare:
+        id = tree_.next_stream_fair(eligible);
+        break;
+      case SchedulerKind::kPriorityStart: {
+        // First DATA chunk (and HEADERS) in dependency order, then plain
+        // round-robin.
+        id = tree_.next_stream([this, &eligible](std::uint32_t sid) {
+          if (!eligible(sid)) return false;
+          const Stream& s = streams_.at(sid);
+          return !s.headers_sent || s.body_offset == 0;
+        });
+        if (id == 0) id = pick_round_robin(/*fcfs=*/false);
+        break;
+      }
+      case SchedulerKind::kRoundRobin:
+        id = pick_round_robin(/*fcfs=*/false);
+        break;
+      case SchedulerKind::kFcfs:
+        id = pick_round_robin(/*fcfs=*/true);
+        break;
+    }
+    if (id == 0) return;
+    serve_one(id);
+    if (dead_) return;
+  }
+}
+
+void Http2Server::serve_one(std::uint32_t stream_id) {
+  Stream& s = streams_.at(stream_id);
+  last_round_robin_ = stream_id;
+
+  if (!s.headers_sent) {
+    // Engage the stall deviation before anything is emitted: under a tiny
+    // window LiteSpeed-profile servers go silent for the whole response.
+    if (tiny_window_mode() &&
+        profile_.small_window_behavior == SmallWindowBehavior::kStall) {
+      s.stalled = true;
+      return;
+    }
+    const bool end_stream = s.body_size == 0;
+    send_header_block(stream_id, encoder_.encode(s.response_headers),
+                      end_stream);
+    (void)s.sm.on_send_headers(end_stream);
+    s.headers_sent = true;
+    if (end_stream) close_stream(stream_id);
+    return;
+  }
+
+  const std::size_t remaining = s.body_size - s.body_offset;
+
+  if (tiny_window_mode() &&
+      profile_.small_window_behavior == SmallWindowBehavior::kZeroLengthData) {
+    // Observed wild behaviour (§V-D1): a zero-length DATA frame ending the
+    // stream instead of Sframe-sized chunks.
+    send_frame(h2::make_data(stream_id, {}, /*end_stream=*/true));
+    s.zero_length_emitted = true;
+    (void)s.sm.on_send_data(true);
+    close_stream(stream_id);
+    return;
+  }
+
+  std::size_t chunk = std::min<std::size_t>(remaining, kEmitQuantum);
+  chunk = std::min<std::size_t>(chunk, peer_settings_.max_frame_size());
+  chunk = std::min<std::size_t>(
+      chunk, static_cast<std::size_t>(
+                 std::max<std::int64_t>(0, s.send_window.available())));
+  chunk = std::min<std::size_t>(
+      chunk, static_cast<std::size_t>(
+                 std::max<std::int64_t>(0, conn_send_window_.available())));
+  if (chunk == 0) return;  // raced with eligibility; nothing to do
+
+  Bytes body;
+  if (s.resource != nullptr) {
+    body = resource_body(*s.resource, s.body_offset, chunk);
+  } else {
+    body.assign(chunk, static_cast<std::uint8_t>('.'));
+  }
+  s.body_offset += chunk;
+  (void)s.send_window.consume(static_cast<std::int64_t>(chunk));
+  (void)conn_send_window_.consume(static_cast<std::int64_t>(chunk));
+  if (scheduler_uses_tree(profile_.scheduler)) {
+    tree_.account(stream_id, chunk);
+  }
+
+  const bool end_stream = s.body_offset == s.body_size;
+  send_frame(h2::make_data(stream_id, std::move(body), end_stream));
+  (void)s.sm.on_send_data(end_stream);
+  if (end_stream) close_stream(stream_id);
+}
+
+// ---------------------------------------------------------------- plumbing
+
+void Http2Server::send_header_block(std::uint32_t stream_id, Bytes block,
+                                    bool end_stream) {
+  // §4.3: a header block larger than the peer's SETTINGS_MAX_FRAME_SIZE is
+  // split into HEADERS + CONTINUATION frames; END_HEADERS rides the last.
+  const std::size_t limit = peer_settings_.max_frame_size();
+  if (block.size() <= limit) {
+    send_frame(h2::make_headers(stream_id, std::move(block), end_stream));
+    return;
+  }
+  Bytes first(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(limit));
+  send_frame(h2::make_headers(stream_id, std::move(first), end_stream,
+                              /*end_headers=*/false));
+  std::size_t offset = limit;
+  while (offset < block.size()) {
+    const std::size_t n = std::min(limit, block.size() - offset);
+    const bool last = offset + n == block.size();
+    send_frame(h2::make_continuation(
+        stream_id,
+        Bytes(block.begin() + static_cast<std::ptrdiff_t>(offset),
+              block.begin() + static_cast<std::ptrdiff_t>(offset + n)),
+        last));
+    offset += n;
+  }
+}
+
+void Http2Server::send_frame(const Frame& frame) {
+  const Bytes wire = h2::serialize_frame(frame);
+  out_.insert(out_.end(), wire.begin(), wire.end());
+}
+
+void Http2Server::react(ErrorReaction reaction, std::uint32_t stream_id,
+                        ErrorCode stream_code, ErrorCode conn_code,
+                        std::string debug) {
+  switch (reaction) {
+    case ErrorReaction::kIgnore:
+      return;
+    case ErrorReaction::kRstStream:
+      if (stream_id != 0) return stream_error(stream_id, stream_code);
+      return connection_error(conn_code, std::move(debug));
+    case ErrorReaction::kGoaway:
+      return connection_error(conn_code, "");
+    case ErrorReaction::kGoawayWithDebug:
+      return connection_error(conn_code, std::move(debug));
+  }
+}
+
+void Http2Server::stream_error(std::uint32_t stream_id, ErrorCode code) {
+  send_frame(h2::make_rst_stream(stream_id, code));
+  auto it = streams_.find(stream_id);
+  if (it != streams_.end()) (void)it->second.sm.on_send_rst();
+  close_stream(stream_id);
+}
+
+void Http2Server::connection_error(ErrorCode code, std::string debug) {
+  send_frame(h2::make_goaway(last_client_stream_id_, code, std::move(debug)));
+  dead_ = true;
+}
+
+void Http2Server::close_stream(std::uint32_t stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it != streams_.end()) {
+    it->second.response_ready = false;
+    it->second.body_offset = it->second.body_size;
+  }
+  tree_.remove(stream_id);
+  if (draining_ && active_stream_count() == 0) dead_ = true;
+}
+
+}  // namespace h2r::server

@@ -1,0 +1,189 @@
+// The HTTP/2 server engine.
+//
+// A full RFC 7540 server endpoint over an abstract byte stream: connection
+// preface, SETTINGS exchange, HPACK header coding, stream lifecycle, both
+// flow-control scopes, the §5.3 priority scheduler, server push, PING — with
+// every deviation axis of the paper's Table III selected by a ServerProfile.
+//
+// Transport model: the owner feeds client->server bytes into receive() and
+// drains server->client bytes from take_output(). The engine is synchronous
+// and deterministic; no threads, no wall clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "h2/constants.h"
+#include "h2/flow_control.h"
+#include "h2/frame.h"
+#include "h2/frame_codec.h"
+#include "h2/priority_tree.h"
+#include "h2/settings.h"
+#include "h2/stream.h"
+#include "hpack/decoder.h"
+#include "hpack/encoder.h"
+#include "server/profile.h"
+#include "net/upgrade.h"
+#include "server/site.h"
+
+namespace h2r::server {
+
+class Http2Server {
+ public:
+  /// How the connection begins.
+  enum class StartMode : std::uint8_t {
+    kTls,  ///< TLS + ALPN/NPN happened outside; first bytes are the preface
+    kH2c,  ///< cleartext: first bytes are an HTTP/1.1 request, possibly an
+           ///< Upgrade: h2c offer (RFC 7540 §3.2)
+  };
+
+  Http2Server(ServerProfile profile, Site site,
+              StartMode mode = StartMode::kTls);
+
+  /// Feeds client bytes; all complete frames are processed immediately and
+  /// any producible response bytes are queued for take_output().
+  void receive(std::span<const std::uint8_t> bytes);
+
+  /// Initiates graceful shutdown (§6.8): GOAWAY with the last accepted
+  /// stream id and NO_ERROR; in-flight responses complete, new streams are
+  /// refused, and the connection dies once drained.
+  void shutdown();
+
+  /// True once the h2c upgrade completed (kH2c mode only).
+  [[nodiscard]] bool upgraded() const noexcept { return upgraded_; }
+
+  /// Drains queued server->client bytes.
+  [[nodiscard]] Bytes take_output();
+
+  /// False once a connection error occurred or GOAWAY was exchanged.
+  [[nodiscard]] bool alive() const noexcept { return !dead_; }
+
+  [[nodiscard]] const ServerProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] const Site& site() const noexcept { return site_; }
+
+  // ---- introspection for tests and ablations ---------------------------
+  [[nodiscard]] std::size_t active_stream_count() const;
+  [[nodiscard]] const h2::PriorityTree& priority_tree() const noexcept {
+    return tree_;
+  }
+  [[nodiscard]] std::int64_t connection_send_window() const noexcept {
+    return conn_send_window_.available();
+  }
+  [[nodiscard]] std::size_t frames_received() const noexcept {
+    return frames_received_;
+  }
+  /// Response octets accepted but not yet deliverable (what a slow-read
+  /// attacker pins in server memory — §VI of the paper).
+  [[nodiscard]] std::size_t pending_response_octets() const;
+  /// Current HPACK decoder dynamic-table occupancy (header-bomb exposure).
+  [[nodiscard]] std::size_t decoder_table_octets() const noexcept {
+    return decoder_.table().size_octets();
+  }
+
+ private:
+  struct Stream {
+    Stream(std::uint32_t id, std::int64_t send_window, std::int64_t recv_window)
+        : sm(id), send_window(send_window), recv_window(recv_window) {}
+
+    h2::StreamStateMachine sm;
+    h2::FlowWindow send_window;  ///< server->client DATA budget
+    h2::FlowWindow recv_window;  ///< client->server DATA budget (uploads)
+    std::size_t uploaded_bytes = 0;
+    hpack::HeaderList request_headers;
+    hpack::HeaderList response_headers;
+    bool response_ready = false;
+    bool headers_sent = false;
+    std::size_t body_size = 0;
+    std::size_t body_offset = 0;
+    const Resource* resource = nullptr;  // nullptr => synthetic 404 body
+    bool is_push = false;
+    bool zero_length_emitted = false;
+    bool stalled = false;  ///< SmallWindowBehavior::kStall engaged
+  };
+
+  // -- frame dispatch -----------------------------------------------------
+  void on_frame(h2::Frame frame);
+  void handle_headers(h2::Frame frame);
+  void complete_headers(std::uint32_t stream_id, const Bytes& fragment,
+                        bool end_stream,
+                        std::optional<h2::PriorityInfo> priority);
+  void handle_data(const h2::Frame& frame);
+  void handle_priority(const h2::Frame& frame);
+  void handle_rst_stream(const h2::Frame& frame);
+  void handle_settings(const h2::Frame& frame);
+  void handle_ping(const h2::Frame& frame);
+  void handle_goaway(const h2::Frame& frame);
+  void handle_window_update(const h2::Frame& frame);
+  void handle_continuation(h2::Frame frame);
+
+  // -- request/response ---------------------------------------------------
+  void start_response(Stream& stream);
+  void maybe_push(Stream& parent);
+  void apply_priority_signal(std::uint32_t stream_id,
+                             const h2::PriorityInfo& info, bool from_headers);
+
+  // -- emission -----------------------------------------------------------
+  void pump();
+  [[nodiscard]] bool stream_eligible(const Stream& s) const;
+  [[nodiscard]] std::uint32_t pick_round_robin(bool fcfs);
+  /// Serves one frame's worth of work on @p stream_id; returns octets of
+  /// DATA consumed against the connection window.
+  void serve_one(std::uint32_t stream_id);
+
+  // -- plumbing -----------------------------------------------------------
+  void send_connection_preface();
+  void send_frame(const h2::Frame& frame);
+  /// Emits @p block as HEADERS (+ CONTINUATIONs when it exceeds the peer's
+  /// SETTINGS_MAX_FRAME_SIZE, §4.3).
+  void send_header_block(std::uint32_t stream_id, Bytes block, bool end_stream);
+  void react(ErrorReaction reaction, std::uint32_t stream_id,
+             h2::ErrorCode stream_code, h2::ErrorCode conn_code,
+             std::string debug);
+  void stream_error(std::uint32_t stream_id, h2::ErrorCode code);
+  void connection_error(h2::ErrorCode code, std::string debug);
+  void close_stream(std::uint32_t stream_id);
+  [[nodiscard]] bool tiny_window_mode() const;
+
+  ServerProfile profile_;
+  Site site_;
+
+  h2::FrameParser parser_;
+  hpack::Encoder encoder_;  ///< server->client header blocks
+  hpack::Decoder decoder_;  ///< client->server header blocks
+  h2::SettingsMap our_settings_;
+  h2::SettingsMap peer_settings_;
+
+  h2::FlowWindow conn_send_window_;  ///< server->client DATA budget
+  h2::FlowWindow conn_recv_window_;  ///< client->server DATA budget
+
+  std::map<std::uint32_t, Stream> streams_;
+  h2::PriorityTree tree_;
+
+  std::size_t preface_matched_ = 0;
+  std::uint32_t last_client_stream_id_ = 0;
+  std::uint32_t next_push_stream_id_ = 2;
+  std::uint32_t last_round_robin_ = 0;
+  std::uint64_t cookie_counter_ = 0;
+  std::size_t frames_received_ = 0;
+
+  // CONTINUATION reassembly state.
+  std::optional<std::uint32_t> continuation_stream_;
+  Bytes continuation_fragment_;
+  bool continuation_end_stream_ = false;
+  std::optional<h2::PriorityInfo> continuation_priority_;
+
+  Bytes out_;
+  bool dead_ = false;
+  bool client_goaway_ = false;
+  bool draining_ = false;  ///< graceful shutdown in progress
+
+  // h2c bootstrap state (StartMode::kH2c).
+  StartMode start_mode_;
+  bool upgraded_ = false;
+  std::string http1_buffer_;
+};
+
+}  // namespace h2r::server

@@ -1,0 +1,78 @@
+#include "server/site.h"
+
+namespace h2r::server {
+
+Site& Site::add_resource(Resource r) {
+  resources_[r.path] = std::move(r);
+  return *this;
+}
+
+Site& Site::set_push_list(std::string trigger_path,
+                          std::vector<std::string> paths) {
+  push_lists_[std::move(trigger_path)] = std::move(paths);
+  return *this;
+}
+
+Site& Site::add_response_header(std::string name, std::string value) {
+  extra_headers_.emplace_back(std::move(name), std::move(value));
+  return *this;
+}
+
+const Resource* Site::find(const std::string& path) const {
+  auto it = resources_.find(path);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string>* Site::push_list(
+    const std::string& trigger_path) const {
+  auto it = push_lists_.find(trigger_path);
+  return it == push_lists_.end() ? nullptr : &it->second;
+}
+
+Site Site::standard_testbed_site(std::string host) {
+  Site site(std::move(host));
+  site.add_resource({.path = "/", .size = 2'048, .content_type = "text/html"});
+  // Large objects so concurrent responses span many DATA frames (§III-A1:
+  // small objects finish too fast to observe interleaving).
+  for (int i = 0; i < 8; ++i) {
+    site.add_resource({.path = "/large/" + std::to_string(i),
+                       .size = 512 * 1024,
+                       .content_type = "application/octet-stream"});
+  }
+  // Medium objects for the priority probe (Algorithm 1 serves several
+  // streams whose completion order must be distinguishable).
+  for (int i = 0; i < 8; ++i) {
+    site.add_resource({.path = "/object/" + std::to_string(i),
+                       .size = 64 * 1024,
+                       .content_type = "application/octet-stream"});
+  }
+  site.add_resource(
+      {.path = "/small", .size = 256, .content_type = "text/plain"});
+  site.add_resource(
+      {.path = "/style.css", .size = 4'096, .content_type = "text/css"});
+  site.add_resource(
+      {.path = "/app.js", .size = 8'192, .content_type = "application/javascript"});
+  site.add_resource(
+      {.path = "/logo.png", .size = 16'384, .content_type = "image/png"});
+  site.set_push_list("/", {"/style.css", "/app.js", "/logo.png"});
+  return site;
+}
+
+Bytes resource_body(const Resource& resource, std::size_t offset,
+                    std::size_t len) {
+  // FNV-1a over the path seeds the pattern.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : resource.path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  const std::size_t end = std::min(offset + len, resource.size);
+  Bytes out;
+  out.reserve(end > offset ? end - offset : 0);
+  for (std::size_t i = offset; i < end; ++i) {
+    out.push_back(static_cast<std::uint8_t>((h >> (i % 8)) + i * 131));
+  }
+  return out;
+}
+
+}  // namespace h2r::server

@@ -1,0 +1,76 @@
+// Static web-site content model served by the engine.
+//
+// Bodies are procedurally generated from (path, offset), so a Site carries
+// only metadata no matter how large its objects are — the testbed needs
+// multi-megabyte files for the multiplexing probe (§III-A1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpack/header_field.h"
+#include "util/bytes.h"
+
+namespace h2r::server {
+
+struct Resource {
+  std::string path;
+  std::size_t size = 0;
+  std::string content_type = "text/html";
+};
+
+class Site {
+ public:
+  Site() = default;
+  explicit Site(std::string host) : host_(std::move(host)) {}
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+
+  Site& add_resource(Resource r);
+
+  /// Paths the server pushes when @p trigger_path is requested.
+  Site& set_push_list(std::string trigger_path, std::vector<std::string> paths);
+
+  /// Extra headers attached to every response (e.g. a stable cookie).
+  Site& add_response_header(std::string name, std::string value);
+
+  /// When set, every response carries a *fresh* set-cookie value — the
+  /// behaviour that makes the paper drop sites with compression ratio > 1
+  /// from the Figure 4/5 data (§V-G).
+  Site& set_cookie_churn(bool on) {
+    cookie_churn_ = on;
+    return *this;
+  }
+  [[nodiscard]] bool cookie_churn() const noexcept { return cookie_churn_; }
+
+  [[nodiscard]] const Resource* find(const std::string& path) const;
+  [[nodiscard]] const std::vector<std::string>* push_list(
+      const std::string& trigger_path) const;
+  [[nodiscard]] const hpack::HeaderList& extra_headers() const noexcept {
+    return extra_headers_;
+  }
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return resources_.size();
+  }
+
+  /// The testbed site used for Table III probing: a front page, a large
+  /// object per multiplexing stream, and a small object for window tests.
+  static Site standard_testbed_site(std::string host = "testbed.local");
+
+ private:
+  std::string host_;
+  std::map<std::string, Resource> resources_;
+  std::map<std::string, std::vector<std::string>> push_lists_;
+  hpack::HeaderList extra_headers_;
+  bool cookie_churn_ = false;
+};
+
+/// Deterministic body bytes for @p resource at [offset, offset+len): a
+/// pattern derived from the path, stable across reads.
+Bytes resource_body(const Resource& resource, std::size_t offset,
+                    std::size_t len);
+
+}  // namespace h2r::server

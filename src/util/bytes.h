@@ -1,0 +1,114 @@
+// Bounds-checked byte-stream reading and writing.
+//
+// Every wire structure in HTTP/2 is big-endian and fixed-width; these two
+// small classes are the only place in the library that touches raw byte
+// order, so frame and HPACK codecs stay free of shifting arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace h2r {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian integers and raw octets to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Wraps an existing buffer; further writes append to it.
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void write_u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// 24-bit length field used by the HTTP/2 frame header. Top byte of @p v
+  /// must be zero (checked).
+  void write_u24(std::uint32_t v);
+
+  void write_u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void write_u64(std::uint64_t v) {
+    write_u32(static_cast<std::uint32_t>(v >> 32));
+    write_u32(static_cast<std::uint32_t>(v));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void write_string(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+
+  /// Moves the accumulated buffer out; the writer is empty afterwards.
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads big-endian integers and octet runs from a non-owning view.
+/// All reads are bounds-checked and return Status/Result on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  [[nodiscard]] Result<std::uint8_t> read_u8();
+  [[nodiscard]] Result<std::uint16_t> read_u16();
+  [[nodiscard]] Result<std::uint32_t> read_u24();
+  [[nodiscard]] Result<std::uint32_t> read_u32();
+
+  /// Returns a view over the next @p n octets and advances past them.
+  [[nodiscard]] Result<std::span<const std::uint8_t>> read_bytes(std::size_t n);
+
+  /// Copies the next @p n octets into a string.
+  [[nodiscard]] Result<std::string> read_string(std::size_t n);
+
+  /// Advances without delivering data (e.g. skipping frame padding).
+  [[nodiscard]] Status skip(std::size_t n);
+
+  /// Peeks the next octet without consuming it.
+  [[nodiscard]] Result<std::uint8_t> peek_u8() const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Lowercase hex rendering ("dead beef"-style, no separator) for tests/logs.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parses a hex string (whitespace ignored). Returns error on odd length or
+/// non-hex characters.
+Result<Bytes> from_hex(std::string_view hex);
+
+/// Convenience: string literal -> byte vector.
+Bytes bytes_of(std::string_view s);
+
+}  // namespace h2r

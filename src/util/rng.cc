@@ -1,0 +1,20 @@
+#include "util/rng.h"
+
+namespace h2r {
+
+std::size_t Rng::next_weighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("next_weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("next_weighted: zero total");
+  double draw = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point tail
+}
+
+}  // namespace h2r

@@ -1,0 +1,90 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the simulation (corpus sampling, network jitter,
+// workload shuffling) flows through Rng so a (seed, epoch) pair reproduces a
+// scan bit-for-bit. SplitMix64 is used for seeding, xoshiro256** for streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace h2r {
+
+/// SplitMix64 step — used to derive well-distributed sub-seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG: fast, high-quality, trivially copyable.
+class Rng {
+ public:
+  /// Seeds the four lanes from @p seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& lane : s_) lane = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("next_below(0)");
+    // Rejection sampling to kill modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("next_in: lo > hi");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Index drawn proportionally to non-negative @p weights.
+  /// Precondition: at least one positive weight.
+  std::size_t next_weighted(std::span<const double> weights);
+
+  /// Derives an independent child generator (stable under reordering of
+  /// sibling draws — used to give each simulated site its own stream).
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    std::uint64_t sm = next_u64() ^ (salt * 0x9E3779B97F4A7C15ull);
+    return Rng{splitmix64(sm)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace h2r

@@ -1,0 +1,184 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace h2r {
+
+void SampleSet::sort() const { std::sort(samples_.begin(), samples_.end()); }
+
+double SampleSet::min() const {
+  if (empty()) throw std::logic_error("SampleSet::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (empty()) throw std::logic_error("SampleSet::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::mean() const {
+  if (empty()) throw std::logic_error("SampleSet::mean on empty set");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::quantile(double q) const {
+  if (empty()) throw std::logic_error("SampleSet::quantile on empty set");
+  if (q < 0 || q > 1) throw std::invalid_argument("quantile: q outside [0,1]");
+  sort();
+  const double idx = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (empty()) return 0.0;
+  sort();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points() const {
+  std::vector<std::pair<double, double>> pts;
+  if (empty()) return pts;
+  sort();
+  const auto n = static_cast<double>(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    // Emit one point per distinct value, at its final cumulative fraction.
+    if (i + 1 == samples_.size() || samples_[i + 1] != samples_[i]) {
+      pts.emplace_back(samples_[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return pts;
+}
+
+std::size_t ValueCounter::total() const {
+  std::size_t t = 0;
+  for (const auto& [_, c] : counts_) t += c;
+  return t;
+}
+
+std::size_t ValueCounter::count_of(std::int64_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::ostringstream& os) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  std::ostringstream os;
+  emit_row(header_, os);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, os);
+  return os.str();
+}
+
+namespace {
+double x_transform(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-9)) : x;
+}
+}  // namespace
+
+std::string render_ascii_cdf(
+    const std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>& series,
+    int width, int height, bool log_x) {
+  if (series.empty()) return "(no series)\n";
+  double xmin = 1e300, xmax = -1e300;
+  for (const auto& [_, pts] : series) {
+    for (const auto& [x, y] : pts) {
+      const double tx = x_transform(x, log_x);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+    }
+  }
+  if (xmin > xmax) return "(empty series)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  static constexpr char kMarks[] = "*o+x#@%&";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char mark = kMarks[s % (sizeof(kMarks) - 1)];
+    for (const auto& [x, y] : series[s].second) {
+      const double tx = x_transform(x, log_x);
+      int col = static_cast<int>((tx - xmin) / (xmax - xmin) * (width - 1));
+      int row = static_cast<int>((1.0 - y) * (height - 1));
+      col = std::clamp(col, 0, width - 1);
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << "CDF  1.0 +" << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  for (int r = 0; r < height; ++r) {
+    os << "         |" << grid[static_cast<std::size_t>(r)] << "|\n";
+  }
+  os << "     0.0 +" << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  os << "          " << (log_x ? "log10(x): " : "x: ") << xmin << " .. " << xmax
+     << '\n';
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << "          [" << kMarks[s % (sizeof(kMarks) - 1)] << "] "
+       << series[s].first << '\n';
+  }
+  return os.str();
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int since = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since == 3) {
+      out.push_back(',');
+      since = 0;
+    }
+    out.push_back(*it);
+    ++since;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace h2r

@@ -1,0 +1,92 @@
+// Small statistics toolkit for the measurement benches: empirical CDFs,
+// value histograms, and fixed-point table rendering that mimics the paper's
+// table layout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace h2r {
+
+/// Accumulates scalar samples and answers distribution queries.
+class SampleSet {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  void add_all(const std::vector<double>& vs) {
+    samples_.insert(samples_.end(), vs.begin(), vs.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Empirical quantile, q in [0,1]; linear interpolation between order
+  /// statistics. Precondition: non-empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Fraction of samples <= x (the empirical CDF evaluated at x).
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// (value, cumulative fraction) pairs at each distinct sample — the full
+  /// empirical CDF, ready to print as a figure series.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  void sort() const;
+};
+
+/// Counts exact values — the shape of the paper's Tables V/VI/VII, which
+/// report how many sites advertised each distinct SETTINGS value.
+class ValueCounter {
+ public:
+  void add(std::int64_t value) { ++counts_[value]; }
+  void add(std::int64_t value, std::size_t n) { counts_[value] += n; }
+
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t count_of(std::int64_t value) const;
+  [[nodiscard]] const std::map<std::int64_t, std::size_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::int64_t, std::size_t> counts_;
+};
+
+/// Fixed-width ASCII table builder used by every bench to print rows the way
+/// the paper's tables read.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an ASCII CDF plot (x ascending, y in [0,1]) — the benches' stand-in
+/// for the paper's figure panels.
+std::string render_ascii_cdf(
+    const std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>& series,
+    int width = 72, int height = 18, bool log_x = false);
+
+/// Formats a count with thousands separators, as the paper prints them.
+std::string with_commas(std::uint64_t v);
+
+}  // namespace h2r

@@ -1,0 +1,69 @@
+#include "util/status.h"
+
+namespace h2r {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case StatusCode::kFlowControlError:
+      return "FLOW_CONTROL_ERROR";
+    case StatusCode::kCompressionError:
+      return "COMPRESSION_ERROR";
+    case StatusCode::kFrameSizeError:
+      return "FRAME_SIZE_ERROR";
+    case StatusCode::kRefused:
+      return "REFUSED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{h2r::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() noexcept { return Status{}; }
+Status InvalidArgumentError(std::string msg) {
+  return Status{StatusCode::kInvalidArgument, std::move(msg)};
+}
+Status OutOfRangeError(std::string msg) {
+  return Status{StatusCode::kOutOfRange, std::move(msg)};
+}
+Status ProtocolViolationError(std::string msg) {
+  return Status{StatusCode::kProtocolError, std::move(msg)};
+}
+Status FlowControlViolationError(std::string msg) {
+  return Status{StatusCode::kFlowControlError, std::move(msg)};
+}
+Status CompressionFailureError(std::string msg) {
+  return Status{StatusCode::kCompressionError, std::move(msg)};
+}
+Status FrameSizeViolationError(std::string msg) {
+  return Status{StatusCode::kFrameSizeError, std::move(msg)};
+}
+Status RefusedError(std::string msg) {
+  return Status{StatusCode::kRefused, std::move(msg)};
+}
+Status UnavailableError(std::string msg) {
+  return Status{StatusCode::kUnavailable, std::move(msg)};
+}
+Status InternalError(std::string msg) {
+  return Status{StatusCode::kInternal, std::move(msg)};
+}
+
+}  // namespace h2r

@@ -1,0 +1,151 @@
+// Status and Result<T>: recoverable-error plumbing used across the library.
+//
+// Protocol parsing and remote-endpoint interaction fail routinely (truncated
+// frames, HPACK bombs, windows overflowing 2^31-1); those are *data* errors,
+// not programmer errors, so they travel through Result<T> rather than
+// exceptions. Exceptions remain reserved for precondition violations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace h2r {
+
+/// Coarse classification of a failure. Mirrors the handful of distinctions
+/// the callers actually branch on; detail goes in the message.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something out of contract
+  kOutOfRange,        ///< read past end / value outside representable range
+  kProtocolError,     ///< peer violated RFC 7540/7541
+  kFlowControlError,  ///< window accounting violated (RFC 7540 §6.9)
+  kCompressionError,  ///< HPACK context desynchronized (RFC 7541 §2.3.3)
+  kFrameSizeError,    ///< frame length outside advertised bounds
+  kRefused,           ///< endpoint declined (e.g. max streams exceeded)
+  kUnavailable,       ///< transport closed / endpoint gone
+  kInternal,          ///< invariant broken on our side
+};
+
+/// Human-readable name for a StatusCode ("OK", "PROTOCOL_ERROR", ...).
+std::string_view to_string(StatusCode code) noexcept;
+
+/// Value-type error carrier: a code plus an explanatory message.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with @p code and diagnostic @p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "CODE: message" rendering for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Shorthand constructors, mirroring absl::*Error style.
+Status OkStatus() noexcept;
+Status InvalidArgumentError(std::string msg);
+Status OutOfRangeError(std::string msg);
+Status ProtocolViolationError(std::string msg);
+Status FlowControlViolationError(std::string msg);
+Status CompressionFailureError(std::string msg);
+Status FrameSizeViolationError(std::string msg);
+Status RefusedError(std::string msg);
+Status UnavailableError(std::string msg);
+Status InternalError(std::string msg);
+
+/// Result<T>: either a value or a non-OK Status. Move-friendly; deref of an
+/// errored Result throws std::logic_error (programmer error, not data error).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value — enables `return parsed_frame;`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from error — enables `return ProtocolViolationError(...)`.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      throw std::logic_error("Result<T> constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  /// Status of the result; OkStatus() when a value is held.
+  [[nodiscard]] Status status() const {
+    return ok() ? OkStatus() : std::get<Status>(rep_);
+  }
+
+  /// Access the held value. Precondition: ok().
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// Returns the value or @p fallback when errored.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Result accessed while holding error: " +
+                             std::get<Status>(rep_).to_string());
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+/// Propagate-on-error helpers (statement-expression free, portable).
+#define H2R_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::h2r::Status h2r_status_ = (expr);              \
+    if (!h2r_status_.ok()) return h2r_status_;       \
+  } while (false)
+
+#define H2R_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  H2R_ASSIGN_OR_RETURN_IMPL_(                        \
+      H2R_STATUS_CONCAT_(h2r_result_, __LINE__), lhs, rexpr)
+
+#define H2R_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr)  \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define H2R_STATUS_CONCAT_INNER_(a, b) a##b
+#define H2R_STATUS_CONCAT_(a, b) H2R_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace h2r

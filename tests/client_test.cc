@@ -1,0 +1,163 @@
+// ClientConnection unit tests: the observation vocabulary every probe is
+// built from must itself be trustworthy.
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/session.h"
+#include "server/engine.h"
+
+namespace h2r::core {
+namespace {
+
+using server::Http2Server;
+using server::Site;
+
+Http2Server make_server() {
+  return Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+}
+
+TEST(Client, EmitsPrefaceAndSettingsFirst) {
+  ClientConnection client;
+  const Bytes out = client.take_output();
+  ASSERT_GT(out.size(), h2::kClientPreface.size());
+  EXPECT_EQ(std::string(out.begin(),
+                        out.begin() + static_cast<std::ptrdiff_t>(
+                                          h2::kClientPreface.size())),
+            h2::kClientPreface);
+  h2::FrameParser parser;
+  parser.feed({out.data() + h2::kClientPreface.size(),
+               out.size() - h2::kClientPreface.size()});
+  auto first = parser.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(first->ok());
+  EXPECT_EQ(first->value().type(), h2::FrameType::kSettings);
+}
+
+TEST(Client, PlantsRequestedSettings) {
+  ClientConnection client(
+      {.settings = {{h2::SettingId::kInitialWindowSize, 1},
+                    {h2::SettingId::kEnablePush, 0}}});
+  const Bytes out = client.take_output();
+  h2::FrameParser parser;
+  parser.feed({out.data() + h2::kClientPreface.size(),
+               out.size() - h2::kClientPreface.size()});
+  auto first = parser.next();
+  ASSERT_TRUE(first.has_value() && first->ok());
+  const auto& entries = first->value().as<h2::SettingsPayload>().entries;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 0x4);
+  EXPECT_EQ(entries[0].second, 1u);
+}
+
+TEST(Client, StreamIdsAreOddAndIncreasing) {
+  ClientConnection client;
+  EXPECT_EQ(client.send_request("/a"), 1u);
+  EXPECT_EQ(client.send_request("/b"), 3u);
+  EXPECT_EQ(client.send_request("/c"), 5u);
+  EXPECT_EQ(client.last_stream_id(), 5u);
+}
+
+TEST(Client, EventsPreserveArrivalOrderAndSequence) {
+  auto server = make_server();
+  ClientConnection client;
+  client.send_request("/small");
+  run_exchange(client, server);
+  const auto& events = client.events();
+  ASSERT_GE(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, i);
+  }
+  // SETTINGS arrives before any response frame.
+  EXPECT_EQ(events[0].frame.type(), h2::FrameType::kSettings);
+}
+
+TEST(Client, FramesOfFiltersByTypeAndStream) {
+  auto server = make_server();
+  ClientConnection client;
+  const auto a = client.send_request("/small");
+  const auto b = client.send_request("/style.css");
+  run_exchange(client, server);
+  const auto data_a = client.frames_of(h2::FrameType::kData, a);
+  const auto data_b = client.frames_of(h2::FrameType::kData, b);
+  const auto all_data = client.frames_of(h2::FrameType::kData);
+  EXPECT_FALSE(data_a.empty());
+  EXPECT_FALSE(data_b.empty());
+  EXPECT_EQ(all_data.size(), data_a.size() + data_b.size());
+  for (const auto* ev : data_a) EXPECT_EQ(ev->frame.stream_id, a);
+}
+
+TEST(Client, RecordsServerSettingsAndAcks) {
+  auto server = make_server();
+  ClientConnection client;
+  run_exchange(client, server);
+  EXPECT_TRUE(client.server_settings_received());
+  EXPECT_EQ(client.server_settings().max_frame_size(), 16'777'215u);
+  EXPECT_GT(client.server_settings_entry_count(), 0u);
+}
+
+TEST(Client, AnswersServerPing) {
+  // If the *server* pinged us we must ACK — exercised via a raw frame.
+  ClientConnection client;
+  const Bytes ping = h2::serialize_frame(h2::make_ping({1, 2, 3, 4, 5, 6, 7, 8}));
+  client.receive(ping);
+  const Bytes out = client.take_output();
+  // Skip preface + SETTINGS, find the PING ACK.
+  h2::FrameParser parser;
+  parser.feed({out.data() + h2::kClientPreface.size(),
+               out.size() - h2::kClientPreface.size()});
+  bool saw_ack = false;
+  while (auto f = parser.next()) {
+    ASSERT_TRUE(f->ok());
+    if (f->value().type() == h2::FrameType::kPing &&
+        f->value().has_flag(h2::flags::kAck)) {
+      saw_ack = true;
+    }
+  }
+  EXPECT_TRUE(saw_ack);
+}
+
+TEST(Client, ParseErrorPoisonsConnection) {
+  ClientConnection client;
+  // A 7-octet PING violates §6.7's fixed length: FRAME_SIZE_ERROR.
+  Bytes bogus = {0x00, 0x00, 0x07, 0x06, 0x00, 0x00, 0x00, 0x00, 0x00,
+                 1,    2,    3,    4,    5,    6,    7};
+  client.receive(bogus);
+  EXPECT_FALSE(client.alive());
+}
+
+TEST(Client, RstRecordsCode) {
+  ClientConnection client;
+  client.receive(h2::serialize_frame(
+      h2::make_rst_stream(5, h2::ErrorCode::kEnhanceYourCalm)));
+  EXPECT_EQ(client.rst_on(5),
+            std::optional<h2::ErrorCode>(h2::ErrorCode::kEnhanceYourCalm));
+  EXPECT_EQ(client.rst_on(7), std::nullopt);
+}
+
+TEST(Client, GoawayRecordsCodeAndDebug) {
+  ClientConnection client;
+  client.receive(h2::serialize_frame(
+      h2::make_goaway(9, h2::ErrorCode::kProtocolError, "boom")));
+  ASSERT_TRUE(client.goaway_received());
+  EXPECT_EQ(client.goaway()->last_stream_id, 9u);
+  EXPECT_EQ(std::string(client.goaway()->debug_data.begin(),
+                        client.goaway()->debug_data.end()),
+            "boom");
+}
+
+TEST(Client, AutoWindowUpdatesCanBeDisabledIndependently) {
+  // Connection updates off, stream updates on: the server can refill
+  // streams but the connection window eventually starves.
+  auto server = make_server();
+  ClientOptions opts;
+  opts.auto_connection_window_update = false;
+  opts.auto_stream_window_update = true;
+  ClientConnection client(opts);
+  const auto sid = client.send_request("/large/0");  // 512 KiB
+  run_exchange(client, server);
+  EXPECT_EQ(client.data_received(sid), h2::kDefaultInitialWindowSize);
+  EXPECT_FALSE(client.stream_complete(sid));
+}
+
+}  // namespace
+}  // namespace h2r::core

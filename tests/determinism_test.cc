@@ -1,0 +1,86 @@
+// Determinism guarantees: the whole system is a pure function of its inputs
+// and seeds — the property that makes the measurement reproduction
+// re-runnable bit-for-bit, and the one most easily broken by an accidental
+// wall-clock or unordered-container dependency.
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "pageload/loader.h"
+#include "server/engine.h"
+
+namespace h2r {
+namespace {
+
+using core::ClientConnection;
+using server::Http2Server;
+using server::Site;
+
+/// Runs one scripted session and returns every byte the server emitted.
+Bytes scripted_session_output(const server::ServerProfile& profile) {
+  Http2Server server(profile, Site::standard_testbed_site());
+  ClientConnection client;
+  Bytes all;
+  auto pump = [&] {
+    for (int i = 0; i < 4096; ++i) {
+      const Bytes c2s = client.take_output();
+      if (!c2s.empty()) server.receive(c2s);
+      const Bytes s2c = server.take_output();
+      all.insert(all.end(), s2c.begin(), s2c.end());
+      if (!s2c.empty()) client.receive(s2c);
+      if (c2s.empty() && s2c.empty()) break;
+    }
+  };
+  client.send_request("/");
+  pump();
+  client.send_request("/large/0",
+                      h2::PriorityInfo{.dependency = 1, .weight_field = 99});
+  client.send_request("/object/3");
+  pump();
+  client.send_ping({1, 2, 3, 4, 5, 6, 7, 8});
+  client.send_window_update(0, 12345);
+  pump();
+  client.send_request_with_body("/upload", Bytes(70'000, 0x5C));
+  pump();
+  return all;
+}
+
+class DeterminismMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismMatrix, ServerByteStreamIsReproducible) {
+  const auto profile = server::profile_by_key(GetParam());
+  const Bytes first = scripted_session_output(profile);
+  const Bytes second = scripted_session_output(profile);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, DeterminismMatrix,
+                         ::testing::Values("nginx", "litespeed", "h2o",
+                                           "nghttpd", "apache", "gse"));
+
+TEST(Determinism, CharacterizationStableAcrossProcessOrder) {
+  // Characterizing B then A must equal A then B: probes share no state.
+  Rng r1(42), r2(42);
+  const auto a1 = core::characterize(
+      core::Target::testbed(server::nginx_profile()), r1);
+  (void)core::characterize(core::Target::testbed(server::apache_profile()), r2);
+  const auto a2 = core::characterize(
+      core::Target::testbed(server::nginx_profile()), r2);
+  EXPECT_EQ(a1.row_values(), a2.row_values());
+  EXPECT_EQ(a1.hpack.header_sizes, a2.hpack.header_sizes);
+}
+
+TEST(Determinism, PageLoadIsSeedStable) {
+  Rng build(3);
+  const pageload::Page page = pageload::Page::synthesize("det.example", build);
+  pageload::LoadConditions cond;
+  cond.path.base_rtt_ms = 77;
+  Rng v1(9), v2(9);
+  EXPECT_DOUBLE_EQ(pageload::simulate_page_load_ms(page, cond, v1),
+                   pageload::simulate_page_load_ms(page, cond, v2));
+}
+
+}  // namespace
+}  // namespace h2r

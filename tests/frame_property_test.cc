@@ -1,0 +1,198 @@
+// Property tests for the frame codec: randomized frames survive
+// serialization under arbitrary transport chunking, and the parser is
+// crash-free on arbitrary byte soup and on bit-flipped valid streams.
+#include <gtest/gtest.h>
+
+#include "h2/frame.h"
+#include "h2/frame_codec.h"
+#include "util/rng.h"
+
+namespace h2r::h2 {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+Frame random_frame(Rng& rng) {
+  const std::uint32_t stream = 1 + 2 * static_cast<std::uint32_t>(rng.next_below(50));
+  switch (rng.next_below(10)) {
+    case 0: {
+      Frame f = make_data(stream, random_bytes(rng, 300), rng.next_bool(0.5));
+      f.as<DataPayload>().pad_length =
+          static_cast<std::uint8_t>(rng.next_below(32));
+      return f;
+    }
+    case 1: {
+      std::optional<PriorityInfo> prio;
+      if (rng.next_bool(0.5)) {
+        prio = PriorityInfo{
+            .dependency = static_cast<std::uint32_t>(rng.next_below(100)),
+            .weight_field = static_cast<std::uint8_t>(rng.next_below(256)),
+            .exclusive = rng.next_bool(0.5)};
+      }
+      Frame f = make_headers(stream, random_bytes(rng, 200), rng.next_bool(0.5),
+                             rng.next_bool(0.9), prio);
+      f.as<HeadersPayload>().pad_length =
+          static_cast<std::uint8_t>(rng.next_below(16));
+      return f;
+    }
+    case 2:
+      return make_priority(
+          stream, {.dependency = static_cast<std::uint32_t>(rng.next_below(100)),
+                   .weight_field = static_cast<std::uint8_t>(rng.next_below(256)),
+                   .exclusive = rng.next_bool(0.5)});
+    case 3:
+      return make_rst_stream(stream,
+                             static_cast<ErrorCode>(rng.next_below(14)));
+    case 4: {
+      std::vector<std::pair<SettingId, std::uint32_t>> entries;
+      const std::size_t n = rng.next_below(5);
+      for (std::size_t i = 0; i < n; ++i) {
+        entries.emplace_back(static_cast<SettingId>(1 + rng.next_below(6)),
+                             static_cast<std::uint32_t>(rng.next_below(1 << 20)));
+      }
+      return make_settings(std::move(entries));
+    }
+    case 5:
+      return make_push_promise(
+          stream, 2 * static_cast<std::uint32_t>(1 + rng.next_below(50)),
+          random_bytes(rng, 100));
+    case 6: {
+      std::array<std::uint8_t, 8> opaque{};
+      for (auto& b : opaque) b = static_cast<std::uint8_t>(rng.next_below(256));
+      return make_ping(opaque, rng.next_bool(0.5));
+    }
+    case 7:
+      return make_goaway(static_cast<std::uint32_t>(rng.next_below(100)),
+                         static_cast<ErrorCode>(rng.next_below(14)),
+                         std::string(rng.next_below(40), 'd'));
+    case 8:
+      return make_window_update(
+          rng.next_bool(0.3) ? 0 : stream,
+          static_cast<std::uint32_t>(rng.next_below(0x7FFFFFFF)));
+    default:
+      return make_continuation(stream, random_bytes(rng, 150),
+                               rng.next_bool(0.5));
+  }
+}
+
+bool frames_equal(const Frame& a, const Frame& b) {
+  // Padding is consumed at parse time, so compare semantic content only.
+  if (a.type() != b.type() || a.stream_id != b.stream_id) return false;
+  if (a.is<DataPayload>()) {
+    return a.as<DataPayload>().data == b.as<DataPayload>().data;
+  }
+  if (a.is<HeadersPayload>()) {
+    return a.as<HeadersPayload>().fragment == b.as<HeadersPayload>().fragment &&
+           a.as<HeadersPayload>().priority == b.as<HeadersPayload>().priority;
+  }
+  if (a.is<PriorityPayload>()) {
+    return a.as<PriorityPayload>().info == b.as<PriorityPayload>().info;
+  }
+  if (a.is<RstStreamPayload>()) {
+    return a.as<RstStreamPayload>().error == b.as<RstStreamPayload>().error;
+  }
+  if (a.is<SettingsPayload>()) {
+    return a.as<SettingsPayload>().entries == b.as<SettingsPayload>().entries;
+  }
+  if (a.is<PushPromisePayload>()) {
+    return a.as<PushPromisePayload>().promised_stream_id ==
+               b.as<PushPromisePayload>().promised_stream_id &&
+           a.as<PushPromisePayload>().fragment ==
+               b.as<PushPromisePayload>().fragment;
+  }
+  if (a.is<PingPayload>()) {
+    return a.as<PingPayload>().opaque == b.as<PingPayload>().opaque;
+  }
+  if (a.is<GoawayPayload>()) {
+    return a.as<GoawayPayload>().last_stream_id ==
+               b.as<GoawayPayload>().last_stream_id &&
+           a.as<GoawayPayload>().error == b.as<GoawayPayload>().error &&
+           a.as<GoawayPayload>().debug_data == b.as<GoawayPayload>().debug_data;
+  }
+  if (a.is<WindowUpdatePayload>()) {
+    return a.as<WindowUpdatePayload>().increment ==
+           b.as<WindowUpdatePayload>().increment;
+  }
+  if (a.is<ContinuationPayload>()) {
+    return a.as<ContinuationPayload>().fragment ==
+           b.as<ContinuationPayload>().fragment;
+  }
+  return false;
+}
+
+class FrameRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameRoundTripProperty, RandomFramesSurviveRandomChunking) {
+  Rng rng(GetParam());
+  std::vector<Frame> sent;
+  for (int i = 0; i < 50; ++i) sent.push_back(random_frame(rng));
+  const Bytes wire = serialize_frames(sent);
+
+  FrameParser parser(kMaxAllowedFrameSize);
+  std::vector<Frame> parsed;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + rng.next_below(97), wire.size() - pos);
+    parser.feed({wire.data() + pos, chunk});
+    pos += chunk;
+    while (auto next = parser.next()) {
+      ASSERT_TRUE(next->ok()) << next->status().to_string();
+      parsed.push_back(std::move(next->value()));
+    }
+  }
+  ASSERT_EQ(parsed.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_TRUE(frames_equal(sent[i], parsed[i])) << "frame " << i << ": "
+                                                  << sent[i].describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTripProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+class FrameParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameParserFuzz, ArbitraryBytesNeverCrash) {
+  Rng rng(GetParam() * 0x9E3779B9u);
+  FrameParser parser;
+  for (int round = 0; round < 200; ++round) {
+    parser.feed(random_bytes(rng, 128));
+    // Drain; errors are expected and fine, crashes are not.
+    for (int i = 0; i < 64; ++i) {
+      auto next = parser.next();
+      if (!next || !next->ok()) break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(FrameParserFuzzMutation, BitFlippedValidStreamsNeverCrash) {
+  Rng rng(0xBEEF);
+  std::vector<Frame> frames;
+  for (int i = 0; i < 20; ++i) frames.push_back(random_frame(rng));
+  const Bytes original = serialize_frames(frames);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = original;
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    FrameParser parser(kMaxAllowedFrameSize);
+    parser.feed(mutated);
+    for (int i = 0; i < 64; ++i) {
+      auto next = parser.next();
+      if (!next || !next->ok()) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace h2r::h2

@@ -1,0 +1,250 @@
+// Priority dependency tree tests (RFC 7540 §5.3), including the paper's
+// Figure 1 / Tables I & II worked example and the RFC §5.3.3 descendant
+// reprioritization example — the structures the Algorithm 1 probe relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "h2/priority_tree.h"
+
+namespace h2r::h2 {
+namespace {
+
+bool contains_child(const PriorityTree& t, std::uint32_t parent,
+                    std::uint32_t child) {
+  auto c = t.children_of(parent);
+  return std::find(c.begin(), c.end(), child) != c.end();
+}
+
+// Stream letters from the paper's Fig. 1, mapped to client stream ids.
+constexpr std::uint32_t A = 1, B = 3, C = 5, D = 7, E = 9, F = 11;
+
+PriorityTree build_paper_tree() {
+  // Table I: A dep 0; B,C,D dep A (weight 1); E dep B; F dep D.
+  PriorityTree t;
+  EXPECT_TRUE(t.declare(A, {.dependency = 0, .weight_field = 0}).ok());
+  EXPECT_TRUE(t.declare(B, {.dependency = A, .weight_field = 0}).ok());
+  EXPECT_TRUE(t.declare(C, {.dependency = A, .weight_field = 0}).ok());
+  EXPECT_TRUE(t.declare(D, {.dependency = A, .weight_field = 0}).ok());
+  EXPECT_TRUE(t.declare(E, {.dependency = B, .weight_field = 0}).ok());
+  EXPECT_TRUE(t.declare(F, {.dependency = D, .weight_field = 0}).ok());
+  return t;
+}
+
+TEST(PriorityTree, PaperTableI_BuildsFig1Tree) {
+  PriorityTree t = build_paper_tree();
+  EXPECT_EQ(t.parent_of(A), 0u);
+  EXPECT_EQ(t.parent_of(B), A);
+  EXPECT_EQ(t.parent_of(C), A);
+  EXPECT_EQ(t.parent_of(D), A);
+  EXPECT_EQ(t.parent_of(E), B);
+  EXPECT_EQ(t.parent_of(F), D);
+  EXPECT_EQ(t.children_of(A).size(), 3u);
+}
+
+TEST(PriorityTree, PaperTableII_Row1_ExclusiveReprioritization) {
+  // PRIORITY frame: A depends on B, exclusive — Fig. 1 sub-figure (2):
+  // B moves to the root position of the subtree; A becomes B's only child
+  // and adopts B's former children (E) alongside its own remaining
+  // children (C, D).
+  PriorityTree t = build_paper_tree();
+  ASSERT_TRUE(
+      t.reprioritize(A, {.dependency = B, .weight_field = 0, .exclusive = true})
+          .ok());
+  EXPECT_EQ(t.parent_of(B), 0u);
+  EXPECT_EQ(t.parent_of(A), B);
+  EXPECT_EQ(t.children_of(B).size(), 1u);  // exclusively A
+  // A's children: E (adopted from B), C, D.
+  EXPECT_TRUE(contains_child(t, A, E));
+  EXPECT_TRUE(contains_child(t, A, C));
+  EXPECT_TRUE(contains_child(t, A, D));
+  EXPECT_EQ(t.parent_of(F), D);
+}
+
+TEST(PriorityTree, PaperTableII_Row2_NonExclusiveReprioritization) {
+  // PRIORITY frame: A depends on B, non-exclusive — Fig. 1 sub-figure (3):
+  // B keeps E; A joins as a sibling of E under B.
+  PriorityTree t = build_paper_tree();
+  ASSERT_TRUE(
+      t.reprioritize(A, {.dependency = B, .weight_field = 0, .exclusive = false})
+          .ok());
+  EXPECT_EQ(t.parent_of(B), 0u);
+  EXPECT_EQ(t.parent_of(A), B);
+  EXPECT_EQ(t.parent_of(E), B);
+  EXPECT_EQ(t.children_of(B).size(), 2u);  // E and A
+  EXPECT_TRUE(contains_child(t, A, C));
+  EXPECT_TRUE(contains_child(t, A, D));
+  EXPECT_FALSE(contains_child(t, A, E));
+}
+
+TEST(PriorityTree, SelfDependencyIsProtocolError) {
+  PriorityTree t = build_paper_tree();
+  EXPECT_EQ(t.reprioritize(A, {.dependency = A}).code(),
+            StatusCode::kProtocolError);
+  PriorityTree fresh;
+  EXPECT_EQ(fresh.declare(1, {.dependency = 1}).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(PriorityTree, DefaultDeclarationHangsOffRoot) {
+  PriorityTree t;
+  ASSERT_TRUE(t.declare_default(1).ok());
+  EXPECT_EQ(t.parent_of(1), 0u);
+  EXPECT_EQ(t.weight_of(1), kDefaultWeight);
+}
+
+TEST(PriorityTree, PhantomParentCreatedOnDemand) {
+  PriorityTree t;
+  // Depend on stream 99 that was never declared — §5.3.1 allows this.
+  ASSERT_TRUE(t.declare(1, {.dependency = 99}).ok());
+  EXPECT_TRUE(t.contains(99));
+  EXPECT_EQ(t.parent_of(99), 0u);
+  EXPECT_EQ(t.parent_of(1), 99u);
+}
+
+TEST(PriorityTree, PriorityFrameOnIdleStreamCreatesIt) {
+  PriorityTree t;
+  ASSERT_TRUE(t.reprioritize(5, {.dependency = 0, .weight_field = 99}).ok());
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_EQ(t.weight_of(5), 100);
+}
+
+TEST(PriorityTree, Rfc533_DescendantBecomesParent) {
+  // RFC 7540 §5.3.3 example: when a stream is made dependent on one of its
+  // own descendants, the descendant is first moved up to the reprioritized
+  // stream's former parent.
+  PriorityTree t;
+  ASSERT_TRUE(t.declare(1, {.dependency = 0}).ok());
+  ASSERT_TRUE(t.declare(3, {.dependency = 1}).ok());
+  ASSERT_TRUE(t.declare(5, {.dependency = 3}).ok());
+  // Make 1 depend on 5 (its grandchild), non-exclusive.
+  ASSERT_TRUE(t.reprioritize(1, {.dependency = 5}).ok());
+  EXPECT_EQ(t.parent_of(5), 0u);  // moved to 1's old parent (root)
+  EXPECT_EQ(t.parent_of(1), 5u);
+  EXPECT_EQ(t.parent_of(3), 1u);  // untouched
+}
+
+TEST(PriorityTree, Rfc533_DescendantBecomesParentExclusive) {
+  PriorityTree t;
+  ASSERT_TRUE(t.declare(1, {.dependency = 0}).ok());
+  ASSERT_TRUE(t.declare(3, {.dependency = 1}).ok());
+  ASSERT_TRUE(t.declare(5, {.dependency = 3}).ok());
+  ASSERT_TRUE(t.declare(7, {.dependency = 5}).ok());
+  // Exclusive: 1 becomes 5's only child, adopting 5's former children (7).
+  ASSERT_TRUE(
+      t.reprioritize(1, {.dependency = 5, .exclusive = true}).ok());
+  EXPECT_EQ(t.parent_of(5), 0u);
+  EXPECT_EQ(t.children_of(5).size(), 1u);
+  EXPECT_EQ(t.parent_of(1), 5u);
+  EXPECT_TRUE(contains_child(t, 1, 7));
+  EXPECT_TRUE(contains_child(t, 1, 3));
+}
+
+TEST(PriorityTree, RemoveRedistributesWeightProportionally) {
+  // §5.3.4: closed stream's children move to its parent with weights scaled
+  // by the closed stream's weight.
+  PriorityTree t;
+  ASSERT_TRUE(t.declare(1, {.dependency = 0, .weight_field = 31}).ok());  // w=32
+  ASSERT_TRUE(t.declare(3, {.dependency = 1, .weight_field = 15}).ok());  // w=16
+  ASSERT_TRUE(t.declare(5, {.dependency = 1, .weight_field = 47}).ok());  // w=48
+  t.remove(1);
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.parent_of(3), 0u);
+  EXPECT_EQ(t.parent_of(5), 0u);
+  // Children shared 16:48; scaled into parent weight 32 -> 8 and 24.
+  EXPECT_EQ(t.weight_of(3), 8);
+  EXPECT_EQ(t.weight_of(5), 24);
+}
+
+TEST(PriorityTree, RemoveUnknownOrRootIsNoOp) {
+  PriorityTree t;
+  t.remove(0);
+  t.remove(77);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(PriorityTree, IsAncestorWalksRootPath) {
+  PriorityTree t = build_paper_tree();
+  EXPECT_TRUE(t.is_ancestor(A, E));
+  EXPECT_TRUE(t.is_ancestor(B, E));
+  EXPECT_FALSE(t.is_ancestor(C, E));
+  EXPECT_TRUE(t.is_ancestor(0, A));
+}
+
+// ----------------------------------------------------------- scheduling
+
+TEST(PriorityScheduler, ParentServedBeforeDependents) {
+  PriorityTree t = build_paper_tree();
+  std::map<std::uint32_t, int> pending = {{A, 2}, {B, 2}, {E, 2}};
+  auto wants = [&](std::uint32_t id) { return pending[id] > 0; };
+  // A (the common ancestor) must be fully drained before B; B before E.
+  std::vector<std::uint32_t> order;
+  while (std::uint32_t next = t.next_stream(wants)) {
+    order.push_back(next);
+    --pending[next];
+    t.account(next, 1000);
+  }
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(std::vector<std::uint32_t>(order.begin(), order.begin() + 2),
+            (std::vector<std::uint32_t>{A, A}));
+  EXPECT_EQ(std::vector<std::uint32_t>(order.begin() + 2, order.begin() + 4),
+            (std::vector<std::uint32_t>{B, B}));
+  EXPECT_EQ(std::vector<std::uint32_t>(order.begin() + 4, order.end()),
+            (std::vector<std::uint32_t>{E, E}));
+}
+
+TEST(PriorityScheduler, SiblingsShareByWeight) {
+  PriorityTree t;
+  ASSERT_TRUE(t.declare(1, {.dependency = 0, .weight_field = 63}).ok());   // w=64
+  ASSERT_TRUE(t.declare(3, {.dependency = 0, .weight_field = 191}).ok());  // w=192
+  std::map<std::uint32_t, int> served = {{1, 0}, {3, 0}};
+  auto wants = [](std::uint32_t) { return true; };
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t next = t.next_stream(wants);
+    ASSERT_NE(next, 0u);
+    ++served[next];
+    t.account(next, 1000);
+  }
+  // 64:192 = 1:3 split, within rounding.
+  EXPECT_NEAR(static_cast<double>(served[3]) / 400.0, 0.75, 0.02);
+}
+
+TEST(PriorityScheduler, BlockedParentUnblocksSubtree) {
+  // The flow-control interaction the paper highlights in §III-C: when the
+  // parent cannot send (no window), dependents are served instead.
+  PriorityTree t = build_paper_tree();
+  std::map<std::uint32_t, bool> blocked = {{A, true}};
+  std::map<std::uint32_t, int> pending = {{A, 1}, {B, 1}};
+  auto wants = [&](std::uint32_t id) { return pending[id] > 0 && !blocked[id]; };
+  EXPECT_EQ(t.next_stream(wants), B);
+  blocked[A] = false;
+  EXPECT_EQ(t.next_stream(wants), A);
+}
+
+TEST(PriorityScheduler, NothingEligibleReturnsZero) {
+  PriorityTree t = build_paper_tree();
+  auto wants = [](std::uint32_t) { return false; };
+  EXPECT_EQ(t.next_stream(wants), 0u);
+}
+
+TEST(PriorityScheduler, DeepChainServedTopDown) {
+  PriorityTree t;
+  // 1 <- 3 <- 5 <- 7 (each depends on the previous).
+  ASSERT_TRUE(t.declare(1, {.dependency = 0}).ok());
+  ASSERT_TRUE(t.declare(3, {.dependency = 1}).ok());
+  ASSERT_TRUE(t.declare(5, {.dependency = 3}).ok());
+  ASSERT_TRUE(t.declare(7, {.dependency = 5}).ok());
+  std::map<std::uint32_t, int> pending = {{1, 1}, {3, 1}, {5, 1}, {7, 1}};
+  auto wants = [&](std::uint32_t id) { return pending[id] > 0; };
+  std::vector<std::uint32_t> order;
+  while (std::uint32_t next = t.next_stream(wants)) {
+    order.push_back(next);
+    --pending[next];
+    t.account(next, 100);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 5, 7}));
+}
+
+}  // namespace
+}  // namespace h2r::h2

@@ -1,0 +1,198 @@
+// Settings, flow-control, and stream state machine tests.
+#include <gtest/gtest.h>
+
+#include "h2/flow_control.h"
+#include "h2/settings.h"
+#include "h2/stream.h"
+
+namespace h2r::h2 {
+namespace {
+
+// ---------------------------------------------------------------- settings
+
+TEST(Settings, DefaultsMatchRfc) {
+  SettingsMap s;
+  EXPECT_EQ(s.header_table_size(), 4096u);
+  EXPECT_TRUE(s.enable_push());
+  EXPECT_EQ(s.max_concurrent_streams(), std::nullopt);  // unlimited
+  EXPECT_EQ(s.initial_window_size(), 65535u);
+  EXPECT_EQ(s.max_frame_size(), 16384u);
+  EXPECT_EQ(s.max_header_list_size(), std::nullopt);  // unlimited
+}
+
+TEST(Settings, ApplyOverridesDefaults) {
+  SettingsMap s;
+  ASSERT_TRUE(s.apply(0x4, 1048576).ok());
+  ASSERT_TRUE(s.apply(0x3, 100).ok());
+  EXPECT_EQ(s.initial_window_size(), 1048576u);
+  EXPECT_EQ(s.max_concurrent_streams(), std::optional<std::uint32_t>(100));
+}
+
+TEST(Settings, EnablePushMustBeBoolean) {
+  SettingsMap s;
+  EXPECT_TRUE(s.apply(0x2, 0).ok());
+  EXPECT_TRUE(s.apply(0x2, 1).ok());
+  EXPECT_EQ(s.apply(0x2, 2).code(), StatusCode::kProtocolError);
+}
+
+TEST(Settings, InitialWindowSizeCappedAt2G) {
+  SettingsMap s;
+  EXPECT_TRUE(s.apply(0x4, 0x7FFFFFFF).ok());
+  EXPECT_EQ(s.apply(0x4, 0x80000000u).code(), StatusCode::kFlowControlError);
+}
+
+TEST(Settings, MaxFrameSizeBounds) {
+  SettingsMap s;
+  EXPECT_EQ(s.apply(0x5, 16383).code(), StatusCode::kProtocolError);
+  EXPECT_TRUE(s.apply(0x5, 16384).ok());
+  EXPECT_TRUE(s.apply(0x5, 16777215).ok());
+  EXPECT_EQ(s.apply(0x5, 16777216).code(), StatusCode::kProtocolError);
+}
+
+TEST(Settings, UnknownIdsIgnoredButRecorded) {
+  SettingsMap s;
+  EXPECT_TRUE(s.apply(0xDEAD, 42).ok());
+  // Does not disturb known values.
+  EXPECT_EQ(s.initial_window_size(), 65535u);
+}
+
+TEST(Settings, ToEntriesRoundTrips) {
+  SettingsMap s;
+  ASSERT_TRUE(s.apply(0x4, 0).ok());
+  ASSERT_TRUE(s.apply(0x3, 128).ok());
+  auto entries = s.to_entries();
+  SettingsMap t;
+  for (auto [id, v] : entries) {
+    ASSERT_TRUE(t.apply(static_cast<std::uint16_t>(id), v).ok());
+  }
+  EXPECT_EQ(t.initial_window_size(), 0u);
+  EXPECT_EQ(t.max_concurrent_streams(), std::optional<std::uint32_t>(128));
+}
+
+// ------------------------------------------------------------ flow control
+
+TEST(FlowWindow, ConsumeDecrements) {
+  FlowWindow w(100);
+  ASSERT_TRUE(w.consume(60).ok());
+  EXPECT_EQ(w.available(), 40);
+  ASSERT_TRUE(w.consume(40).ok());
+  EXPECT_EQ(w.available(), 0);
+}
+
+TEST(FlowWindow, OverConsumeIsFlowControlError) {
+  FlowWindow w(10);
+  EXPECT_EQ(w.consume(11).code(), StatusCode::kFlowControlError);
+  EXPECT_EQ(w.available(), 10);  // untouched on failure
+}
+
+TEST(FlowWindow, ZeroIncrementIsProtocolError) {
+  // RFC 7540 §6.9: a receiver MUST treat a 0 increment as an error —
+  // this is precisely what the paper's zero-window-update probe measures.
+  FlowWindow w;
+  EXPECT_EQ(w.expand(0).code(), StatusCode::kProtocolError);
+}
+
+TEST(FlowWindow, OverflowBeyond2GIsFlowControlError) {
+  // §6.9.1: the large-window-update probe drives the sum past 2^31-1.
+  FlowWindow w(65535);
+  ASSERT_TRUE(w.expand(0x7FFFFFFF - 65535).ok());
+  EXPECT_EQ(w.available(), 0x7FFFFFFF);
+  EXPECT_EQ(w.expand(1).code(), StatusCode::kFlowControlError);
+}
+
+TEST(FlowWindow, SettingsAdjustmentCanGoNegative) {
+  // §6.9.2: lowering SETTINGS_INITIAL_WINDOW_SIZE after octets were sent.
+  FlowWindow w(65535);
+  ASSERT_TRUE(w.consume(60000).ok());
+  ASSERT_TRUE(w.adjust_initial(65535, 0).ok());
+  EXPECT_EQ(w.available(), 5535 - 65535);  // = -60000, legally negative
+}
+
+TEST(FlowWindow, SettingsAdjustmentOverflowCaught) {
+  FlowWindow w(0x7FFFFFFF);
+  EXPECT_EQ(w.adjust_initial(0, 100).code(), StatusCode::kFlowControlError);
+}
+
+// -------------------------------------------------------------- stream SM
+
+TEST(StreamSM, RequestResponseLifecycle) {
+  // Client view of a GET: send HEADERS+END_STREAM, receive response.
+  StreamStateMachine sm(1);
+  ASSERT_TRUE(sm.on_send_headers(/*end_stream=*/true).ok());
+  EXPECT_EQ(sm.state(), StreamState::kHalfClosedLocal);
+  ASSERT_TRUE(sm.on_recv_headers(false).ok());
+  ASSERT_TRUE(sm.on_recv_data(false).ok());
+  ASSERT_TRUE(sm.on_recv_data(true).ok());
+  EXPECT_EQ(sm.state(), StreamState::kClosed);
+}
+
+TEST(StreamSM, ServerViewOfRequest) {
+  StreamStateMachine sm(1);
+  ASSERT_TRUE(sm.on_recv_headers(true).ok());
+  EXPECT_EQ(sm.state(), StreamState::kHalfClosedRemote);
+  EXPECT_TRUE(sm.can_send_data());
+  ASSERT_TRUE(sm.on_send_headers(false).ok());
+  ASSERT_TRUE(sm.on_send_data(true).ok());
+  EXPECT_EQ(sm.state(), StreamState::kClosed);
+}
+
+TEST(StreamSM, PushLifecycleOnPromisedStream) {
+  // Server side: PUSH_PROMISE reserves, response HEADERS half-closes.
+  StreamStateMachine sm(2);
+  ASSERT_TRUE(sm.on_send_push_promise().ok());
+  EXPECT_EQ(sm.state(), StreamState::kReservedLocal);
+  ASSERT_TRUE(sm.on_send_headers(false).ok());
+  EXPECT_EQ(sm.state(), StreamState::kHalfClosedRemote);
+  ASSERT_TRUE(sm.on_send_data(true).ok());
+  EXPECT_EQ(sm.state(), StreamState::kClosed);
+}
+
+TEST(StreamSM, ClientViewOfPush) {
+  StreamStateMachine sm(2);
+  ASSERT_TRUE(sm.on_recv_push_promise().ok());
+  EXPECT_EQ(sm.state(), StreamState::kReservedRemote);
+  ASSERT_TRUE(sm.on_recv_headers(false).ok());
+  EXPECT_EQ(sm.state(), StreamState::kHalfClosedLocal);
+  ASSERT_TRUE(sm.on_recv_data(true).ok());
+  EXPECT_TRUE(sm.closed());
+}
+
+TEST(StreamSM, DataOnIdleStreamIsProtocolError) {
+  StreamStateMachine sm(1);
+  EXPECT_EQ(sm.on_recv_data(false).code(), StatusCode::kProtocolError);
+}
+
+TEST(StreamSM, DataAfterEndStreamIsError) {
+  StreamStateMachine sm(1);
+  ASSERT_TRUE(sm.on_recv_headers(true).ok());
+  EXPECT_FALSE(sm.on_recv_data(false).ok());
+}
+
+TEST(StreamSM, RstClosesFromAnyActiveState) {
+  StreamStateMachine sm(1);
+  ASSERT_TRUE(sm.on_recv_headers(false).ok());
+  ASSERT_TRUE(sm.on_recv_rst().ok());
+  EXPECT_TRUE(sm.closed());
+}
+
+TEST(StreamSM, RstOnIdleIsProtocolError) {
+  StreamStateMachine sm(1);
+  EXPECT_EQ(sm.on_recv_rst().code(), StatusCode::kProtocolError);
+}
+
+TEST(StreamSM, PushPromiseOnNonIdleIsProtocolError) {
+  StreamStateMachine sm(2);
+  ASSERT_TRUE(sm.on_recv_headers(false).ok());
+  EXPECT_EQ(sm.on_recv_push_promise().code(), StatusCode::kProtocolError);
+}
+
+TEST(StreamSM, HeadersOnClosedIsProtocolError) {
+  StreamStateMachine sm(1);
+  ASSERT_TRUE(sm.on_recv_headers(true).ok());
+  ASSERT_TRUE(sm.on_send_headers(true).ok());
+  EXPECT_TRUE(sm.closed());
+  EXPECT_FALSE(sm.on_recv_headers(false).ok());
+}
+
+}  // namespace
+}  // namespace h2r::h2

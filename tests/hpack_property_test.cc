@@ -1,0 +1,207 @@
+// Property tests for HPACK: randomized header lists must round-trip through
+// every encoder configuration, and encoder/decoder dynamic tables must stay
+// synchronized over long block sequences — the invariant the whole protocol
+// rests on (RFC 7541 §2.2).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hpack/decoder.h"
+#include "hpack/encoder.h"
+#include "hpack/integer.h"
+#include "hpack/table.h"
+#include "util/rng.h"
+
+namespace h2r::hpack {
+namespace {
+
+std::string random_token(Rng& rng, std::size_t max_len, bool binary) {
+  const std::size_t len = rng.next_below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  static constexpr char kTokenChars[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-_.:/ =;";
+  for (std::size_t i = 0; i < len; ++i) {
+    if (binary) {
+      out.push_back(static_cast<char>(rng.next_below(256)));
+    } else {
+      out.push_back(kTokenChars[rng.next_below(sizeof(kTokenChars) - 1)]);
+    }
+  }
+  return out;
+}
+
+HeaderList random_headers(Rng& rng, bool binary_values) {
+  HeaderList headers;
+  const std::size_t n = 1 + rng.next_below(12);
+  for (std::size_t i = 0; i < n; ++i) {
+    HeaderField f;
+    if (rng.next_bool(0.4)) {
+      // Bias towards names the static table knows.
+      f.name = std::string(
+          static_table_entry(1 + static_cast<std::uint32_t>(rng.next_below(61)))
+              .name);
+    } else {
+      f.name = "x-" + random_token(rng, 16, false);
+    }
+    f.value = random_token(rng, 40, binary_values);
+    f.never_indexed = rng.next_bool(0.1);
+    headers.push_back(std::move(f));
+  }
+  return headers;
+}
+
+struct HpackPropertyCase {
+  std::uint64_t seed;
+  IndexingPolicy policy;
+  bool huffman;
+  bool binary_values;
+};
+
+class HpackRoundTrip : public ::testing::TestWithParam<HpackPropertyCase> {};
+
+TEST_P(HpackRoundTrip, ManyBlocksDecodeExactly) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  Encoder enc({.policy = param.policy, .use_huffman = param.huffman});
+  Decoder dec;
+  for (int block = 0; block < 40; ++block) {
+    const HeaderList headers = random_headers(rng, param.binary_values);
+    auto decoded = dec.decode(enc.encode(headers));
+    ASSERT_TRUE(decoded.ok())
+        << "block " << block << ": " << decoded.status().to_string();
+    ASSERT_EQ(decoded->size(), headers.size()) << "block " << block;
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      EXPECT_EQ((*decoded)[i].name, headers[i].name);
+      EXPECT_EQ((*decoded)[i].value, headers[i].value);
+      EXPECT_EQ((*decoded)[i].never_indexed, headers[i].never_indexed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HpackRoundTrip,
+    ::testing::Values(
+        HpackPropertyCase{1, IndexingPolicy::kAggressive, true, false},
+        HpackPropertyCase{2, IndexingPolicy::kAggressive, true, true},
+        HpackPropertyCase{3, IndexingPolicy::kAggressive, false, false},
+        HpackPropertyCase{4, IndexingPolicy::kAggressive, false, true},
+        HpackPropertyCase{5, IndexingPolicy::kStaticOnly, true, false},
+        HpackPropertyCase{6, IndexingPolicy::kStaticOnly, false, true},
+        HpackPropertyCase{7, IndexingPolicy::kNone, true, false},
+        HpackPropertyCase{8, IndexingPolicy::kNone, false, true}),
+    [](const ::testing::TestParamInfo<HpackPropertyCase>& info) {
+      const auto& p = info.param;
+      std::string name = "seed" + std::to_string(p.seed);
+      name += p.policy == IndexingPolicy::kAggressive  ? "_aggressive"
+              : p.policy == IndexingPolicy::kStaticOnly ? "_staticonly"
+                                                        : "_none";
+      name += p.huffman ? "_huffman" : "_plain";
+      name += p.binary_values ? "_binary" : "_token";
+      return name;
+    });
+
+class HpackTinyTable : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HpackTinyTable, EvictionNeverDesynchronizes) {
+  // Stress the eviction path: the table is barely big enough for one or two
+  // entries, so nearly every insertion evicts.
+  const std::uint32_t capacity = GetParam();
+  Rng rng(99);
+  Encoder enc({.policy = IndexingPolicy::kAggressive, .table_capacity = capacity});
+  Decoder dec;
+  enc.set_table_capacity(capacity);  // emits the size-update instruction
+  for (int block = 0; block < 60; ++block) {
+    const HeaderList headers = random_headers(rng, false);
+    auto decoded = dec.decode(enc.encode(headers));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    ASSERT_EQ(decoded->size(), headers.size());
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      EXPECT_EQ((*decoded)[i], headers[i]);
+    }
+    EXPECT_LE(enc.table().size_octets(), capacity);
+    EXPECT_LE(dec.table().size_octets(), capacity);
+    EXPECT_EQ(enc.table().dynamic_entry_count(), dec.table().dynamic_entry_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, HpackTinyTable,
+                         ::testing::Values(0u, 32u, 64u, 100u, 500u, 4096u));
+
+class HpackIntegerSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(HpackIntegerSweep, RandomValuesRoundTrip) {
+  const int prefix = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    // Log-uniform draw to cover every magnitude.
+    const int bits = static_cast<int>(rng.next_below(33));
+    const std::uint32_t v = static_cast<std::uint32_t>(
+        rng.next_u64() & ((bits >= 32 ? ~0ull : (1ull << bits) - 1)));
+    ByteWriter w;
+    encode_integer(w, v, prefix, 0);
+    const Bytes buf = w.take();
+    ByteReader r({buf.data(), buf.size()});
+    const std::uint8_t first = r.read_u8().value();
+    auto back = decode_integer(r, first, prefix);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, HpackIntegerSweep,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(7ull)));
+
+TEST(HpackDecoderFuzz, RandomBytesNeverCrash) {
+  // Garbage input must produce errors, never UB. (The scanner feeds the
+  // decoder whatever a remote endpoint sends.)
+  Rng rng(0xF00D);
+  Decoder dec;
+  int ok = 0, failed = 0;
+  for (int round = 0; round < 3000; ++round) {
+    Bytes junk(rng.next_below(64), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    auto result = dec.decode(junk);
+    (result.ok() ? ok : failed) += 1;
+  }
+  // Some random blocks happen to be valid (e.g. single indexed fields);
+  // the point is every call returns.
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(ok + failed, 0);
+}
+
+TEST(HpackEncoderProperty, EncodedSizeIsMonotonicInPolicyStrictness) {
+  // For repeated identical blocks, aggressive <= static-only <= none.
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const HeaderList headers = random_headers(rng, false);
+    std::size_t totals[3] = {0, 0, 0};
+    const IndexingPolicy policies[3] = {IndexingPolicy::kAggressive,
+                                        IndexingPolicy::kStaticOnly,
+                                        IndexingPolicy::kNone};
+    for (int p = 0; p < 3; ++p) {
+      Encoder enc({.policy = policies[p], .use_huffman = false});
+      for (int i = 0; i < 5; ++i) totals[p] += enc.encode(headers).size();
+    }
+    EXPECT_LE(totals[0], totals[1]) << "trial " << trial;
+    EXPECT_LE(totals[1], totals[2]) << "trial " << trial;
+  }
+}
+
+TEST(HpackEncoderProperty, HuffmanNeverInflates) {
+  // The encoder only huffman-codes strings that actually shrink, so the
+  // huffman-enabled wire size is never larger than plain.
+  Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    const HeaderList headers = random_headers(rng, trial % 2 == 1);
+    Encoder plain({.policy = IndexingPolicy::kNone, .use_huffman = false});
+    Encoder huff({.policy = IndexingPolicy::kNone, .use_huffman = true});
+    EXPECT_LE(huff.encode(headers).size(), plain.encode(headers).size());
+  }
+}
+
+}  // namespace
+}  // namespace h2r::hpack

@@ -1,0 +1,220 @@
+// Tests for the network layer: ALPN/NPN negotiation directionality, the
+// h2c upgrade path, path-model delay composition, and the virtual clock.
+#include <gtest/gtest.h>
+
+#include "net/alpn.h"
+#include "net/clock.h"
+#include "net/path.h"
+#include "net/upgrade.h"
+#include "util/bytes.h"
+
+namespace h2r::net {
+namespace {
+
+// ------------------------------------------------------------------ ALPN
+
+TEST(Alpn, ServerPreferenceWins) {
+  TlsEndpointConfig server;
+  server.protocols = {kProtoH2, kProtoHttp11};
+  // Client prefers http/1.1 but the server picks its own favourite.
+  auto r = negotiate_alpn({kProtoHttp11, kProtoH2}, server);
+  EXPECT_TRUE(r.used_alpn);
+  EXPECT_EQ(r.protocol, kProtoH2);
+}
+
+TEST(Alpn, NoOverlapYieldsEmpty) {
+  TlsEndpointConfig server;
+  server.protocols = {kProtoSpdy31};
+  auto r = negotiate_alpn({kProtoH2}, server);
+  EXPECT_TRUE(r.protocol.empty());
+}
+
+TEST(Alpn, DisabledServerDoesNotNegotiate) {
+  TlsEndpointConfig server;
+  server.supports_alpn = false;
+  auto r = negotiate_alpn({kProtoH2}, server);
+  EXPECT_FALSE(r.used_alpn);
+  EXPECT_TRUE(r.protocol.empty());
+}
+
+TEST(Npn, ClientPreferenceWins) {
+  // NPN reverses the direction: the server advertises, the client picks.
+  TlsEndpointConfig server;
+  server.protocols = {kProtoHttp11, kProtoH2};  // server prefers http/1.1
+  auto r = negotiate_npn({kProtoH2, kProtoHttp11}, server);
+  EXPECT_TRUE(r.used_npn);
+  EXPECT_EQ(r.protocol, kProtoH2);  // ...but the client wanted h2
+}
+
+TEST(Negotiate, FallsBackFromAlpnToNpn) {
+  TlsEndpointConfig server;
+  server.supports_alpn = false;  // pre-OpenSSL-1.0.2 deployment (§V-B)
+  server.supports_npn = true;
+  auto r = negotiate({kProtoH2, kProtoHttp11}, server);
+  EXPECT_EQ(r.protocol, kProtoH2);
+  EXPECT_TRUE(r.used_npn);
+  EXPECT_FALSE(r.used_alpn);
+}
+
+TEST(Negotiate, ReportsAttemptsOnTotalFailure) {
+  TlsEndpointConfig server;
+  server.protocols = {kProtoHttp11};
+  auto r = negotiate({kProtoH2}, server);
+  EXPECT_TRUE(r.protocol.empty());
+  EXPECT_TRUE(r.used_alpn);
+  EXPECT_TRUE(r.used_npn);
+}
+
+// ------------------------------------------------------------- base64url
+
+TEST(Base64Url, KnownVectors) {
+  EXPECT_EQ(base64url_encode(bytes_of("")), "");
+  EXPECT_EQ(base64url_encode(bytes_of("f")), "Zg");
+  EXPECT_EQ(base64url_encode(bytes_of("fo")), "Zm8");
+  EXPECT_EQ(base64url_encode(bytes_of("foo")), "Zm9v");
+  EXPECT_EQ(base64url_encode(bytes_of("foob")), "Zm9vYg");
+  EXPECT_EQ(base64url_encode(bytes_of("fooba")), "Zm9vYmE");
+  EXPECT_EQ(base64url_encode(bytes_of("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Url, UsesUrlSafeAlphabet) {
+  // 0xFB 0xFF maps onto '-'/'_' territory in the url-safe alphabet.
+  const Bytes data = {0xFB, 0xEF, 0xFF};
+  const std::string encoded = base64url_encode(data);
+  EXPECT_EQ(encoded.find('+'), std::string::npos);
+  EXPECT_EQ(encoded.find('/'), std::string::npos);
+  auto back = base64url_decode(encoded);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Base64Url, RoundTripsBinary) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  auto back = base64url_decode(base64url_encode(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Base64Url, RejectsGarbage) {
+  EXPECT_FALSE(base64url_decode("a+b").ok());  // '+' is not url-safe
+  EXPECT_FALSE(base64url_decode("a").ok());    // impossible length
+}
+
+// ------------------------------------------------------------ h2c upgrade
+
+TEST(Upgrade, WellFormedRequestRendersAllHeaders) {
+  UpgradeRequest req;
+  req.host = "example.org";
+  req.settings = {{h2::SettingId::kInitialWindowSize, 65535}};
+  const std::string text = render_upgrade_request(req);
+  EXPECT_NE(text.find("GET / HTTP/1.1"), std::string::npos);
+  EXPECT_NE(text.find("Upgrade: h2c"), std::string::npos);
+  EXPECT_NE(text.find("Connection: Upgrade, HTTP2-Settings"), std::string::npos);
+  EXPECT_NE(text.find("HTTP2-Settings: "), std::string::npos);
+}
+
+TEST(Upgrade, WillingServerSwitchesAndReadsSettings) {
+  UpgradeRequest req;
+  req.host = "example.org";
+  req.settings = {{h2::SettingId::kInitialWindowSize, 123456},
+                  {h2::SettingId::kMaxConcurrentStreams, 7}};
+  auto result = process_upgrade_request(render_upgrade_request(req),
+                                        /*server_supports_h2c=*/true);
+  EXPECT_TRUE(result.switched);
+  EXPECT_EQ(result.status_line, "HTTP/1.1 101 Switching Protocols");
+  EXPECT_EQ(result.client_settings.initial_window_size(), 123456u);
+  EXPECT_EQ(result.client_settings.max_concurrent_streams(),
+            std::optional<std::uint32_t>(7));
+}
+
+TEST(Upgrade, UnwillingServerAnswersHttp11) {
+  UpgradeRequest req;
+  req.host = "example.org";
+  auto result = process_upgrade_request(render_upgrade_request(req),
+                                        /*server_supports_h2c=*/false);
+  EXPECT_FALSE(result.switched);
+  EXPECT_EQ(result.status_line, "HTTP/1.1 200 OK");
+}
+
+TEST(Upgrade, PlainRequestIsNotUpgraded) {
+  auto result = process_upgrade_request(
+      "GET / HTTP/1.1\r\nHost: example.org\r\n\r\n", true);
+  EXPECT_FALSE(result.switched);
+}
+
+TEST(Upgrade, MalformedSmuggledSettingsIs400) {
+  const std::string bad =
+      "GET / HTTP/1.1\r\nHost: x\r\nConnection: Upgrade, HTTP2-Settings\r\n"
+      "Upgrade: h2c\r\nHTTP2-Settings: !!!!\r\n\r\n";
+  auto result = process_upgrade_request(bad, true);
+  EXPECT_FALSE(result.switched);
+  EXPECT_EQ(result.status_line, "HTTP/1.1 400 Bad Request");
+}
+
+TEST(Upgrade, InvalidSettingValueIs400) {
+  // ENABLE_PUSH=7 violates §6.5.2 even when smuggled through HTTP/1.1.
+  UpgradeRequest req;
+  req.host = "x";
+  ByteWriter w;
+  w.write_u16(0x2);
+  w.write_u32(7);
+  const std::string text =
+      "GET / HTTP/1.1\r\nHost: x\r\nConnection: Upgrade, HTTP2-Settings\r\n"
+      "Upgrade: h2c\r\nHTTP2-Settings: " +
+      base64url_encode(w.bytes()) + "\r\n\r\n";
+  auto result = process_upgrade_request(text, true);
+  EXPECT_EQ(result.status_line, "HTTP/1.1 400 Bad Request");
+}
+
+TEST(Upgrade, HeaderNamesAreCaseInsensitive) {
+  const std::string text =
+      "GET / HTTP/1.1\r\nHost: x\r\nconnection: upgrade, http2-settings\r\n"
+      "UPGRADE: h2c\r\nhttp2-settings: \r\n\r\n";
+  auto result = process_upgrade_request(text, true);
+  EXPECT_TRUE(result.switched);
+}
+
+// ------------------------------------------------------------ path model
+
+TEST(PathModel, Http11IncludesThinkTime) {
+  PathModel path;
+  path.base_rtt_ms = 100;
+  path.jitter_ms = 0;
+  Rng rng(3);
+  EXPECT_GT(path.sample_http11(rng), path.sample_icmp(rng) + 10);
+}
+
+TEST(PathModel, FastMethodsAgreeWithinJitter) {
+  PathModel path;
+  path.base_rtt_ms = 80;
+  path.jitter_ms = 2;
+  Rng rng(3);
+  double icmp = 0, tcp = 0, ping = 0;
+  for (int i = 0; i < 200; ++i) {
+    icmp += path.sample_icmp(rng);
+    tcp += path.sample_tcp_handshake(rng);
+    ping += path.sample_h2_ping(rng);
+  }
+  EXPECT_NEAR(icmp / 200, tcp / 200, 1.0);
+  EXPECT_NEAR(tcp / 200, ping / 200, 1.0);
+}
+
+TEST(PathModel, OneWayIsHalfRtt) {
+  PathModel path;
+  path.base_rtt_ms = 100;
+  path.jitter_ms = 0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(path.sample_one_way(rng), 50.0);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 0.0);
+  clock.advance_ms(12.5);
+  clock.advance_ms(-5);  // clamped: time never goes backwards
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 12.5);
+}
+
+}  // namespace
+}  // namespace h2r::net

@@ -1,0 +1,180 @@
+// Page-load simulator tests (Figure 3 machinery).
+#include <gtest/gtest.h>
+
+#include "pageload/loader.h"
+#include "pageload/page.h"
+
+namespace h2r::pageload {
+namespace {
+
+net::PathModel slow_path() {
+  net::PathModel p;
+  p.base_rtt_ms = 200;
+  p.jitter_ms = 20;
+  return p;
+}
+
+TEST(Page, SynthesisIsDeterministicPerSeed) {
+  Rng a(5), b(5);
+  Page pa = Page::synthesize("x.com", a);
+  Page pb = Page::synthesize("x.com", b);
+  EXPECT_EQ(pa.html_size, pb.html_size);
+  ASSERT_EQ(pa.resources.size(), pb.resources.size());
+  EXPECT_EQ(pa.total_bytes(), pb.total_bytes());
+}
+
+TEST(Page, HasPushableDepth1Resources) {
+  Rng rng(7);
+  Page p = Page::synthesize("x.com", rng);
+  int pushable = 0, depth1 = 0;
+  for (const auto& r : p.resources) {
+    if (r.depth == 1) ++depth1;
+    if (r.pushable) {
+      ++pushable;
+      EXPECT_EQ(r.depth, 1);  // only depth-1 resources are pushable
+    }
+  }
+  EXPECT_GT(pushable, 0);
+  EXPECT_GT(depth1, pushable / 2);
+  EXPECT_GE(p.max_depth(), 2);
+}
+
+TEST(Loader, PushReducesPageLoadTime) {
+  // The Figure 3 claim: enabling push reduces PLT in most cases.
+  Rng rng(11);
+  Page page = Page::synthesize("rememberthemilk.com", rng);
+  LoadConditions with_push{.path = slow_path(), .push_enabled = true};
+  LoadConditions without{.path = slow_path(), .push_enabled = false};
+  Rng visit_rng_a(1), visit_rng_b(1);  // identical jitter draws
+  const double on = simulate_page_load_ms(page, with_push, visit_rng_a);
+  const double off = simulate_page_load_ms(page, without, visit_rng_b);
+  EXPECT_LT(on, off);
+  // The saving is about one discovery round trip.
+  EXPECT_NEAR(off - on, slow_path().base_rtt_ms, 120.0);
+}
+
+TEST(Loader, PushSavingGrowsWithLatency) {
+  // §V-F cites [21]: push helps more when latency is high.
+  Rng rng(13);
+  Page page = Page::synthesize("nghttp2.org", rng);
+  auto median_saving = [&](double rtt) {
+    net::PathModel p;
+    p.base_rtt_ms = rtt;
+    p.jitter_ms = 0;
+    LoadConditions on{.path = p, .push_enabled = true};
+    LoadConditions off{.path = p, .push_enabled = false};
+    Rng ra(3), rb(3);
+    return simulate_page_load_ms(page, off, rb) -
+           simulate_page_load_ms(page, on, ra);
+  };
+  EXPECT_GT(median_saving(300), median_saving(30));
+}
+
+TEST(Loader, PltInPaperRange) {
+  // Figure 3's y-axis spans roughly 1-10 seconds.
+  Rng rng(17);
+  for (int site = 0; site < 15; ++site) {
+    Page page = Page::synthesize("site" + std::to_string(site), rng);
+    net::PathModel p;
+    p.base_rtt_ms = 80 + 20 * site;
+    LoadConditions cond{.path = p, .bandwidth_kbps = 3'000,
+                        .push_enabled = false};
+    const double plt = simulate_page_load_ms(page, cond, rng);
+    EXPECT_GT(plt, 500.0);
+    EXPECT_LT(plt, 12'000.0);
+  }
+}
+
+TEST(Loader, RepeatVisitsVary) {
+  Rng rng(19);
+  Page page = Page::synthesize("x.com", rng);
+  LoadConditions cond{.path = slow_path()};
+  auto samples = visit_repeatedly(page, cond, 30, rng);
+  ASSERT_EQ(samples.size(), 30u);
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  EXPECT_GT(*hi - *lo, 1.0);  // jitter shows up
+}
+
+TEST(Loader, LossThrottlesSingleConnection) {
+  // §VI: one lossy TCP connection caps HTTP/2 throughput (Mathis model).
+  Rng rng(23);
+  Page page = Page::synthesize("lossy.com", rng);
+  net::PathModel clean;
+  clean.base_rtt_ms = 120;
+  clean.jitter_ms = 0;
+  net::PathModel lossy = clean;
+  lossy.loss_rate = 0.02;
+  LoadConditions c1{.path = clean, .push_enabled = false};
+  LoadConditions c2{.path = lossy, .push_enabled = false};
+  Rng ra(1), rb(1);
+  EXPECT_GT(simulate_page_load_ms(page, c2, rb),
+            simulate_page_load_ms(page, c1, ra) * 1.5);
+}
+
+TEST(Loader, ShardingMitigatesLoss) {
+  // §VI: "Using more than one TCP connection could mitigate such problem."
+  Rng rng(29);
+  Page page = Page::synthesize("shard.com", rng);
+  net::PathModel lossy;
+  lossy.base_rtt_ms = 120;
+  lossy.jitter_ms = 0;
+  lossy.loss_rate = 0.02;
+  LoadConditions one{.path = lossy, .push_enabled = false, .connections = 1};
+  LoadConditions six = one;
+  six.connections = 6;
+  Rng ra(1), rb(1);
+  EXPECT_LT(simulate_page_load_ms(page, six, rb),
+            simulate_page_load_ms(page, one, ra));
+}
+
+TEST(Loader, ShardingDoesNotExceedLinkBandwidth) {
+  // Loss-free, extra connections must not beat the link rate.
+  Rng rng(31);
+  Page page = Page::synthesize("clean.com", rng);
+  net::PathModel clean;
+  clean.base_rtt_ms = 50;
+  clean.jitter_ms = 0;
+  LoadConditions one{.path = clean, .push_enabled = false, .connections = 1};
+  LoadConditions six = one;
+  six.connections = 6;
+  Rng ra(1), rb(1);
+  EXPECT_DOUBLE_EQ(simulate_page_load_ms(page, one, ra),
+                   simulate_page_load_ms(page, six, rb));
+}
+
+TEST(Loader, WarmCacheMakesPushWasteful) {
+  // §VI: pushed copies of cached objects waste exactly their size.
+  Rng rng(37);
+  Page page = Page::synthesize("warm.com", rng);
+  net::PathModel path;
+  path.base_rtt_ms = 100;
+  path.jitter_ms = 0;
+  LoadConditions cold{.path = path, .push_enabled = true, .cached_fraction = 0};
+  LoadConditions warm = cold;
+  warm.cached_fraction = 1.0;
+  Rng ra(1), rb(1);
+  const auto r_cold = simulate_page_load(page, cold, ra);
+  const auto r_warm = simulate_page_load(page, warm, rb);
+  EXPECT_EQ(r_cold.wasted_push_bytes, 0u);
+  EXPECT_EQ(r_warm.wasted_push_bytes, r_warm.pushed_bytes);
+  EXPECT_GT(r_warm.pushed_bytes, 0u);
+}
+
+TEST(Loader, CacheWarmthMonotonicallyIncreasesWaste) {
+  Rng rng(41);
+  Page page = Page::synthesize("mono.com", rng);
+  net::PathModel path;
+  path.jitter_ms = 0;
+  std::size_t prev = 0;
+  for (double warmth : {0.0, 0.3, 0.6, 1.0}) {
+    LoadConditions cond{.path = path, .push_enabled = true,
+                        .cached_fraction = warmth};
+    Rng visit(1);
+    const auto r = simulate_page_load(page, cond, visit);
+    EXPECT_GE(r.wasted_push_bytes, prev) << "warmth " << warmth;
+    prev = r.wasted_push_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace h2r::pageload

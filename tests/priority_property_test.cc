@@ -1,0 +1,205 @@
+// Property tests for the priority dependency tree: random operation
+// sequences must preserve the §5.3 structural invariants, and both
+// scheduler disciplines must honour their contracts on random trees.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "h2/priority_tree.h"
+#include "util/rng.h"
+
+namespace h2r::h2 {
+namespace {
+
+/// Walks the tree from the root and checks the §5.3 structural invariants:
+/// acyclic, fully reachable, parent/child links consistent, weights in
+/// [1, 256].
+void check_invariants(const PriorityTree& tree,
+                      const std::vector<std::uint32_t>& live_ids) {
+  std::set<std::uint32_t> reached;
+  std::function<void(std::uint32_t)> visit = [&](std::uint32_t node) {
+    for (std::uint32_t child : tree.children_of(node)) {
+      ASSERT_TRUE(reached.insert(child).second)
+          << "stream " << child << " reachable twice (cycle or dup link)";
+      ASSERT_EQ(tree.parent_of(child), node) << "parent link broken";
+      const int w = tree.weight_of(child);
+      ASSERT_GE(w, 1);
+      ASSERT_LE(w, 256);
+      visit(child);
+    }
+  };
+  visit(0);
+  for (std::uint32_t id : live_ids) {
+    EXPECT_TRUE(reached.count(id))
+        << "stream " << id << " unreachable from the root";
+  }
+  EXPECT_EQ(reached.size(), tree.size());
+}
+
+class PriorityTreeChurnProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PriorityTreeChurnProperty, RandomOperationsPreserveInvariants) {
+  Rng rng(GetParam());
+  PriorityTree tree;
+  std::vector<std::uint32_t> live;
+  std::uint32_t next_id = 1;
+
+  for (int op = 0; op < 400; ++op) {
+    const double draw = rng.next_double();
+    if (draw < 0.45 || live.empty()) {
+      // Declare a new stream with a random dependency.
+      const std::uint32_t id = next_id;
+      next_id += 2;
+      PriorityInfo info;
+      info.dependency =
+          live.empty() || rng.next_bool(0.3)
+              ? 0
+              : live[rng.next_below(live.size())];
+      info.weight_field = static_cast<std::uint8_t>(rng.next_below(256));
+      info.exclusive = rng.next_bool(0.25);
+      ASSERT_TRUE(tree.declare(id, info).ok());
+      live.push_back(id);
+    } else if (draw < 0.8) {
+      // Reprioritize a random live stream, possibly onto a descendant.
+      const std::uint32_t id = live[rng.next_below(live.size())];
+      PriorityInfo info;
+      info.dependency =
+          rng.next_bool(0.3) ? 0 : live[rng.next_below(live.size())];
+      info.weight_field = static_cast<std::uint8_t>(rng.next_below(256));
+      info.exclusive = rng.next_bool(0.25);
+      const Status s = tree.reprioritize(id, info);
+      if (info.dependency == id) {
+        EXPECT_EQ(s.code(), StatusCode::kProtocolError);
+      } else {
+        EXPECT_TRUE(s.ok());
+      }
+    } else {
+      // Close a random stream.
+      const std::size_t idx = rng.next_below(live.size());
+      tree.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    check_invariants(tree, live);
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PriorityTreeChurnProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+class SchedulerContractProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SchedulerContractProperty, GatedSchedulerNeverServesBelowEagerAncestor) {
+  Rng rng(GetParam() * 31);
+  PriorityTree tree;
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 1; i <= 41; i += 2) {
+    PriorityInfo info;
+    info.dependency = ids.empty() || rng.next_bool(0.4)
+                          ? 0
+                          : ids[rng.next_below(ids.size())];
+    info.weight_field = static_cast<std::uint8_t>(rng.next_below(256));
+    ASSERT_TRUE(tree.declare(i, info).ok());
+    ids.push_back(i);
+  }
+  std::map<std::uint32_t, bool> eager;
+  for (std::uint32_t id : ids) eager[id] = rng.next_bool(0.5);
+  auto wants = [&](std::uint32_t id) { return eager[id]; };
+
+  for (int round = 0; round < 200; ++round) {
+    const std::uint32_t next = tree.next_stream(wants);
+    if (next == 0) break;
+    ASSERT_TRUE(eager[next]);
+    // Contract: no proper ancestor of the served stream is itself eager.
+    for (std::uint32_t other : ids) {
+      if (other != next && eager[other]) {
+        EXPECT_FALSE(tree.is_ancestor(other, next))
+            << "served " << next << " below eager ancestor " << other;
+      }
+    }
+    tree.account(next, 100);
+    if (rng.next_bool(0.2)) eager[next] = false;  // stream drains
+    if (rng.next_bool(0.1)) {
+      const std::uint32_t id = ids[rng.next_below(ids.size())];
+      eager[id] = !eager[id];
+    }
+  }
+}
+
+TEST_P(SchedulerContractProperty, FairSchedulerServesOnlyEagerStreams) {
+  Rng rng(GetParam() * 57);
+  PriorityTree tree;
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 1; i <= 21; i += 2) {
+    PriorityInfo info;
+    info.dependency = ids.empty() || rng.next_bool(0.5)
+                          ? 0
+                          : ids[rng.next_below(ids.size())];
+    info.weight_field = static_cast<std::uint8_t>(rng.next_below(256));
+    ASSERT_TRUE(tree.declare(i, info).ok());
+    ids.push_back(i);
+  }
+  std::map<std::uint32_t, bool> eager;
+  for (std::uint32_t id : ids) eager[id] = rng.next_bool(0.6);
+  auto wants = [&](std::uint32_t id) { return eager[id]; };
+  int served = 0;
+  for (int round = 0; round < 300; ++round) {
+    const std::uint32_t next = tree.next_stream_fair(wants);
+    if (next == 0) break;
+    ASSERT_TRUE(eager[next]);
+    ++served;
+    tree.account(next, 64);
+    if (rng.next_bool(0.05)) eager[next] = false;
+  }
+  bool any_eager = false;
+  for (std::uint32_t id : ids) {
+    any_eager |= eager[id];
+  }
+  if (any_eager) {
+    EXPECT_EQ(served, 300);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerContractProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class WeightShareProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WeightShareProperty, SiblingsConvergeToWeightRatio) {
+  const auto [w1, w2] = GetParam();
+  PriorityTree tree;
+  ASSERT_TRUE(tree.declare(1, {.dependency = 0,
+                               .weight_field = static_cast<std::uint8_t>(w1 - 1)})
+                  .ok());
+  ASSERT_TRUE(tree.declare(3, {.dependency = 0,
+                               .weight_field = static_cast<std::uint8_t>(w2 - 1)})
+                  .ok());
+  std::map<std::uint32_t, int> served;
+  auto wants = [](std::uint32_t) { return true; };
+  const int rounds = 2000;
+  for (int i = 0; i < rounds; ++i) {
+    const std::uint32_t next = tree.next_stream(wants);
+    ASSERT_NE(next, 0u);
+    ++served[next];
+    tree.account(next, 1000);
+  }
+  const double expected =
+      static_cast<double>(w2) / static_cast<double>(w1 + w2);
+  EXPECT_NEAR(static_cast<double>(served[3]) / rounds, expected, 0.02)
+      << "weights " << w1 << ":" << w2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, WeightShareProperty,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 3}, std::pair{1, 255},
+                      std::pair{16, 64}, std::pair{100, 156},
+                      std::pair{255, 256}));
+
+}  // namespace
+}  // namespace h2r::h2

@@ -1,0 +1,78 @@
+// Characterization/report coherence tests and ASCII rendering smoke tests.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "util/stats.h"
+
+namespace h2r {
+namespace {
+
+TEST(Report, LabelsValuesAndRfcColumnAgreeInLength) {
+  Rng rng(5);
+  const auto c = core::characterize(
+      core::Target::testbed(server::h2o_profile()), rng);
+  const auto labels = core::Characterization::row_labels();
+  EXPECT_EQ(c.row_values().size(), labels.size());
+  EXPECT_EQ(core::rfc7540_reference_column().size(), labels.size());
+  EXPECT_EQ(labels.size(), 14u);  // the paper's Table III has 14 rows
+}
+
+TEST(Report, RfcColumnMatchesPaper) {
+  const auto rfc = core::rfc7540_reference_column();
+  EXPECT_EQ(rfc[0], "support");            // ALPN
+  EXPECT_EQ(rfc[1], "does not require");   // NPN
+  EXPECT_EQ(rfc[4], "no");                 // no flow control on HEADERS
+  EXPECT_EQ(rfc[5], "RST_STREAM");         // zero window update on stream
+  EXPECT_EQ(rfc[11], "RST_STREAM");        // self-dependent stream
+}
+
+TEST(Report, FullyConformantProfileOnlyDeviatesWhereDocumented) {
+  // H2O's only Table III deviation from the RFC column is self-dependency
+  // (GOAWAY instead of RST_STREAM) and NPN (which the RFC doesn't require).
+  Rng rng(6);
+  const auto c = core::characterize(
+      core::Target::testbed(server::h2o_profile()), rng);
+  const auto values = c.row_values();
+  const auto rfc = core::rfc7540_reference_column();
+  int deviations = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (rfc[i] == "does not require") continue;
+    if (values[i] != rfc[i]) ++deviations;
+  }
+  EXPECT_EQ(deviations, 1);  // the self-dependency GOAWAY
+}
+
+TEST(Report, CharacterizationIsDeterministic) {
+  Rng rng1(9), rng2(9);
+  const auto a = core::characterize(
+      core::Target::testbed(server::nginx_profile()), rng1);
+  const auto b = core::characterize(
+      core::Target::testbed(server::nginx_profile()), rng2);
+  EXPECT_EQ(a.row_values(), b.row_values());
+  EXPECT_DOUBLE_EQ(a.hpack.ratio, b.hpack.ratio);
+}
+
+TEST(AsciiCdf, RendersSeriesAndLegend) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) s.add(v);
+  const auto out = render_ascii_cdf({{"mine", s.cdf_points()}}, 40, 8);
+  EXPECT_NE(out.find("[*] mine"), std::string::npos);
+  EXPECT_NE(out.find("CDF"), std::string::npos);
+}
+
+TEST(AsciiCdf, LogScaleHandlesWideRanges) {
+  SampleSet s;
+  for (double v : {1.0, 100.0, 100000.0}) s.add(v);
+  const auto out =
+      render_ascii_cdf({{"wide", s.cdf_points()}}, 40, 8, /*log_x=*/true);
+  EXPECT_NE(out.find("log10(x)"), std::string::npos);
+}
+
+TEST(AsciiCdf, EmptyInputsDoNotCrash) {
+  EXPECT_NE(render_ascii_cdf({}).find("no series"), std::string::npos);
+  EXPECT_NE(render_ascii_cdf({{"empty", {}}}).find("empty"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2r

@@ -1,0 +1,181 @@
+// Systematic stream-state transition matrix (RFC 7540 §5.1): every
+// (state, event) pair is checked against the specification's figure-2
+// transition diagram, including the umbrella header compiling standalone.
+#include <gtest/gtest.h>
+
+#include "h2ready.h"  // also proves the umbrella header is self-contained
+
+namespace h2r::h2 {
+namespace {
+
+enum class Event {
+  kSendHeaders,
+  kRecvHeaders,
+  kSendHeadersEs,
+  kRecvHeadersEs,
+  kSendData,
+  kRecvData,
+  kSendDataEs,
+  kRecvDataEs,
+  kSendRst,
+  kRecvRst,
+  kSendPp,
+  kRecvPp,
+};
+
+const char* name(Event e) {
+  switch (e) {
+    case Event::kSendHeaders: return "send HEADERS";
+    case Event::kRecvHeaders: return "recv HEADERS";
+    case Event::kSendHeadersEs: return "send HEADERS+ES";
+    case Event::kRecvHeadersEs: return "recv HEADERS+ES";
+    case Event::kSendData: return "send DATA";
+    case Event::kRecvData: return "recv DATA";
+    case Event::kSendDataEs: return "send DATA+ES";
+    case Event::kRecvDataEs: return "recv DATA+ES";
+    case Event::kSendRst: return "send RST";
+    case Event::kRecvRst: return "recv RST";
+    case Event::kSendPp: return "send PUSH_PROMISE";
+    case Event::kRecvPp: return "recv PUSH_PROMISE";
+  }
+  return "?";
+}
+
+Status apply(StreamStateMachine& sm, Event e) {
+  switch (e) {
+    case Event::kSendHeaders: return sm.on_send_headers(false);
+    case Event::kRecvHeaders: return sm.on_recv_headers(false);
+    case Event::kSendHeadersEs: return sm.on_send_headers(true);
+    case Event::kRecvHeadersEs: return sm.on_recv_headers(true);
+    case Event::kSendData: return sm.on_send_data(false);
+    case Event::kRecvData: return sm.on_recv_data(false);
+    case Event::kSendDataEs: return sm.on_send_data(true);
+    case Event::kRecvDataEs: return sm.on_recv_data(true);
+    case Event::kSendRst: return sm.on_send_rst();
+    case Event::kRecvRst: return sm.on_recv_rst();
+    case Event::kSendPp: return sm.on_send_push_promise();
+    case Event::kRecvPp: return sm.on_recv_push_promise();
+  }
+  return InternalError("unreachable");
+}
+
+/// Drives a fresh machine into @p target via a legal path.
+StreamStateMachine at(StreamState target) {
+  StreamStateMachine sm(1);
+  switch (target) {
+    case StreamState::kIdle:
+      break;
+    case StreamState::kReservedLocal:
+      EXPECT_TRUE(sm.on_send_push_promise().ok());
+      break;
+    case StreamState::kReservedRemote:
+      EXPECT_TRUE(sm.on_recv_push_promise().ok());
+      break;
+    case StreamState::kOpen:
+      EXPECT_TRUE(sm.on_recv_headers(false).ok());
+      break;
+    case StreamState::kHalfClosedLocal:
+      EXPECT_TRUE(sm.on_send_headers(true).ok());
+      break;
+    case StreamState::kHalfClosedRemote:
+      EXPECT_TRUE(sm.on_recv_headers(true).ok());
+      break;
+    case StreamState::kClosed:
+      EXPECT_TRUE(sm.on_recv_headers(false).ok());
+      EXPECT_TRUE(sm.on_recv_rst().ok());
+      break;
+  }
+  EXPECT_EQ(sm.state(), target);
+  return sm;
+}
+
+struct Expectation {
+  StreamState from;
+  Event event;
+  bool legal;
+  StreamState to;  // meaningful when legal
+};
+
+// The §5.1 diagram, row by row (endpoint view; "send PP"/"recv PP" act on
+// the *promised* stream, hence legal only from idle).
+const Expectation kMatrix[] = {
+    // idle
+    {StreamState::kIdle, Event::kSendHeaders, true, StreamState::kOpen},
+    {StreamState::kIdle, Event::kRecvHeaders, true, StreamState::kOpen},
+    {StreamState::kIdle, Event::kSendHeadersEs, true, StreamState::kHalfClosedLocal},
+    {StreamState::kIdle, Event::kRecvHeadersEs, true, StreamState::kHalfClosedRemote},
+    {StreamState::kIdle, Event::kSendPp, true, StreamState::kReservedLocal},
+    {StreamState::kIdle, Event::kRecvPp, true, StreamState::kReservedRemote},
+    {StreamState::kIdle, Event::kSendData, false, {}},
+    {StreamState::kIdle, Event::kRecvData, false, {}},
+    {StreamState::kIdle, Event::kSendRst, false, {}},
+    {StreamState::kIdle, Event::kRecvRst, false, {}},
+    // reserved (local)
+    {StreamState::kReservedLocal, Event::kSendHeaders, true, StreamState::kHalfClosedRemote},
+    {StreamState::kReservedLocal, Event::kSendRst, true, StreamState::kClosed},
+    {StreamState::kReservedLocal, Event::kRecvRst, true, StreamState::kClosed},
+    {StreamState::kReservedLocal, Event::kRecvData, false, {}},
+    {StreamState::kReservedLocal, Event::kSendData, false, {}},
+    {StreamState::kReservedLocal, Event::kRecvPp, false, {}},
+    // reserved (remote)
+    {StreamState::kReservedRemote, Event::kRecvHeaders, true, StreamState::kHalfClosedLocal},
+    {StreamState::kReservedRemote, Event::kSendRst, true, StreamState::kClosed},
+    {StreamState::kReservedRemote, Event::kRecvRst, true, StreamState::kClosed},
+    {StreamState::kReservedRemote, Event::kSendData, false, {}},
+    {StreamState::kReservedRemote, Event::kSendPp, false, {}},
+    // open
+    {StreamState::kOpen, Event::kSendData, true, StreamState::kOpen},
+    {StreamState::kOpen, Event::kRecvData, true, StreamState::kOpen},
+    {StreamState::kOpen, Event::kSendDataEs, true, StreamState::kHalfClosedLocal},
+    {StreamState::kOpen, Event::kRecvDataEs, true, StreamState::kHalfClosedRemote},
+    {StreamState::kOpen, Event::kSendHeaders, true, StreamState::kOpen},
+    {StreamState::kOpen, Event::kRecvHeaders, true, StreamState::kOpen},
+    {StreamState::kOpen, Event::kSendRst, true, StreamState::kClosed},
+    {StreamState::kOpen, Event::kRecvRst, true, StreamState::kClosed},
+    {StreamState::kOpen, Event::kSendPp, false, {}},
+    {StreamState::kOpen, Event::kRecvPp, false, {}},
+    // half-closed (local): we may only receive
+    {StreamState::kHalfClosedLocal, Event::kRecvData, true, StreamState::kHalfClosedLocal},
+    {StreamState::kHalfClosedLocal, Event::kRecvDataEs, true, StreamState::kClosed},
+    {StreamState::kHalfClosedLocal, Event::kRecvHeadersEs, true, StreamState::kClosed},
+    {StreamState::kHalfClosedLocal, Event::kSendData, false, {}},
+    {StreamState::kHalfClosedLocal, Event::kSendRst, true, StreamState::kClosed},
+    {StreamState::kHalfClosedLocal, Event::kRecvRst, true, StreamState::kClosed},
+    // half-closed (remote): we may only send
+    {StreamState::kHalfClosedRemote, Event::kSendData, true, StreamState::kHalfClosedRemote},
+    {StreamState::kHalfClosedRemote, Event::kSendDataEs, true, StreamState::kClosed},
+    {StreamState::kHalfClosedRemote, Event::kSendHeadersEs, true, StreamState::kClosed},
+    {StreamState::kHalfClosedRemote, Event::kRecvData, false, {}},
+    {StreamState::kHalfClosedRemote, Event::kSendRst, true, StreamState::kClosed},
+    {StreamState::kHalfClosedRemote, Event::kRecvRst, true, StreamState::kClosed},
+    // closed
+    {StreamState::kClosed, Event::kSendData, false, {}},
+    {StreamState::kClosed, Event::kRecvData, false, {}},
+    {StreamState::kClosed, Event::kRecvHeaders, false, {}},
+    {StreamState::kClosed, Event::kSendPp, false, {}},
+    {StreamState::kClosed, Event::kRecvPp, false, {}},
+};
+
+class StreamMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamMatrix, TransitionMatchesRfc51) {
+  const Expectation& exp = kMatrix[GetParam()];
+  StreamStateMachine sm = at(exp.from);
+  const Status result = apply(sm, exp.event);
+  if (exp.legal) {
+    EXPECT_TRUE(result.ok()) << to_string(exp.from) << " + " << name(exp.event)
+                             << ": " << result.to_string();
+    EXPECT_EQ(sm.state(), exp.to)
+        << to_string(exp.from) << " + " << name(exp.event);
+  } else {
+    EXPECT_FALSE(result.ok())
+        << to_string(exp.from) << " + " << name(exp.event)
+        << " should be illegal";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc51, StreamMatrix,
+                         ::testing::Range<std::size_t>(0, std::size(kMatrix)));
+
+}  // namespace
+}  // namespace h2r::h2

@@ -1,0 +1,168 @@
+// Upload (POST) path tests: client-side flow control against every window
+// regime, including the Nginx zero-window idiom that requires the server to
+// grant per-stream windows before any body can flow.
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/session.h"
+#include "server/engine.h"
+#include "server/profile.h"
+#include "server/site.h"
+
+namespace h2r {
+namespace {
+
+using core::ClientConnection;
+using core::run_exchange;
+using server::Http2Server;
+using server::Site;
+
+Bytes body_of(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i * 7);
+  return b;
+}
+
+std::size_t reported_received(const ClientConnection& client,
+                              std::uint32_t sid) {
+  auto headers = client.response_headers(sid);
+  if (!headers) return static_cast<std::size_t>(-1);
+  const auto v = hpack::find_header(*headers, "x-received-bytes");
+  return static_cast<std::size_t>(std::stoull(std::string(v)));
+}
+
+TEST(Upload, SmallBodyEchoesCount) {
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  const auto sid = client.send_request_with_body("/upload", body_of(1000));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(sid));
+  EXPECT_EQ(reported_received(client, sid), 1000u);
+  EXPECT_EQ(client.pending_upload_bytes(), 0u);
+}
+
+TEST(Upload, EmptyBodyStillCompletes) {
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  const auto sid = client.send_request_with_body("/upload", {});
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(sid));
+  EXPECT_EQ(reported_received(client, sid), 0u);
+}
+
+TEST(Upload, LargeBodyCrossesConnectionWindowManyTimes) {
+  // 1 MiB through the default 65,535-octet connection window: requires the
+  // server's replenishing WINDOW_UPDATEs round after round.
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  const std::size_t size = 1 << 20;
+  const auto sid = client.send_request_with_body("/upload", body_of(size));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(sid)) << "upload stalled";
+  EXPECT_EQ(reported_received(client, sid), size);
+  EXPECT_EQ(client.pending_upload_bytes(), 0u);
+  EXPECT_TRUE(server.alive());  // no flow-control violation occurred
+}
+
+TEST(Upload, RespectsNginxZeroWindowIdiom) {
+  // Nginx announces SETTINGS_INITIAL_WINDOW_SIZE = 0: not one body octet
+  // may flow until the server grants a per-stream WINDOW_UPDATE. The
+  // engine's nginx profile grants on demand; the client must wait for it.
+  auto server = Http2Server(server::nginx_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  run_exchange(client, server);  // learn the server SETTINGS first
+  const auto sid = client.send_request_with_body("/upload", body_of(50'000));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(sid));
+  EXPECT_EQ(reported_received(client, sid), 50'000u);
+  EXPECT_TRUE(server.alive());
+}
+
+TEST(Upload, ClientWaitsWhenRequestRacesSettings) {
+  // Request sent before the server's SETTINGS arrive: the client assumes
+  // the RFC default window and must reconcile when SETTINGS come in
+  // (§6.9.2) — against nginx that means an *adjustment to zero*.
+  auto server = Http2Server(server::nginx_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  const auto sid = client.send_request_with_body("/upload", body_of(200'000));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(sid));
+  EXPECT_EQ(reported_received(client, sid), 200'000u);
+  EXPECT_TRUE(server.alive());
+}
+
+TEST(Upload, ManyConcurrentUploadsShareTheConnectionWindow) {
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  std::vector<std::uint32_t> streams;
+  for (int i = 0; i < 5; ++i) {
+    streams.push_back(
+        client.send_request_with_body("/upload", body_of(100'000)));
+  }
+  run_exchange(client, server);
+  for (auto sid : streams) {
+    EXPECT_TRUE(client.stream_complete(sid)) << sid;
+    EXPECT_EQ(reported_received(client, sid), 100'000u) << sid;
+  }
+  EXPECT_TRUE(server.alive());
+}
+
+TEST(Upload, OverflowingUploadIsPunished) {
+  // A misbehaving client ignoring the window draws a flow-control error —
+  // the receive-side enforcement of §6.9.
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  // Open the stream legitimately, then blast a raw oversized DATA frame.
+  hpack::Encoder enc;
+  client.send_frame(h2::make_headers(
+      1,
+      enc.encode({{":method", "POST"},
+                  {":scheme", "https"},
+                  {":authority", "x"},
+                  {":path", "/upload"},
+                  {"content-length", "100000"}}),
+      /*end_stream=*/false));
+  // The connection window is 65,535; send 66,000 octets in one go.
+  client.send_frame(h2::make_data(1, Bytes(66'000, 0xAB), false));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.goaway_received());
+  EXPECT_EQ(client.goaway()->error, h2::ErrorCode::kFlowControlError);
+}
+
+TEST(Upload, TrailersCompleteTheRequest) {
+  // §8.1: HEADERS (no ES) + DATA (no ES) + trailer HEADERS (ES). The
+  // response must fire only once the trailers end the stream.
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  hpack::Encoder enc;
+  client.send_frame(h2::make_headers(
+      1,
+      enc.encode({{":method", "POST"},
+                  {":scheme", "https"},
+                  {":authority", "x"},
+                  {":path", "/upload"},
+                  {"trailer", "x-checksum"}}),
+      /*end_stream=*/false));
+  client.send_frame(h2::make_data(1, Bytes(500, 0x42), /*end_stream=*/false));
+  run_exchange(client, server);
+  EXPECT_FALSE(client.stream_complete(1));  // request still open
+  client.send_frame(h2::make_headers(
+      1, enc.encode({{"x-checksum", "abc123"}}), /*end_stream=*/true));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(1));
+  EXPECT_EQ(reported_received(client, 1), 500u);
+}
+
+TEST(Upload, GetRequestsStillAnsweredImmediately) {
+  // Regression guard: deferring POST responses must not delay GETs.
+  auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+  ClientConnection client;
+  const auto get = client.send_request("/small");
+  const auto post = client.send_request_with_body("/upload", body_of(10));
+  run_exchange(client, server);
+  EXPECT_TRUE(client.stream_complete(get));
+  EXPECT_TRUE(client.stream_complete(post));
+}
+
+}  // namespace
+}  // namespace h2r

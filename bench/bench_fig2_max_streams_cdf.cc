@@ -9,7 +9,7 @@ int main() {
   bench::print_banner(
       "Figure 2 - Distribution of SETTINGS_MAX_CONCURRENT_STREAMS");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_flow_control = false;
   opts.probe_priority = false;
   opts.probe_push = false;

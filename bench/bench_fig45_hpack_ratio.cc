@@ -11,7 +11,7 @@ int main() {
   bench::print_banner(
       "Figures 4 & 5 - HPACK compression ratio of popular HTTP/2 servers");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_flow_control = false;
   opts.probe_priority = false;
   opts.probe_push = false;

@@ -8,7 +8,7 @@ int main() {
   using namespace h2r;
   bench::print_banner("Section V-B - HTTP/2 adoption (NPN / ALPN / HEADERS)");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_flow_control = false;
   opts.probe_priority = false;
   opts.probe_push = false;

@@ -9,7 +9,7 @@ int main() {
   using namespace h2r;
   bench::print_banner("Section V-D - Flow control in the wild");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_priority = false;
   opts.probe_push = false;
   opts.probe_hpack = false;

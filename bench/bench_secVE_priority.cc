@@ -8,7 +8,7 @@ int main() {
   using namespace h2r;
   bench::print_banner("Section V-E - Priority mechanism in the wild");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_flow_control = false;
   opts.probe_push = false;
   opts.probe_hpack = false;

@@ -10,7 +10,7 @@ int main() {
   using namespace h2r;
   bench::print_banner("Section V-F - Server push adoption");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_flow_control = false;
   opts.probe_priority = false;
   opts.probe_hpack = false;

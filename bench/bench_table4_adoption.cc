@@ -35,7 +35,7 @@ int main() {
   using namespace h2r;
   bench::print_banner("Table IV - Servers used by more than 1,000 sites");
 
-  corpus::ScanOptions opts;
+  corpus::ScanOptions opts = bench::scan_options();
   opts.probe_flow_control = false;
   opts.probe_priority = false;
   opts.probe_push = false;

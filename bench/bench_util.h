@@ -29,6 +29,24 @@ inline std::uint64_t seed_from_env() {
   return s == nullptr ? 42ull : std::strtoull(s, nullptr, 10);
 }
 
+/// Worker-pool width for scans; 0 keeps ScanOptions' hardware default.
+/// `H2R_THREADS` pins it so runs are reproducible across machines with
+/// different core counts.
+inline int threads_from_env() {
+  const char* s = std::getenv("H2R_THREADS");
+  if (s == nullptr) return 0;
+  const int v = std::atoi(s);
+  return v > 0 ? v : 0;
+}
+
+/// ScanOptions seeded from the environment (H2R_THREADS); benches start
+/// from this instead of a default-constructed ScanOptions.
+inline corpus::ScanOptions scan_options() {
+  corpus::ScanOptions opts;
+  opts.threads = threads_from_env();
+  return opts;
+}
+
 inline void print_banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

@@ -25,15 +25,18 @@ ClientConnection::ClientConnection(ClientOptions options)
       encoder_({.policy = hpack::IndexingPolicy::kAggressive,
                 .use_huffman = true}),
       decoder_() {
-  out_.insert(out_.end(), h2::kClientPreface.begin(), h2::kClientPreface.end());
+  out_.write_string(h2::kClientPreface);
   send_frame(h2::make_settings(options_.settings));
 }
 
-Bytes ClientConnection::take_output() { return std::move(out_); }
+Bytes ClientConnection::take_output() {
+  Bytes drained = out_.take();
+  out_ = ByteWriter(buffer_pool_.acquire());
+  return drained;
+}
 
 void ClientConnection::send_frame(const Frame& frame) {
-  const Bytes wire = h2::serialize_frame(frame);
-  out_.insert(out_.end(), wire.begin(), wire.end());
+  h2::serialize_frame_into(out_, frame);
 }
 
 std::uint32_t ClientConnection::send_request(

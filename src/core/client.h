@@ -50,6 +50,8 @@ class ClientConnection {
   // ---- transport --------------------------------------------------------
   /// Drains queued client->server bytes (preface + frames).
   [[nodiscard]] Bytes take_output();
+  /// Hands a drained output buffer back for reuse (see Http2Server::recycle).
+  void recycle(Bytes buffer) { buffer_pool_.release(std::move(buffer)); }
   /// Feeds server->client bytes; frames are parsed and recorded.
   void receive(std::span<const std::uint8_t> bytes);
   /// False after a GOAWAY was received or a parse error poisoned the link.
@@ -173,7 +175,8 @@ class ClientConnection {
   h2::FlowWindow upload_conn_window_{h2::kDefaultInitialWindowSize};
   std::uint32_t upload_initial_window_ = h2::kDefaultInitialWindowSize;
 
-  Bytes out_;
+  ByteWriter out_;
+  BufferPool buffer_pool_;
   bool dead_ = false;
 };
 

@@ -6,11 +6,16 @@ int run_exchange(ClientConnection& client, server::Http2Server& server,
                  int max_rounds) {
   int rounds = 0;
   for (; rounds < max_rounds; ++rounds) {
-    const Bytes c2s = client.take_output();
+    Bytes c2s = client.take_output();
     if (!c2s.empty()) server.receive(c2s);
-    const Bytes s2c = server.take_output();
+    Bytes s2c = server.take_output();
     if (!s2c.empty()) client.receive(s2c);
-    if (c2s.empty() && s2c.empty()) break;
+    const bool quiescent = c2s.empty() && s2c.empty();
+    // Both directions have been shipped; hand the drained buffers back so
+    // the next round reuses their capacity instead of reallocating.
+    client.recycle(std::move(c2s));
+    server.recycle(std::move(s2c));
+    if (quiescent) break;
   }
   return rounds;
 }

@@ -1,5 +1,6 @@
 #include "corpus/scan.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -232,6 +233,12 @@ ScanReport scan_population(const Population& population,
   for (const auto& p : partials) p.merge_into(total);
   total.distinct_server_kinds = total.server_counts.size();
   std::sort(total.push_hosts.begin(), total.push_hosts.end());
+  // Which worker saw which site depends on scheduling; sorting the ratio
+  // samples makes the report bitwise independent of the thread count (all
+  // consumers — CDFs, quantiles, fractions — are order-agnostic anyway).
+  for (auto& [family, ratios] : total.hpack_ratio_by_family) {
+    std::sort(ratios.begin(), ratios.end());
+  }
   return total;
 }
 

@@ -13,6 +13,7 @@ void write_frame_header(ByteWriter& out, std::size_t length, FrameType type,
   if (length > kMaxAllowedFrameSize) {
     throw std::invalid_argument("frame payload exceeds 2^24-1");
   }
+  out.reserve(kFrameHeaderSize + length);
   out.write_u24(static_cast<std::uint32_t>(length));
   out.write_u8(static_cast<std::uint8_t>(type));
   out.write_u8(flagbits);
@@ -39,7 +40,7 @@ struct SerializeVisitor {
                        frame.stream_id);
     if (padded) out.write_u8(p.pad_length);
     out.write_bytes(p.data);
-    for (int i = 0; i < p.pad_length; ++i) out.write_u8(0);
+    out.write_zeros(p.pad_length);
   }
 
   void operator()(const HeadersPayload& p) const {
@@ -59,7 +60,7 @@ struct SerializeVisitor {
     if (padded) out.write_u8(p.pad_length);
     if (p.priority) write_priority_info(out, *p.priority);
     out.write_bytes(p.fragment);
-    for (int i = 0; i < p.pad_length; ++i) out.write_u8(0);
+    out.write_zeros(p.pad_length);
   }
 
   void operator()(const PriorityPayload& p) const {
@@ -96,7 +97,7 @@ struct SerializeVisitor {
     if (padded) out.write_u8(p.pad_length);
     out.write_u32(p.promised_stream_id & kStreamIdMask);
     out.write_bytes(p.fragment);
-    for (int i = 0; i < p.pad_length; ++i) out.write_u8(0);
+    out.write_zeros(p.pad_length);
   }
 
   void operator()(const PingPayload& p) const {
@@ -159,16 +160,20 @@ PriorityInfo read_priority_info(ByteReader& r) {
 
 }  // namespace
 
+void serialize_frame_into(ByteWriter& out, const Frame& frame) {
+  std::visit(SerializeVisitor{frame, out}, frame.payload);
+}
+
 Bytes serialize_frame(const Frame& frame) {
   ByteWriter out;
-  std::visit(SerializeVisitor{frame, out}, frame.payload);
+  serialize_frame_into(out, frame);
   return out.take();
 }
 
 Bytes serialize_frames(std::span<const Frame> frames) {
   ByteWriter out;
   for (const auto& f : frames) {
-    std::visit(SerializeVisitor{f, out}, f.payload);
+    serialize_frame_into(out, f);
   }
   return out.take();
 }

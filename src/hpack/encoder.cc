@@ -87,6 +87,7 @@ void Encoder::encode_string(std::string_view s, ByteWriter& out) const {
     const std::size_t encoded = huffman_encoded_size(s);
     if (encoded < s.size()) {
       encode_integer(out, static_cast<std::uint32_t>(encoded), 7, 0x80);
+      out.reserve(encoded);  // size is already known — one grow, not many
       huffman_encode(out, s);
       return;
     }

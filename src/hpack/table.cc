@@ -74,6 +74,31 @@ const std::array<HeaderField, kStaticTableSize>& static_table() {
   return kTable;
 }
 
+/// Hash index over the static table, built once: name -> (lowest name
+/// index, value -> lowest full-match index). Lookups through this return
+/// exactly what a front-to-back linear scan of Appendix A would.
+struct StaticIndex {
+  struct Bucket {
+    std::uint32_t name_index = 0;
+    std::unordered_map<std::string, std::uint32_t> by_value;
+  };
+  std::unordered_map<std::string, Bucket> by_name;
+
+  StaticIndex() {
+    const auto& st = static_table();
+    for (std::uint32_t i = 0; i < st.size(); ++i) {
+      Bucket& b = by_name[st[i].name];
+      if (b.name_index == 0) b.name_index = i + 1;
+      b.by_value.try_emplace(st[i].value, i + 1);
+    }
+  }
+};
+
+const StaticIndex& static_index() {
+  static const StaticIndex idx;
+  return idx;
+}
+
 }  // namespace
 
 const HeaderField& static_table_entry(std::uint32_t index_1based) {
@@ -103,8 +128,11 @@ void IndexTable::insert(const HeaderField& field) {
     // §4.4: too-large entry flushes the table and is itself not inserted.
     dynamic_.clear();
     size_octets_ = 0;
+    by_name_.clear();
     return;
   }
+  if (indexed_) index_insert(field, insert_count_);
+  ++insert_count_;
   dynamic_.push_front(field);
   size_octets_ += entry_size;
   evict_until_fits();
@@ -116,30 +144,88 @@ void IndexTable::set_capacity(std::uint32_t capacity) {
 }
 
 void IndexTable::evict_until_fits() {
-  while (size_octets_ > capacity_) {
-    size_octets_ -= dynamic_.back().hpack_size();
-    dynamic_.pop_back();
+  while (size_octets_ > capacity_) drop_oldest();
+}
+
+void IndexTable::drop_oldest() {
+  const HeaderField& oldest = dynamic_.back();
+  // The oldest surviving entry carries the smallest absolute id, which sits
+  // at the front of both of its bucket queues.
+  const std::uint64_t abs = insert_count_ - dynamic_.size();
+  if (auto it = by_name_.find(oldest.name); indexed_ && it != by_name_.end()) {
+    NameBucket& bucket = it->second;
+    if (!bucket.any.empty() && bucket.any.front() == abs) {
+      bucket.any.pop_front();
+    }
+    if (auto vit = bucket.by_value.find(oldest.value);
+        vit != bucket.by_value.end()) {
+      if (!vit->second.empty() && vit->second.front() == abs) {
+        vit->second.pop_front();
+      }
+      if (vit->second.empty()) bucket.by_value.erase(vit);
+    }
+    if (bucket.any.empty()) by_name_.erase(it);
   }
+  size_octets_ -= oldest.hpack_size();
+  dynamic_.pop_back();
+}
+
+void IndexTable::index_insert(const HeaderField& field,
+                              std::uint64_t abs) const {
+  NameBucket& bucket = by_name_[field.name];
+  bucket.any.push_back(abs);
+  bucket.by_value[field.value].push_back(abs);
+}
+
+void IndexTable::build_index() const {
+  // Oldest first so every bucket queue comes out ascending. Decoder-side
+  // tables never call find(), so they never reach this and insert/evict
+  // stay as cheap as the unindexed original.
+  for (std::size_t i = dynamic_.size(); i-- > 0;) {
+    index_insert(dynamic_[i], insert_count_ - 1 - i);
+  }
+  indexed_ = true;
 }
 
 MatchResult IndexTable::find(const HeaderField& field) const {
-  MatchResult best;
-  const auto& st = static_table();
-  for (std::uint32_t i = 0; i < st.size(); ++i) {
-    if (st[i].name != field.name) continue;
-    if (st[i].value == field.value) {
-      return {.index = i + 1, .value_matched = true};
+  const StaticIndex& st = static_index();
+  std::uint32_t name_index = 0;
+
+  if (auto it = st.by_name.find(field.name); it != st.by_name.end()) {
+    if (auto vit = it->second.by_value.find(field.value);
+        vit != it->second.by_value.end()) {
+      return {.index = vit->second, .value_matched = true};
     }
-    if (best.index == 0) best.index = i + 1;
+    name_index = it->second.name_index;
   }
-  for (std::uint32_t i = 0; i < dynamic_.size(); ++i) {
-    if (dynamic_[i].name != field.name) continue;
-    if (dynamic_[i].value == field.value) {
-      return {.index = kStaticTableSize + 1 + i, .value_matched = true};
+  if (!indexed_) {
+    if (dynamic_.size() <= kIndexThreshold) {
+      // Short-lived tables (one fresh connection's worth of inserts) never
+      // amortize index upkeep; a linear scan of a handful of entries beats
+      // paying allocations on every insert.
+      for (std::uint32_t i = 0; i < dynamic_.size(); ++i) {
+        if (dynamic_[i].name != field.name) continue;
+        if (dynamic_[i].value == field.value) {
+          return {.index = kStaticTableSize + 1 + i, .value_matched = true};
+        }
+        if (name_index == 0) name_index = kStaticTableSize + 1 + i;
+      }
+      return {.index = name_index, .value_matched = false};
     }
-    if (best.index == 0) best.index = kStaticTableSize + 1 + i;
+    build_index();
   }
-  return best;
+  if (auto it = by_name_.find(field.name); it != by_name_.end()) {
+    const NameBucket& bucket = it->second;
+    if (auto vit = bucket.by_value.find(field.value);
+        vit != bucket.by_value.end()) {
+      // back() = largest absolute id = most recent = lowest dynamic index.
+      return {.index = index_of_abs(vit->second.back()), .value_matched = true};
+    }
+    if (name_index == 0) {
+      name_index = index_of_abs(bucket.any.back());
+    }
+  }
+  return {.index = name_index, .value_matched = false};
 }
 
 }  // namespace h2r::hpack

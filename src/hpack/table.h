@@ -5,12 +5,27 @@
 // and decoder embed an IndexTable; keeping insertion/eviction here is what
 // guarantees the two sides stay synchronized as long as they see the same
 // instruction stream.
+//
+// Lookup is hash-based: the static table is indexed once globally, and the
+// dynamic table gets a two-level index (name -> bucket, value -> queue
+// inside the bucket) built the first time find() sees it past a small size
+// threshold and maintained incrementally across insert/evict from then on.
+// find() then costs a handful of hash probes and zero allocations, while
+// decoder-side tables (which never call find()) and short-lived
+// per-connection tables pay nothing for it. The queues hold absolute
+// insertion ids; an entry's current index is derived from its id and the
+// running insertion count, so nothing is rewritten when indices shift on
+// insert. find() returns exactly what the original linear scan did: the
+// lowest-index full (name, value) match anywhere (static before dynamic),
+// else the lowest-index name match.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "hpack/header_field.h"
 #include "util/status.h"
@@ -62,11 +77,38 @@ class IndexTable {
   }
 
  private:
+  /// Per-name index bucket. Queues hold absolute insertion ids, ascending
+  /// (front = oldest). Eviction always removes the globally oldest entry,
+  /// so per-queue removal is a pop_front; the most recent match is back().
+  struct NameBucket {
+    std::deque<std::uint64_t> any;  ///< every entry with this name
+    std::unordered_map<std::string, std::deque<std::uint64_t>> by_value;
+  };
+
   void evict_until_fits();
+  void drop_oldest();
+  void index_insert(const HeaderField& field, std::uint64_t abs) const;
+  void build_index() const;
+
+  /// Unified index of the dynamic entry with absolute id @p abs.
+  [[nodiscard]] std::uint32_t index_of_abs(std::uint64_t abs) const noexcept {
+    return kStaticTableSize + 1 +
+           static_cast<std::uint32_t>(insert_count_ - 1 - abs);
+  }
 
   std::deque<HeaderField> dynamic_;  // front = most recent = index 62
   std::uint32_t capacity_;
   std::size_t size_octets_ = 0;
+  std::uint64_t insert_count_ = 0;  ///< absolute id of the next insertion
+
+  /// Dynamic tables at or below this entry count are scanned linearly;
+  /// the hash index only pays for itself once the table outgrows a single
+  /// connection's worth of response headers.
+  static constexpr std::size_t kIndexThreshold = 16;
+
+  // Lazily built lookup index (mutable: find() is logically const).
+  mutable bool indexed_ = false;
+  mutable std::unordered_map<std::string, NameBucket> by_name_;
 };
 
 }  // namespace h2r::hpack

@@ -114,13 +114,13 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
       const std::string response = result.status_line +
                                    "\r\nContent-Length: 0\r\nConnection: "
                                    "close\r\n\r\n";
-      out_.insert(out_.end(), response.begin(), response.end());
+      out_.write_string(response);
       dead_ = true;
       return;
     }
     const std::string switching =
         result.status_line + "\r\nConnection: Upgrade\r\nUpgrade: h2c\r\n\r\n";
-    out_.insert(out_.end(), switching.begin(), switching.end());
+    out_.write_string(switching);
     upgraded_ = true;
     peer_settings_ = result.client_settings;  // HTTP2-Settings (§3.2.1)
     send_connection_preface();
@@ -176,7 +176,13 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
   pump();
 }
 
-Bytes Http2Server::take_output() { return std::move(out_); }
+Bytes Http2Server::take_output() {
+  Bytes drained = out_.take();
+  // Re-arm the writer with a recycled buffer so the next round of frames
+  // appends into already-allocated storage.
+  out_ = ByteWriter(buffer_pool_.acquire());
+  return drained;
+}
 
 std::size_t Http2Server::pending_response_octets() const {
   std::size_t total = 0;
@@ -795,8 +801,7 @@ void Http2Server::send_header_block(std::uint32_t stream_id, Bytes block,
 }
 
 void Http2Server::send_frame(const Frame& frame) {
-  const Bytes wire = h2::serialize_frame(frame);
-  out_.insert(out_.end(), wire.begin(), wire.end());
+  h2::serialize_frame_into(out_, frame);
 }
 
 void Http2Server::react(ErrorReaction reaction, std::uint32_t stream_id,

@@ -58,6 +58,11 @@ class Http2Server {
   /// Drains queued server->client bytes.
   [[nodiscard]] Bytes take_output();
 
+  /// Hands a drained output buffer back for reuse, so steady-state frame
+  /// emission stops reallocating (the transport loop calls this after it
+  /// has shipped the bytes from take_output()).
+  void recycle(Bytes buffer) { buffer_pool_.release(std::move(buffer)); }
+
   /// False once a connection error occurred or GOAWAY was exchanged.
   [[nodiscard]] bool alive() const noexcept { return !dead_; }
 
@@ -175,7 +180,8 @@ class Http2Server {
   bool continuation_end_stream_ = false;
   std::optional<h2::PriorityInfo> continuation_priority_;
 
-  Bytes out_;
+  ByteWriter out_;
+  BufferPool buffer_pool_;
   bool dead_ = false;
   bool client_goaway_ = false;
   bool draining_ = false;  ///< graceful shutdown in progress

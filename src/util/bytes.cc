@@ -9,9 +9,10 @@ void ByteWriter::write_u24(std::uint32_t v) {
   if (v > 0xFFFFFFu) {
     throw std::invalid_argument("write_u24: value exceeds 24 bits");
   }
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  const std::uint8_t be[3] = {static_cast<std::uint8_t>(v >> 16),
+                              static_cast<std::uint8_t>(v >> 8),
+                              static_cast<std::uint8_t>(v)};
+  buf_.insert(buf_.end(), be, be + sizeof be);
 }
 
 Result<std::uint8_t> ByteReader::read_u8() {

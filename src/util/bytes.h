@@ -5,6 +5,7 @@
 // order, so frame and HPACK codecs stay free of shifting arithmetic.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -26,11 +27,23 @@ class ByteWriter {
   /// Wraps an existing buffer; further writes append to it.
   explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
 
+  /// Ensures capacity for @p n more octets — codecs that know a frame's
+  /// size up front call this once instead of growing per write. Grows
+  /// geometrically: reserving the exact size per appended frame would
+  /// reallocate (and copy) the whole buffer on every append.
+  void reserve(std::size_t n) {
+    const std::size_t want = buf_.size() + n;
+    if (want > buf_.capacity()) {
+      buf_.reserve(std::max(want, buf_.capacity() * 2));
+    }
+  }
+
   void write_u8(std::uint8_t v) { buf_.push_back(v); }
 
   void write_u16(std::uint16_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    const std::uint8_t be[2] = {static_cast<std::uint8_t>(v >> 8),
+                                static_cast<std::uint8_t>(v)};
+    buf_.insert(buf_.end(), be, be + sizeof be);
   }
 
   /// 24-bit length field used by the HTTP/2 frame header. Top byte of @p v
@@ -38,15 +51,19 @@ class ByteWriter {
   void write_u24(std::uint32_t v);
 
   void write_u32(std::uint32_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    const std::uint8_t be[4] = {
+        static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    buf_.insert(buf_.end(), be, be + sizeof be);
   }
 
   void write_u64(std::uint64_t v) {
-    write_u32(static_cast<std::uint32_t>(v >> 32));
-    write_u32(static_cast<std::uint32_t>(v));
+    const std::uint8_t be[8] = {
+        static_cast<std::uint8_t>(v >> 56), static_cast<std::uint8_t>(v >> 48),
+        static_cast<std::uint8_t>(v >> 40), static_cast<std::uint8_t>(v >> 32),
+        static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    buf_.insert(buf_.end(), be, be + sizeof be);
   }
 
   void write_bytes(std::span<const std::uint8_t> data) {
@@ -57,6 +74,9 @@ class ByteWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Appends @p n zero octets (frame padding) in one grow.
+  void write_zeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
 
@@ -65,6 +85,33 @@ class ByteWriter {
 
  private:
   Bytes buf_;
+};
+
+/// Recycles transport buffers between exchange rounds. An engine or client
+/// drains its output as a moved-out Bytes; handing the drained vector back
+/// via release() lets the next round's output writer start with the old
+/// capacity instead of reallocating from scratch on every frame flight.
+class BufferPool {
+ public:
+  /// A cleared buffer, with whatever capacity a released one carried.
+  [[nodiscard]] Bytes acquire() {
+    if (spare_.empty()) return {};
+    Bytes b = std::move(spare_.back());
+    spare_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// Returns a drained buffer to the pool (keeps at most a few).
+  void release(Bytes b) {
+    if (spare_.size() < kMaxSpare && b.capacity() > 0) {
+      spare_.push_back(std::move(b));
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMaxSpare = 4;
+  std::vector<Bytes> spare_;
 };
 
 /// Reads big-endian integers and octet runs from a non-owning view.

@@ -10,7 +10,9 @@
 // sites/sec for the end-to-end scan. Output path defaults to
 // BENCH_scan_throughput.json in the working directory; override with
 // H2R_BENCH_JSON. H2R_SCALE / H2R_SEED / H2R_THREADS apply as in every
-// other bench.
+// other bench. H2R_TRACE_OUT=<path> additionally dumps the traced scan's
+// H2Wiretap JSONL to <path> and its metrics snapshot to
+// <path>.metrics.json.
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -19,12 +21,17 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/probes.h"
+#include "core/session.h"
 #include "h2/frame.h"
 #include "h2/frame_codec.h"
 #include "hpack/decoder.h"
 #include "hpack/encoder.h"
 #include "hpack/huffman.h"
 #include "hpack/table.h"
+#include "server/profile.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
 
 namespace {
 
@@ -253,6 +260,47 @@ void bench_framing() {
          pmb / (pwall / 1000.0));
 }
 
+/// One full request/response conversation (client + server engine +
+/// lockstep exchange) per op — the unit the wiretap instruments. The
+/// untraced row measures the null-sink cost; the traced row pays for the
+/// MetricsRecorder fold on every frame. The gap between them is the
+/// subsystem's whole overhead budget.
+void bench_exchange() {
+  using namespace h2r;
+  const core::Target base = core::Target::testbed(server::nginx_profile());
+  constexpr int kIters = 3000;
+
+  const auto run_one = [](const core::Target& target) {
+    core::ClientConnection client(target.client_options());
+    auto server = target.make_server();
+    client.send_request("/");
+    core::run_exchange(client, server);
+    return client.events().size();
+  };
+
+  std::size_t frames = 0;
+  const auto ustart = Clock::now();
+  for (int it = 0; it < kIters; ++it) frames += run_one(base);
+  const double uwall = ms_since(ustart);
+  record("exchange_untraced", uwall, kIters,
+         static_cast<double>(kIters) / (uwall / 1000.0));
+
+  trace::MetricsRegistry registry;
+  trace::MetricsRecorder recorder(registry);
+  core::Target traced = base;
+  traced.recorder = &recorder;
+  const auto tstart = Clock::now();
+  for (int it = 0; it < kIters; ++it) frames += run_one(traced);
+  const double twall = ms_since(tstart);
+  record("exchange_traced", twall, kIters,
+         static_cast<double>(kIters) / (twall / 1000.0));
+  recorder.finish();
+  std::printf("  (traced: %llu frames, %llu connections folded)\n",
+              static_cast<unsigned long long>(registry.total_frames()),
+              static_cast<unsigned long long>(registry.connections));
+  (void)frames;
+}
+
 void bench_scan(std::uint64_t seed) {
   using namespace h2r;
   corpus::ScanOptions opts = bench::scan_options();
@@ -265,6 +313,32 @@ void bench_scan(std::uint64_t seed) {
   record("scan_epoch2", wall, sites, sites / (wall / 1000.0));
   std::printf("  (%zu sites scanned, %zu responding, threads=%d)\n",
               pop.sites.size(), report.responding_sites, opts.threads);
+
+  // Same scan with the wiretap folding metrics on every connection — the
+  // end-to-end cost of tracing a full-population scan. With H2R_TRACE_OUT
+  // set, the per-site JSONL traces are kept too and dumped to that path
+  // (metrics snapshot to "<path>.metrics.json").
+  const std::string trace_out = bench::trace_out_from_env();
+  corpus::ScanOptions topts = opts;
+  topts.wiretap_metrics = true;
+  topts.wiretap_traces = !trace_out.empty();
+  const auto tstart = Clock::now();
+  const auto traced = corpus::scan_population(pop, topts);
+  const double twall = ms_since(tstart);
+  record("scan_epoch2_traced", twall, sites, sites / (twall / 1000.0));
+  std::printf("  (wiretap: %llu frames, %llu violations across %llu "
+              "connections)\n",
+              static_cast<unsigned long long>(traced.wire_metrics.total_frames()),
+              static_cast<unsigned long long>(
+                  traced.wire_metrics.total_violations()),
+              static_cast<unsigned long long>(traced.wire_metrics.connections));
+  if (!trace_out.empty()) {
+    std::string jsonl;
+    for (const auto& [host, lines] : traced.site_traces) jsonl += lines;
+    bench::write_file_or_warn(trace_out, jsonl);
+    bench::write_file_or_warn(trace_out + ".metrics.json",
+                              traced.wire_metrics.to_json() + "\n");
+  }
 }
 
 void write_json() {
@@ -301,6 +375,7 @@ int main() {
   bench_hpack_lookup();
   bench_hpack_blocks();
   bench_framing();
+  bench_exchange();
   bench_scan(seed);
   write_json();
   return 0;

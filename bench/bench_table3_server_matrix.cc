@@ -1,20 +1,50 @@
 // Reproduces Table III: the feature matrix of the six testbed servers,
 // probed entirely from the wire, plus the §V-A MAX_CONCURRENT_STREAMS=0/1
 // experiment.
+//
+// H2R_TRACE_OUT=<path>: run every probe under the H2Wiretap, dump the six
+// servers' annotated frame traces (concatenated JSONL, `site` = profile
+// key) to <path> and the merged metrics snapshot to <path>.metrics.json.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/report.h"
+#include "trace/recorder.h"
 
 int main() {
   using namespace h2r;
   bench::print_banner(
       "Table III - Characterizing popular HTTP/2 web servers in testbed");
 
+  const std::string trace_out = bench::trace_out_from_env();
+
   Rng rng(7);
   std::vector<core::Characterization> columns;
+  std::string jsonl;
+  trace::MetricsRegistry merged;
   for (const auto& profile : server::testbed_profiles()) {
-    columns.push_back(core::characterize(core::Target::testbed(profile), rng));
+    if (trace_out.empty()) {
+      columns.push_back(
+          core::characterize(core::Target::testbed(profile), rng));
+    } else {
+      trace::VectorRecorder recorder;
+      columns.push_back(core::characterize_traced(core::Target::testbed(profile),
+                                                  rng, recorder));
+      jsonl += trace::to_jsonl(recorder.events(), profile.key);
+      merged.merge(columns.back().wire_metrics);
+    }
+  }
+  if (!trace_out.empty()) {
+    bench::write_file_or_warn(trace_out, jsonl);
+    bench::write_file_or_warn(trace_out + ".metrics.json",
+                              merged.to_json() + "\n");
+    std::printf("\n--- H2Wiretap violation tags per server ---\n");
+    for (const auto& c : columns) {
+      std::printf("%-10s", c.server_key.c_str());
+      if (c.violation_tags.empty()) std::printf(" (none)");
+      for (const auto& tag : c.violation_tags) std::printf(" %s", tag.c_str());
+      std::printf("\n");
+    }
   }
 
   std::vector<std::string> header = {"Feature"};

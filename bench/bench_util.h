@@ -17,16 +17,53 @@
 
 namespace h2r::bench {
 
+/// True when @p s parsed fully as a number; otherwise warns on stderr and
+/// leaves the caller's default in place. atof/atoi would silently read
+/// "2x10" as 2 and "abc" as 0 — a typo'd env var must not quietly reshape
+/// a bench run.
+inline bool parse_env_double(const char* name, const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "!! %s=\"%s\" is not a number; ignoring\n", name, s);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+inline bool parse_env_long(const char* name, const char* s, long& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "!! %s=\"%s\" is not an integer; ignoring\n", name, s);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
 inline double scale_from_env() {
   const char* s = std::getenv("H2R_SCALE");
   if (s == nullptr) return 1.0;
-  const double v = std::atof(s);
-  return v >= 1.0 ? v : 1.0;
+  double v = 0.0;
+  if (!parse_env_double("H2R_SCALE", s, v)) return 1.0;
+  if (v < 1.0) {
+    std::fprintf(stderr, "!! H2R_SCALE=%s below 1; using 1 (full corpus)\n", s);
+    return 1.0;
+  }
+  return v;
 }
 
 inline std::uint64_t seed_from_env() {
   const char* s = std::getenv("H2R_SEED");
-  return s == nullptr ? 42ull : std::strtoull(s, nullptr, 10);
+  if (s == nullptr) return 42ull;
+  long v = 0;
+  if (!parse_env_long("H2R_SEED", s, v) || v < 0) {
+    if (v < 0) std::fprintf(stderr, "!! H2R_SEED=%s negative; using 42\n", s);
+    return 42ull;
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 /// Worker-pool width for scans; 0 keeps ScanOptions' hardware default.
@@ -35,8 +72,38 @@ inline std::uint64_t seed_from_env() {
 inline int threads_from_env() {
   const char* s = std::getenv("H2R_THREADS");
   if (s == nullptr) return 0;
-  const int v = std::atoi(s);
-  return v > 0 ? v : 0;
+  long v = 0;
+  if (!parse_env_long("H2R_THREADS", s, v)) return 0;
+  if (v <= 0 || v > 4096) {
+    std::fprintf(stderr,
+                 "!! H2R_THREADS=%s out of range [1, 4096]; using hardware "
+                 "concurrency\n",
+                 s);
+    return 0;
+  }
+  return static_cast<int>(v);
+}
+
+/// `H2R_TRACE_OUT=<path>`: where trace-capable benches dump the H2Wiretap
+/// JSONL trace (a sibling "<path>.metrics.json" gets the metrics snapshot).
+/// Empty string = tracing stays off.
+inline std::string trace_out_from_env() {
+  const char* s = std::getenv("H2R_TRACE_OUT");
+  return s == nullptr ? std::string() : std::string(s);
+}
+
+/// Writes @p contents to @p path, warning (not aborting) on failure — a bad
+/// trace path must not kill a long bench run.
+inline void write_file_or_warn(const std::string& path,
+                               const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "!! could not open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), contents.size());
 }
 
 /// ScanOptions seeded from the environment (H2R_THREADS); benches start

@@ -25,6 +25,9 @@ ClientConnection::ClientConnection(ClientOptions options)
       encoder_({.policy = hpack::IndexingPolicy::kAggressive,
                 .use_huffman = true}),
       decoder_() {
+  if (options_.recorder != nullptr) {
+    options_.recorder->begin_connection(options_.authority);
+  }
   out_.write_string(h2::kClientPreface);
   send_frame(h2::make_settings(options_.settings));
 }
@@ -36,7 +39,41 @@ Bytes ClientConnection::take_output() {
 }
 
 void ClientConnection::send_frame(const Frame& frame) {
-  h2::serialize_frame_into(out_, frame);
+  const std::size_t wire = h2::serialize_frame_into(out_, frame);
+  if (options_.recorder != nullptr) {
+    options_.recorder->record(
+        trace::frame_event(trace::Direction::kClientToServer, frame, wire));
+  }
+}
+
+Bytes ClientConnection::encode_block(const hpack::HeaderList& headers) {
+  const std::uint64_t ins = encoder_.table().insert_count();
+  const std::uint64_t ev = encoder_.table().eviction_count();
+  Bytes block = encoder_.encode(headers);
+  note_hpack_delta(trace::Direction::kClientToServer,
+                   encoder_.table().insert_count() - ins,
+                   encoder_.table().eviction_count() - ev);
+  return block;
+}
+
+void ClientConnection::note_hpack_delta(trace::Direction dir,
+                                        std::uint64_t inserts,
+                                        std::uint64_t evictions) {
+  if (options_.recorder == nullptr) return;
+  if (inserts != 0) {
+    trace::TraceEvent ev;
+    ev.dir = dir;
+    ev.kind = trace::EventKind::kHpackInsert;
+    ev.detail_a = static_cast<std::uint32_t>(inserts);
+    options_.recorder->record(std::move(ev));
+  }
+  if (evictions != 0) {
+    trace::TraceEvent ev;
+    ev.dir = dir;
+    ev.kind = trace::EventKind::kHpackEvict;
+    ev.detail_a = static_cast<std::uint32_t>(evictions);
+    options_.recorder->record(std::move(ev));
+  }
 }
 
 std::uint32_t ClientConnection::send_request(
@@ -49,7 +86,7 @@ std::uint32_t ClientConnection::send_request(
                                {":scheme", "https"},
                                {":authority", options_.authority},
                                {":path", path}};
-  send_frame(h2::make_headers(id, encoder_.encode(headers), end_stream,
+  send_frame(h2::make_headers(id, encode_block(headers), end_stream,
                               /*end_headers=*/true, priority));
   return id;
 }
@@ -65,7 +102,7 @@ std::uint32_t ClientConnection::send_request_with_body(
                                {":path", path},
                                {"content-type", content_type},
                                {"content-length", std::to_string(body.size())}};
-  send_frame(h2::make_headers(id, encoder_.encode(headers),
+  send_frame(h2::make_headers(id, encode_block(headers),
                               /*end_stream=*/false));
   Upload upload{.body = std::move(body), .offset = 0,
                 .window = h2::FlowWindow(upload_initial_window_)};
@@ -137,6 +174,13 @@ void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
   parser_.feed(bytes);
   while (auto next = parser_.next()) {
     if (!next->ok()) {
+      if (options_.recorder != nullptr) {
+        trace::TraceEvent ev;
+        ev.dir = trace::Direction::kServerToClient;
+        ev.kind = trace::EventKind::kParseError;
+        ev.note = next->status().message();
+        options_.recorder->record(std::move(ev));
+      }
       dead_ = true;
       return;
     }
@@ -217,6 +261,17 @@ void ClientConnection::on_frame(Frame frame, std::size_t payload_size) {
               frame.as<h2::SettingsPayload>().entries.size();
         }
         (void)server_settings_.apply_frame(frame.as<h2::SettingsPayload>());
+        if (options_.recorder != nullptr) {
+          for (const auto& [id, value] :
+               frame.as<h2::SettingsPayload>().entries) {
+            trace::TraceEvent sev;
+            sev.dir = trace::Direction::kServerToClient;
+            sev.kind = trace::EventKind::kSettingsApplied;
+            sev.detail_a = static_cast<std::uint32_t>(id);
+            sev.detail_b = value;
+            options_.recorder->record(std::move(sev));
+          }
+        }
         send_frame(h2::make_settings_ack());
         // Honor the server's header table preference for *our* encoder.
         encoder_.set_table_capacity(

@@ -19,6 +19,7 @@
 #include "h2/settings.h"
 #include "hpack/decoder.h"
 #include "hpack/encoder.h"
+#include "trace/recorder.h"
 #include "util/bytes.h"
 
 namespace h2r::core {
@@ -41,6 +42,12 @@ struct ClientOptions {
   /// Replenish per-stream windows as DATA arrives.
   bool auto_stream_window_update = true;
   std::string authority = "example.test";
+  /// H2Wiretap sink; null disables tracing. When set, the constructor marks
+  /// a connection start and every frame the client puts on the wire — plus
+  /// parse errors, applied server SETTINGS and HPACK table churn — is
+  /// recorded. The server side shares the same sink (see core::Target), so
+  /// the recorder sees the full duplex conversation in causal order.
+  trace::Recorder* recorder = nullptr;
 };
 
 class ClientConnection {
@@ -136,8 +143,19 @@ class ClientConnection {
     return next_stream_id_ >= 2 ? next_stream_id_ - 2 : 0;
   }
 
+  /// The wiretap sink this connection records into (null when off).
+  [[nodiscard]] trace::Recorder* recorder() const noexcept {
+    return options_.recorder;
+  }
+
  private:
   void on_frame(h2::Frame frame, std::size_t payload_size);
+  /// encoder_.encode with HPACK table-churn trace events. Only the encoding
+  /// endpoint records churn — the peer's decoder replays the identical
+  /// instruction stream, so recording both sides would double-count.
+  Bytes encode_block(const hpack::HeaderList& headers);
+  void note_hpack_delta(trace::Direction dir, std::uint64_t inserts,
+                        std::uint64_t evictions);
 
   ClientOptions options_;
   h2::FrameParser parser_;

@@ -104,8 +104,10 @@ H2cProbeResult probe_h2c_upgrade(const Target& target) {
 
 SettingsProbeResult probe_settings(const Target& target) {
   SettingsProbeResult out;
+  // Clients are constructed first throughout the suite so the wiretap's
+  // connection-start marker precedes the server's preface frames.
+  ClientConnection client(target.client_options());
   auto server = target.make_server();
-  ClientConnection client;
   const std::uint32_t sid = client.send_request("/");
   run_exchange(client, server);
 
@@ -129,8 +131,8 @@ SettingsProbeResult probe_settings(const Target& target) {
 MultiplexingProbeResult probe_multiplexing(const Target& target,
                                            int num_streams) {
   MultiplexingProbeResult out;
+  ClientConnection client(target.client_options(with_initial_window(kHugeWindow)));
   auto server = target.make_server();
-  ClientConnection client(with_initial_window(kHugeWindow));
   std::vector<std::uint32_t> streams;
   streams.reserve(static_cast<std::size_t>(num_streams));
   for (int i = 0; i < num_streams; ++i) {
@@ -159,8 +161,8 @@ ConcurrencyLimitProbeResult probe_concurrency_limit(const Target& target) {
   {
     Target capped = target;
     capped.profile.max_concurrent_streams = 0;
+    ClientConnection client(capped.client_options());
     auto server = capped.make_server();
-    ClientConnection client;
     const std::uint32_t sid = client.send_request("/small");
     run_exchange(client, server);
     out.refused_when_zero =
@@ -169,8 +171,8 @@ ConcurrencyLimitProbeResult probe_concurrency_limit(const Target& target) {
   {
     Target capped = target;
     capped.profile.max_concurrent_streams = 1;
+    ClientConnection client(capped.client_options());
     auto server = capped.make_server();
-    ClientConnection client;
     // Two requests for objects large enough that the first is still active
     // when the second arrives.
     const std::uint32_t first = client.send_request("/large/0");
@@ -189,8 +191,8 @@ ConcurrencyLimitProbeResult probe_concurrency_limit(const Target& target) {
 DataFrameControlResult probe_data_frame_control(const Target& target,
                                                 std::uint32_t sframe) {
   DataFrameControlResult out;
+  ClientConnection client(target.client_options(with_initial_window(sframe)));
   auto server = target.make_server();
-  ClientConnection client(with_initial_window(sframe));
   const std::uint32_t sid = client.send_request("/small");
   run_exchange(client, server);
 
@@ -213,8 +215,8 @@ DataFrameControlResult probe_data_frame_control(const Target& target,
 
 ZeroWindowHeadersResult probe_zero_window_headers(const Target& target) {
   ZeroWindowHeadersResult out;
+  ClientConnection client(target.client_options(with_initial_window(0)));
   auto server = target.make_server();
-  ClientConnection client(with_initial_window(0));
   const std::uint32_t sid = client.send_request("/small");
   run_exchange(client, server);
   out.headers_received = client.response_headers(sid).has_value();
@@ -228,10 +230,10 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
   WindowUpdateProbeResult out;
 
   {  // zero increment, stream scope — on a stream mid-response
-    auto server = target.make_server();
     ClientOptions opts;
     opts.auto_stream_window_update = false;  // keep the stream open/blocked
-    ClientConnection client(opts);
+    ClientConnection client(target.client_options(opts));
+    auto server = target.make_server();
     const std::uint32_t sid = client.send_request("/large/0");
     run_exchange(client, server);
     client.send_window_update(sid, 0);
@@ -239,17 +241,17 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     out.zero_on_stream = classify_reaction(client, sid, &out.zero_debug_data);
   }
   {  // zero increment, connection scope
+    ClientConnection client(target.client_options());
     auto server = target.make_server();
-    ClientConnection client;
     client.send_window_update(0, 0);
     run_exchange(client, server);
     out.zero_on_connection = classify_reaction(client, std::nullopt);
   }
   {  // overflowing increments, stream scope (two halves summing past 2^31-1)
-    auto server = target.make_server();
     ClientOptions opts;
     opts.auto_stream_window_update = false;
-    ClientConnection client(opts);
+    ClientConnection client(target.client_options(opts));
+    auto server = target.make_server();
     const std::uint32_t sid = client.send_request("/large/0");
     run_exchange(client, server);
     client.send_window_update(sid, kHalfWindow);
@@ -258,8 +260,8 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     out.large_on_stream = classify_reaction(client, sid);
   }
   {  // overflowing increments, connection scope
+    ClientConnection client(target.client_options());
     auto server = target.make_server();
-    ClientConnection client;
     const std::uint32_t sid = client.send_request("/large/0");
     (void)sid;
     client.send_window_update(0, kHalfWindow);
@@ -274,7 +276,6 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
 
 PriorityProbeResult probe_priority_mechanism(const Target& target) {
   PriorityProbeResult out;
-  auto server = target.make_server();
 
   // Step 1 (Algorithm 1 lines 2-21): huge stream windows so only the
   // connection window gates DATA; no automatic connection window updates,
@@ -282,7 +283,8 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
   ClientOptions opts = with_initial_window(kHugeWindow);
   opts.auto_connection_window_update = false;
   opts.auto_stream_window_update = false;
-  ClientConnection client(opts);
+  ClientConnection client(target.client_options(opts));
+  auto server = target.make_server();
 
   const std::uint32_t drain = client.send_request("/object/0");  // 64 KiB
   run_exchange(client, server);
@@ -348,10 +350,10 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
 
 SelfDependencyProbeResult probe_self_dependency(const Target& target) {
   SelfDependencyProbeResult out;
-  auto server = target.make_server();
   ClientOptions opts;
   opts.auto_stream_window_update = false;  // keep the stream alive
-  ClientConnection client(opts);
+  ClientConnection client(target.client_options(opts));
+  auto server = target.make_server();
   const std::uint32_t sid = client.send_request("/large/0");
   client.send_priority(sid, {.dependency = sid, .weight_field = 0});
   run_exchange(client, server);
@@ -364,10 +366,10 @@ SelfDependencyProbeResult probe_self_dependency(const Target& target) {
 PushProbeResult probe_server_push(const Target& target,
                                   const std::string& page) {
   PushProbeResult out;
-  auto server = target.make_server();
   ClientOptions opts;
   opts.settings = {{SettingId::kEnablePush, 1}};  // §III-D: opt in explicitly
-  ClientConnection client(opts);
+  ClientConnection client(target.client_options(opts));
+  auto server = target.make_server();
   client.send_request(page);
   run_exchange(client, server);
   for (const auto& [promised_id, request] : client.pushes()) {
@@ -383,8 +385,8 @@ PushProbeResult probe_server_push(const Target& target,
 HpackProbeResult probe_hpack_ratio(const Target& target, int h,
                                    const std::string& path) {
   HpackProbeResult out;
+  ClientConnection client(target.client_options());
   auto server = target.make_server();
-  ClientConnection client;
   std::vector<std::uint32_t> streams;
   for (int i = 0; i < h; ++i) {
     // Sequential requests so each response block sees the dynamic table
@@ -409,8 +411,8 @@ HpackProbeResult probe_hpack_ratio(const Target& target, int h,
 
 PingProbeResult probe_ping(const Target& target, int samples, Rng& rng) {
   PingProbeResult out;
+  ClientConnection client(target.client_options());
   auto server = target.make_server();
-  ClientConnection client;
   const std::array<std::uint8_t, 8> opaque = {0x13, 0x37, 0xC0, 0xDE,
                                               0x00, 0x01, 0x02, 0x03};
   client.send_ping(opaque);

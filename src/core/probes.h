@@ -31,9 +31,19 @@ struct Target {
   net::PathModel path;
   /// Whether this host offers "h2" at all (non-HTTP/2 corpus sites don't).
   bool offers_h2 = true;
+  /// Optional H2Wiretap sink shared by every connection (client and server
+  /// side) a probe opens against this target. Null = tracing off.
+  trace::Recorder* recorder = nullptr;
 
   [[nodiscard]] server::Http2Server make_server() const {
-    return server::Http2Server(profile, site);
+    return server::Http2Server(profile, site, server::Http2Server::StartMode::kTls,
+                               recorder);
+  }
+
+  /// ClientOptions pre-wired to this target's recorder.
+  [[nodiscard]] ClientOptions client_options(ClientOptions opts = {}) const {
+    opts.recorder = recorder;
+    return opts;
   }
 
   /// A target wired to the paper's testbed content for @p profile.

@@ -1,5 +1,9 @@
 #include "core/report.h"
 
+#include <algorithm>
+
+#include "trace/annotate.h"
+
 namespace h2r::core {
 namespace {
 
@@ -69,6 +73,62 @@ Characterization characterize(const Target& target, Rng& rng) {
   c.hpack = probe_hpack_ratio(target);
   c.ping = probe_ping(target, /*samples=*/8, rng);
   return c;
+}
+
+Characterization characterize_traced(Target target, Rng& rng,
+                                     trace::VectorRecorder& recorder) {
+  target.recorder = &recorder;
+  Characterization c = characterize(target, rng);
+  c.violation_tags = trace::annotate_violations(recorder.events());
+  trace::consume(c.wire_metrics, recorder.events());
+  return c;
+}
+
+std::map<std::string, std::string> derive_table3_quirks(
+    const std::vector<std::string>& tags) {
+  namespace vt = trace::tags;
+  const auto has = [&tags](const char* tag) {
+    return std::find(tags.begin(), tags.end(), tag) != tags.end();
+  };
+  // Reaction rows: the tag suffix names the non-compliant reaction; no tag
+  // means the server reacted as RFC 7540 prescribes.
+  const auto reaction_row = [&has](const char* ignored, const char* goaway,
+                                   const char* goaway_debug,
+                                   const char* compliant) -> std::string {
+    if (has(ignored)) return "ignore";
+    if (goaway != nullptr && has(goaway)) return "GOAWAY";
+    if (has(goaway_debug)) return "GOAWAY+debug";
+    return compliant;
+  };
+
+  std::map<std::string, std::string> rows;
+  rows["Flow Control on DATA Frames"] =
+      has(vt::kZeroLengthDataUnderTinyWindow) ||
+              has(vt::kStalledUnderTinyWindow) ||
+              has(vt::kDataExceedsStreamWindow) ||
+              has(vt::kDataExceedsConnWindow)
+          ? "no"
+          : "yes";
+  rows["Flow Control on HEADERS Frames"] =
+      yes_no(has(vt::kFlowControlOnHeaders));
+  rows["Zero Window Update on stream"] =
+      reaction_row(vt::kZeroWuStreamIgnored, vt::kZeroWuStreamGoaway,
+                   vt::kZeroWuStreamGoawayDebug, "RST_STREAM");
+  rows["Zero Window Update on connection"] = reaction_row(
+      vt::kZeroWuConnIgnored, nullptr, vt::kZeroWuConnGoawayDebug, "GOAWAY");
+  rows["Large Window Update (Connection)"] = reaction_row(
+      vt::kLargeWuConnIgnored, nullptr, vt::kLargeWuConnGoawayDebug, "GOAWAY");
+  rows["Large Window Update (Stream)"] =
+      reaction_row(vt::kLargeWuStreamIgnored, vt::kLargeWuStreamGoaway,
+                   vt::kLargeWuStreamGoawayDebug, "RST_STREAM");
+  rows["Priority Mechanism Testing (Algorithm 1)"] =
+      has(vt::kPriorityInversion) ? "fail" : "pass";
+  rows["Self-dependent Stream"] =
+      reaction_row(vt::kSelfDependencyIgnored, vt::kSelfDependencyGoaway,
+                   vt::kSelfDependencyGoawayDebug, "RST_STREAM");
+  rows["Header Compression"] =
+      has(vt::kHpackNoDynamicIndexing) ? "support*" : "support";
+  return rows;
 }
 
 std::vector<std::string> rfc7540_reference_column() {

@@ -2,10 +2,13 @@
 // paper's Table III, produced purely from wire-level observation.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/probes.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
 
 namespace h2r::core {
 
@@ -25,6 +28,12 @@ struct Characterization {
   HpackProbeResult hpack;
   PingProbeResult ping;
 
+  /// Populated by characterize_traced(): the sorted violation tags the
+  /// H2Wiretap annotator found across every probe connection, and the wire
+  /// metrics folded from the annotated trace.
+  std::vector<std::string> violation_tags;
+  trace::MetricsRegistry wire_metrics;
+
   /// The fourteen Table III row labels, in the paper's order.
   static const std::vector<std::string>& row_labels();
 
@@ -35,6 +44,20 @@ struct Characterization {
 
 /// Runs every probe of Section III against @p target.
 Characterization characterize(const Target& target, Rng& rng);
+
+/// characterize() with the H2Wiretap recording every probe connection into
+/// @p recorder. Afterwards the trace is annotated in place (violation tags)
+/// and folded into the result's wire_metrics.
+Characterization characterize_traced(Target target, Rng& rng,
+                                     trace::VectorRecorder& recorder);
+
+/// Maps annotator violation tags onto the Table III rows they determine:
+/// row label -> cell value, covering the nine deviation-capable rows (flow
+/// control, window-update reactions, priority, self-dependency, header
+/// compression). Rows absent from a tag set take their RFC-compliant value,
+/// so a Table III column can be derived from a trace alone.
+std::map<std::string, std::string> derive_table3_quirks(
+    const std::vector<std::string>& tags);
 
 /// The RFC 7540 reference column the paper prints alongside the servers.
 std::vector<std::string> rfc7540_reference_column();

@@ -11,6 +11,12 @@ int run_exchange(ClientConnection& client, server::Http2Server& server,
     Bytes s2c = server.take_output();
     if (!s2c.empty()) client.receive(s2c);
     const bool quiescent = c2s.empty() && s2c.empty();
+    if (!quiescent && client.recorder() != nullptr) {
+      trace::TraceEvent mark;
+      mark.kind = trace::EventKind::kRoundMark;
+      mark.detail_a = static_cast<std::uint32_t>(rounds);
+      client.recorder()->record(std::move(mark));
+    }
     // Both directions have been shipped; hand the drained buffers back so
     // the next round reuses their capacity instead of reallocating.
     client.recycle(std::move(c2s));

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <thread>
 
+#include "trace/annotate.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
+
 namespace h2r::corpus {
 namespace {
 
@@ -23,8 +27,28 @@ struct Partial {
   ScanReport r;
 
   void observe(const SiteSpec& spec, const ScanOptions& opts) {
-    const Target target = spec.to_target();
+    Target target = spec.to_target();
 
+    // The probe sequence bails out early on dead or non-h2 sites, so the
+    // wiretap wraps it: record, run, then always annotate + fold.
+    const bool wiretap = opts.wiretap_metrics || opts.wiretap_traces;
+    trace::VectorRecorder recorder;
+    if (wiretap) target.recorder = &recorder;
+
+    run_probes(target, spec, opts);
+
+    if (wiretap) {
+      trace::annotate_violations(recorder.events());
+      trace::consume(r.wire_metrics, recorder.events());
+      trace::consume(r.wire_metrics_by_family[spec.family], recorder.events());
+      if (opts.wiretap_traces) {
+        r.site_traces[spec.host] = trace::to_jsonl(recorder.events(), spec.host);
+      }
+    }
+  }
+
+  void run_probes(const Target& target, const SiteSpec& spec,
+                  const ScanOptions& opts) {
     const auto negotiation = core::probe_negotiation(target);
     if (negotiation.npn_h2) ++r.npn_sites;
     if (negotiation.alpn_h2) ++r.alpn_sites;
@@ -192,6 +216,16 @@ struct Partial {
       dst.insert(dst.end(), ratios.begin(), ratios.end());
     }
     total.hpack_filtered_out += r.hpack_filtered_out;
+    total.wire_metrics.merge(r.wire_metrics);
+    for (const auto& [family, metrics] : r.wire_metrics_by_family) {
+      total.wire_metrics_by_family[family].merge(metrics);
+    }
+    // Each site appears exactly once across all workers, so inserting the
+    // per-site traces into the ordered map reassembles the same final
+    // contents for any H2R_THREADS.
+    for (const auto& [host, jsonl] : r.site_traces) {
+      total.site_traces.emplace(host, jsonl);
+    }
   }
 };
 

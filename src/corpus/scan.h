@@ -11,6 +11,7 @@
 
 #include "core/probes.h"
 #include "corpus/population.h"
+#include "trace/metrics.h"
 #include "util/stats.h"
 
 namespace h2r::corpus {
@@ -24,6 +25,14 @@ struct ScanOptions {
   bool probe_push = true;
   bool probe_hpack = true;
   std::uint64_t seed = 7;
+  /// H2Wiretap: fold every probe connection's frames into the report's
+  /// wire_metrics (and per-family shards). Off by default — the null sink
+  /// keeps the hot path free of tracing cost.
+  bool wiretap_metrics = false;
+  /// Additionally keep the annotated per-site JSONL traces (implies the
+  /// recording wiretap_metrics needs; memory-heavy at full population
+  /// scale, intended for small scans and debugging).
+  bool wiretap_traces = false;
 };
 
 /// Everything a full scan learns, pre-aggregated.
@@ -77,6 +86,15 @@ struct ScanReport {
   // r > 1 filtered, as the paper does).
   std::map<std::string, std::vector<double>> hpack_ratio_by_family;
   std::size_t hpack_filtered_out = 0;  ///< sites with r > 1
+
+  // H2Wiretap (populated when ScanOptions::wiretap_metrics is set): frame
+  // and violation metrics across every probe connection of the scan, plus
+  // the same broken out per server family. All counters are sums and the
+  // maps are ordered, so the merge is bitwise independent of H2R_THREADS.
+  trace::MetricsRegistry wire_metrics;
+  std::map<std::string, trace::MetricsRegistry> wire_metrics_by_family;
+  /// host -> annotated JSONL trace (when ScanOptions::wiretap_traces).
+  std::map<std::string, std::string> site_traces;
 
   /// Sites making up the Figures 4/5 sample (sum over families).
   [[nodiscard]] std::size_t hpack_sample_size() const;

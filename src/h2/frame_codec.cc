@@ -160,8 +160,10 @@ PriorityInfo read_priority_info(ByteReader& r) {
 
 }  // namespace
 
-void serialize_frame_into(ByteWriter& out, const Frame& frame) {
+std::size_t serialize_frame_into(ByteWriter& out, const Frame& frame) {
+  const std::size_t before = out.size();
   std::visit(SerializeVisitor{frame, out}, frame.payload);
+  return out.size() - before;
 }
 
 Bytes serialize_frame(const Frame& frame) {

@@ -18,7 +18,8 @@ namespace h2r::h2 {
 /// Serializes one frame, including its 9-octet header, appending to @p out.
 /// This is the zero-copy path: endpoints serialize straight into their
 /// transport output buffer instead of materializing a per-frame vector.
-void serialize_frame_into(ByteWriter& out, const Frame& frame);
+/// Returns the number of octets written (the frame's wire length).
+std::size_t serialize_frame_into(ByteWriter& out, const Frame& frame);
 
 /// Serializes one frame, including its 9-octet header.
 /// Throws std::invalid_argument for unserializable model states (payload

@@ -168,6 +168,7 @@ void IndexTable::drop_oldest() {
   }
   size_octets_ -= oldest.hpack_size();
   dynamic_.pop_back();
+  ++eviction_count_;
 }
 
 void IndexTable::index_insert(const HeaderField& field,

@@ -75,6 +75,14 @@ class IndexTable {
   [[nodiscard]] std::size_t dynamic_entry_count() const noexcept {
     return dynamic_.size();
   }
+  /// Lifetime totals — deltas across an encode/decode call tell a tracer how
+  /// many dynamic-table insertions/evictions one header block caused.
+  [[nodiscard]] std::uint64_t insert_count() const noexcept {
+    return insert_count_;
+  }
+  [[nodiscard]] std::uint64_t eviction_count() const noexcept {
+    return eviction_count_;
+  }
 
  private:
   /// Per-name index bucket. Queues hold absolute insertion ids, ascending
@@ -100,6 +108,7 @@ class IndexTable {
   std::uint32_t capacity_;
   std::size_t size_octets_ = 0;
   std::uint64_t insert_count_ = 0;  ///< absolute id of the next insertion
+  std::uint64_t eviction_count_ = 0;
 
   /// Dynamic tables at or below this entry count are scanned linearly;
   /// the hash index only pays for itself once the table outgrows a single

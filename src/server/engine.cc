@@ -30,14 +30,16 @@ hpack::DecoderOptions decoder_options(const ServerProfile& p) {
 
 }  // namespace
 
-Http2Server::Http2Server(ServerProfile profile, Site site, StartMode mode)
+Http2Server::Http2Server(ServerProfile profile, Site site, StartMode mode,
+                         trace::Recorder* recorder)
     : profile_(std::move(profile)),
       site_(std::move(site)),
       encoder_(encoder_options(profile_)),
       decoder_(decoder_options(profile_)),
       conn_send_window_(h2::kDefaultInitialWindowSize),
       conn_recv_window_(h2::kDefaultInitialWindowSize),
-      start_mode_(mode) {
+      start_mode_(mode),
+      recorder_(recorder) {
   if (start_mode_ == StartMode::kH2c) {
     // Nothing is sent until the HTTP/1.1 upgrade offer arrives (§3.2).
     return;
@@ -163,6 +165,13 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
 
   while (auto next = parser_.next()) {
     if (!next->ok()) {
+      if (recorder_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.dir = trace::Direction::kClientToServer;
+        ev.kind = trace::EventKind::kParseError;
+        ev.note = next->status().message();
+        recorder_->record(std::move(ev));
+      }
       const auto code = next->status().code() == StatusCode::kFrameSizeError
                             ? ErrorCode::kFrameSizeError
                             : ErrorCode::kProtocolError;
@@ -277,7 +286,7 @@ void Http2Server::handle_continuation(Frame frame) {
 void Http2Server::complete_headers(std::uint32_t stream_id,
                                    const Bytes& fragment, bool end_stream,
                                    std::optional<h2::PriorityInfo> priority) {
-  auto decoded = decoder_.decode(fragment);
+  auto decoded = decoder_.decode(fragment);  // churn traced on client's encoder
   if (!decoded.ok()) {
     if (decoded.status().code() == StatusCode::kRefused) {
       // Header list larger than we accept: stream-scoped refusal.
@@ -465,6 +474,16 @@ void Http2Server::handle_settings(const Frame& frame) {
   if (table_cap != encoder_.table().capacity()) {
     encoder_.set_table_capacity(table_cap);
   }
+  if (recorder_ != nullptr) {
+    for (const auto& [id, value] : frame.as<h2::SettingsPayload>().entries) {
+      trace::TraceEvent ev;
+      ev.dir = trace::Direction::kClientToServer;
+      ev.kind = trace::EventKind::kSettingsApplied;
+      ev.detail_a = static_cast<std::uint32_t>(id);
+      ev.detail_b = value;
+      recorder_->record(std::move(ev));
+    }
+  }
   send_frame(h2::make_settings_ack());
 }
 
@@ -610,7 +629,7 @@ void Http2Server::maybe_push(Stream& parent) {
                                  {":authority", site_.host()},
                                  {":path", push_path}};
     send_frame(h2::make_push_promise(parent.sm.id(), promised,
-                                     encoder_.encode(request)));
+                                     encode_block(request)));
 
     Stream pushed(promised, peer_settings_.initial_window_size(),
                   our_settings_.initial_window_size());
@@ -704,7 +723,12 @@ void Http2Server::pump() {
         id = pick_round_robin(/*fcfs=*/true);
         break;
     }
-    if (id == 0) return;
+    if (id == 0) {
+      // Nothing schedulable: any stream still holding undelivered work is
+      // blocked on flow control — mark it for the wiretap.
+      note_window_stalls();
+      return;
+    }
     serve_one(id);
     if (dead_) return;
   }
@@ -713,6 +737,7 @@ void Http2Server::pump() {
 void Http2Server::serve_one(std::uint32_t stream_id) {
   Stream& s = streams_.at(stream_id);
   last_round_robin_ = stream_id;
+  note_window_resume(s);  // a previously stalled stream is moving again
 
   if (!s.headers_sent) {
     // Engage the stall deviation before anything is emitted: under a tiny
@@ -723,8 +748,7 @@ void Http2Server::serve_one(std::uint32_t stream_id) {
       return;
     }
     const bool end_stream = s.body_size == 0;
-    send_header_block(stream_id, encoder_.encode(s.response_headers),
-                      end_stream);
+    send_header_block(stream_id, encode_block(s.response_headers), end_stream);
     (void)s.sm.on_send_headers(end_stream);
     s.headers_sent = true;
     if (end_stream) close_stream(stream_id);
@@ -801,7 +825,76 @@ void Http2Server::send_header_block(std::uint32_t stream_id, Bytes block,
 }
 
 void Http2Server::send_frame(const Frame& frame) {
-  h2::serialize_frame_into(out_, frame);
+  const std::size_t wire = h2::serialize_frame_into(out_, frame);
+  if (recorder_ != nullptr) {
+    recorder_->record(
+        trace::frame_event(trace::Direction::kServerToClient, frame, wire));
+  }
+}
+
+Bytes Http2Server::encode_block(const hpack::HeaderList& headers) {
+  const std::uint64_t ins = encoder_.table().insert_count();
+  const std::uint64_t ev = encoder_.table().eviction_count();
+  Bytes block = encoder_.encode(headers);
+  note_hpack_delta(encoder_.table().insert_count() - ins,
+                   encoder_.table().eviction_count() - ev);
+  return block;
+}
+
+void Http2Server::note_hpack_delta(std::uint64_t inserts,
+                                   std::uint64_t evictions) {
+  if (recorder_ == nullptr) return;
+  if (inserts != 0) {
+    trace::TraceEvent ev;
+    ev.dir = trace::Direction::kServerToClient;
+    ev.kind = trace::EventKind::kHpackInsert;
+    ev.detail_a = static_cast<std::uint32_t>(inserts);
+    recorder_->record(std::move(ev));
+  }
+  if (evictions != 0) {
+    trace::TraceEvent ev;
+    ev.dir = trace::Direction::kServerToClient;
+    ev.kind = trace::EventKind::kHpackEvict;
+    ev.detail_a = static_cast<std::uint32_t>(evictions);
+    recorder_->record(std::move(ev));
+  }
+}
+
+void Http2Server::note_window_stalls() {
+  if (recorder_ == nullptr) return;
+  for (auto& [id, s] : streams_) {
+    if (s.stall_traced || s.sm.closed() || !s.response_ready || s.stalled) {
+      continue;
+    }
+    bool blocked = false;
+    if (s.headers_sent) {
+      blocked = s.body_offset < s.body_size &&
+                (s.send_window.available() <= 0 ||
+                 conn_send_window_.available() <= 0);
+    } else {
+      blocked = (profile_.flow_control_on_headers &&
+                 s.send_window.available() <= 0) ||
+                (profile_.headers_blocked_by_conn_window &&
+                 conn_send_window_.available() <= 0);
+    }
+    if (!blocked) continue;
+    trace::TraceEvent ev;
+    ev.dir = trace::Direction::kServerToClient;
+    ev.kind = trace::EventKind::kWindowStall;
+    ev.stream_id = id;
+    recorder_->record(std::move(ev));
+    s.stall_traced = true;
+  }
+}
+
+void Http2Server::note_window_resume(Stream& stream) {
+  if (recorder_ == nullptr || !stream.stall_traced) return;
+  trace::TraceEvent ev;
+  ev.dir = trace::Direction::kServerToClient;
+  ev.kind = trace::EventKind::kWindowResume;
+  ev.stream_id = stream.sm.id();
+  recorder_->record(std::move(ev));
+  stream.stall_traced = false;
 }
 
 void Http2Server::react(ErrorReaction reaction, std::uint32_t stream_id,

@@ -28,6 +28,7 @@
 #include "server/profile.h"
 #include "net/upgrade.h"
 #include "server/site.h"
+#include "trace/recorder.h"
 
 namespace h2r::server {
 
@@ -40,8 +41,13 @@ class Http2Server {
            ///< Upgrade: h2c offer (RFC 7540 §3.2)
   };
 
+  /// @p recorder is the optional H2Wiretap sink shared with the client side;
+  /// the server records every frame it emits (direction s2c), client
+  /// SETTINGS it applies, HPACK table churn, scheduler window stalls and
+  /// parse errors. Null disables tracing.
   Http2Server(ServerProfile profile, Site site,
-              StartMode mode = StartMode::kTls);
+              StartMode mode = StartMode::kTls,
+              trace::Recorder* recorder = nullptr);
 
   /// Feeds client bytes; all complete frames are processed immediately and
   /// any producible response bytes are queued for take_output().
@@ -107,6 +113,7 @@ class Http2Server {
     bool is_push = false;
     bool zero_length_emitted = false;
     bool stalled = false;  ///< SmallWindowBehavior::kStall engaged
+    bool stall_traced = false;  ///< open kWindowStall event for this stream
   };
 
   // -- frame dispatch -----------------------------------------------------
@@ -152,6 +159,17 @@ class Http2Server {
   void close_stream(std::uint32_t stream_id);
   [[nodiscard]] bool tiny_window_mode() const;
 
+  // -- wiretap ------------------------------------------------------------
+  /// encoder_.encode with HPACK table-churn trace events (s2c blocks). Only
+  /// the encoding endpoint records churn; the peer's decoder replays the
+  /// identical instruction stream.
+  Bytes encode_block(const hpack::HeaderList& headers);
+  void note_hpack_delta(std::uint64_t inserts, std::uint64_t evictions);
+  /// Records a kWindowStall for every stream with deliverable work blocked
+  /// on flow control; called when the scheduler comes up empty-handed.
+  void note_window_stalls();
+  void note_window_resume(Stream& stream);
+
   ServerProfile profile_;
   Site site_;
 
@@ -190,6 +208,8 @@ class Http2Server {
   StartMode start_mode_;
   bool upgraded_ = false;
   std::string http1_buffer_;
+
+  trace::Recorder* recorder_ = nullptr;  ///< H2Wiretap sink; null = off
 };
 
 }  // namespace h2r::server

@@ -1,0 +1,413 @@
+#include "trace/annotate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "h2/constants.h"
+
+namespace h2r::trace {
+namespace {
+
+using h2::FrameType;
+
+constexpr std::uint64_t kMaxWindow = 0x7FFFFFFFull;
+// Settings identifier for SETTINGS_INITIAL_WINDOW_SIZE (RFC 7540 §6.5.2).
+constexpr std::uint32_t kInitialWindowSizeId = 4;
+constexpr std::uint64_t kDefaultWindow = 65535;
+// Windows below this are "tiny" — the paper's §V-D1 small-window probe uses
+// single-digit values; anything under 1 KiB cannot carry a realistic
+// response in one flight.
+constexpr std::uint64_t kTinyWindowLimit = 1024;
+
+bool is_frame(const TraceEvent& ev, Direction dir, FrameType type) {
+  return ev.kind == EventKind::kFrame && ev.dir == dir &&
+         ev.frame_type == static_cast<std::uint8_t>(type);
+}
+
+bool goaway_has_debug(const TraceEvent& ev) {
+  // GOAWAY notes are "<ERROR_NAME>" or "<ERROR_NAME>:<debug data>".
+  return ev.note.find(':') != std::string::npos;
+}
+
+/// How the server reacted to a client-side protocol trigger.
+enum class Reaction { kNone, kRst, kGoaway, kGoawayDebug };
+
+class SegmentAnnotator {
+ public:
+  SegmentAnnotator(std::vector<TraceEvent>& events, std::size_t begin,
+                   std::size_t end, std::set<std::string>& found)
+      : events_(events), begin_(begin), end_(end), found_(found) {}
+
+  void run() {
+    scan_client_window();
+    annotate_window_updates();
+    annotate_self_dependency();
+    annotate_headers_and_tiny_window();
+    annotate_data_budget();
+    annotate_priority_order();
+    annotate_hpack_indexing();
+  }
+
+ private:
+  void tag(TraceEvent& ev, const char* name) {
+    ev.tags.emplace_back(name);
+    found_.insert(name);
+  }
+
+  /// First server reaction recorded after @p trigger: an RST_STREAM on
+  /// @p stream (when stream-scoped) or any GOAWAY.
+  Reaction reaction_after(std::size_t trigger, std::uint32_t stream) const {
+    for (std::size_t i = trigger + 1; i < end_; ++i) {
+      const TraceEvent& ev = events_[i];
+      if (stream != 0 &&
+          is_frame(ev, Direction::kServerToClient, FrameType::kRstStream) &&
+          ev.stream_id == stream) {
+        return Reaction::kRst;
+      }
+      if (is_frame(ev, Direction::kServerToClient, FrameType::kGoaway)) {
+        return goaway_has_debug(ev) ? Reaction::kGoawayDebug : Reaction::kGoaway;
+      }
+    }
+    return Reaction::kNone;
+  }
+
+  /// The client's SETTINGS_INITIAL_WINDOW_SIZE, taken from the first
+  /// server-side "settings applied" event of the segment (before any request
+  /// is served the server has processed the client preface, so this is the
+  /// value every response stream starts with).
+  void scan_client_window() {
+    client_iws_ = kDefaultWindow;
+    for (std::size_t i = begin_; i < end_; ++i) {
+      const TraceEvent& ev = events_[i];
+      if (ev.kind == EventKind::kSettingsApplied &&
+          ev.dir == Direction::kClientToServer &&
+          ev.detail_a == kInitialWindowSizeId) {
+        client_iws_ = ev.detail_b;
+        return;
+      }
+    }
+  }
+
+  // §6.9: zero-increment and overflowing WINDOW_UPDATEs. RFC-prescribed
+  // reactions (stream error -> RST_STREAM, connection error -> GOAWAY) stay
+  // untagged; everything else gets the matching reaction-suffix tag. The
+  // shadow windows replay the real arithmetic — server DATA debits them —
+  // so the client's routine replenishment never reads as an overflow.
+  void annotate_window_updates() {
+    std::map<std::uint32_t, std::int64_t> stream_window;
+    std::int64_t conn_window = static_cast<std::int64_t>(kDefaultWindow);
+    bool conn_overflowed = false;
+    const auto initial = static_cast<std::int64_t>(client_iws_);
+    for (std::size_t i = begin_; i < end_; ++i) {
+      TraceEvent& ev = events_[i];
+      if (is_frame(ev, Direction::kServerToClient, FrameType::kData)) {
+        const auto payload = static_cast<std::int64_t>(ev.detail_a);
+        conn_window -= payload;
+        stream_window.try_emplace(ev.stream_id, initial).first->second -=
+            payload;
+        continue;
+      }
+      if (!is_frame(ev, Direction::kClientToServer, FrameType::kWindowUpdate)) {
+        continue;
+      }
+      const std::uint32_t stream = ev.stream_id;
+      const auto increment = static_cast<std::int64_t>(ev.detail_a);
+      if (increment == 0) {
+        const Reaction r = reaction_after(i, stream);
+        if (stream != 0) {
+          if (r == Reaction::kNone) tag(ev, tags::kZeroWuStreamIgnored);
+          if (r == Reaction::kGoaway) tag(ev, tags::kZeroWuStreamGoaway);
+          if (r == Reaction::kGoawayDebug) {
+            tag(ev, tags::kZeroWuStreamGoawayDebug);
+          }
+        } else {
+          if (r == Reaction::kNone) tag(ev, tags::kZeroWuConnIgnored);
+          if (r == Reaction::kGoawayDebug) tag(ev, tags::kZeroWuConnGoawayDebug);
+        }
+        continue;
+      }
+      if (stream != 0) {
+        auto [it, inserted] = stream_window.try_emplace(stream, initial);
+        const bool was_over = it->second > static_cast<std::int64_t>(kMaxWindow);
+        it->second += increment;
+        if (it->second > static_cast<std::int64_t>(kMaxWindow) && !was_over) {
+          const Reaction r = reaction_after(i, stream);
+          if (r == Reaction::kNone) tag(ev, tags::kLargeWuStreamIgnored);
+          if (r == Reaction::kGoaway) tag(ev, tags::kLargeWuStreamGoaway);
+          if (r == Reaction::kGoawayDebug) {
+            tag(ev, tags::kLargeWuStreamGoawayDebug);
+          }
+        }
+      } else {
+        conn_window += increment;
+        if (conn_window > static_cast<std::int64_t>(kMaxWindow) &&
+            !conn_overflowed) {
+          conn_overflowed = true;
+          const Reaction r = reaction_after(i, 0);
+          if (r == Reaction::kNone) tag(ev, tags::kLargeWuConnIgnored);
+          if (r == Reaction::kGoawayDebug) tag(ev, tags::kLargeWuConnGoawayDebug);
+        }
+      }
+    }
+  }
+
+  // §5.3.1: a stream depending on itself is a PROTOCOL_ERROR stream error.
+  void annotate_self_dependency() {
+    for (std::size_t i = begin_; i < end_; ++i) {
+      TraceEvent& ev = events_[i];
+      const bool priority_self =
+          is_frame(ev, Direction::kClientToServer, FrameType::kPriority) &&
+          ev.detail_a == ev.stream_id && ev.stream_id != 0;
+      const bool headers_self =
+          is_frame(ev, Direction::kClientToServer, FrameType::kHeaders) &&
+          (ev.detail_b & kPriorityPresentBit) != 0 &&
+          ev.detail_a == ev.stream_id && ev.stream_id != 0;
+      if (!priority_self && !headers_self) continue;
+      const Reaction r = reaction_after(i, ev.stream_id);
+      if (r == Reaction::kNone) tag(ev, tags::kSelfDependencyIgnored);
+      if (r == Reaction::kGoaway) tag(ev, tags::kSelfDependencyGoaway);
+      if (r == Reaction::kGoawayDebug) tag(ev, tags::kSelfDependencyGoawayDebug);
+    }
+  }
+
+  // Under INITIAL_WINDOW_SIZE = 0 a compliant server still sends HEADERS
+  // (flow control covers DATA only). A request answered with nothing at all
+  // — no HEADERS, no RST_STREAM, no GOAWAY — exposes flow control applied
+  // to the header frames. Under a tiny-but-nonzero window, a zero-length
+  // END_STREAM DATA (before any payload) or a fully silent stream is the
+  // paper's small-frame deviation pair.
+  void annotate_headers_and_tiny_window() {
+    const bool zero_window = client_iws_ == 0;
+    const bool tiny_window = client_iws_ > 0 && client_iws_ < kTinyWindowLimit;
+    if (!zero_window && !tiny_window) return;
+    bool any_goaway = false;
+    for (std::size_t i = begin_; i < end_; ++i) {
+      if (is_frame(events_[i], Direction::kServerToClient, FrameType::kGoaway)) {
+        any_goaway = true;
+      }
+    }
+    if (any_goaway) return;  // connection-level reaction, not a silent stall
+
+    struct StreamState {
+      std::size_t request_idx = 0;
+      bool response_headers = false;
+      bool reset = false;
+      bool payload_seen = false;
+      bool tagged = false;
+    };
+    std::map<std::uint32_t, StreamState> streams;
+    for (std::size_t i = begin_; i < end_; ++i) {
+      TraceEvent& ev = events_[i];
+      if (is_frame(ev, Direction::kClientToServer, FrameType::kHeaders)) {
+        auto [it, inserted] = streams.try_emplace(ev.stream_id);
+        if (inserted) it->second.request_idx = i;
+        continue;
+      }
+      if (ev.kind != EventKind::kFrame || ev.dir != Direction::kServerToClient) {
+        continue;
+      }
+      auto it = streams.find(ev.stream_id);
+      if (it == streams.end()) continue;
+      StreamState& st = it->second;
+      if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kHeaders)) {
+        st.response_headers = true;
+      }
+      if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kRstStream)) {
+        st.reset = true;
+      }
+      if (tiny_window &&
+          ev.frame_type == static_cast<std::uint8_t>(FrameType::kData)) {
+        if (ev.detail_a == 0 && (ev.flags & h2::flags::kEndStream) != 0 &&
+            !st.payload_seen && !st.tagged) {
+          tag(ev, tags::kZeroLengthDataUnderTinyWindow);
+          st.tagged = true;
+        }
+        if (ev.detail_a > 0) st.payload_seen = true;
+      }
+    }
+    for (auto& [stream, st] : streams) {
+      if (st.response_headers || st.reset || st.tagged) continue;
+      if (zero_window) {
+        tag(events_[st.request_idx], tags::kFlowControlOnHeaders);
+      } else {
+        tag(events_[st.request_idx], tags::kStalledUnderTinyWindow);
+      }
+    }
+  }
+
+  // §6.9: response DATA must fit in the budget the client advertised. The
+  // trace records client WINDOW_UPDATEs when the client emits them, which
+  // is never later than when the server credits them, so cumulative DATA
+  // exceeding the trace-order budget is a true violation. Mid-connection
+  // INITIAL_WINDOW_SIZE changes are not modelled (the probes never resize).
+  void annotate_data_budget() {
+    std::map<std::uint32_t, std::uint64_t> stream_allowed;
+    std::map<std::uint32_t, std::uint64_t> stream_sent;
+    std::uint64_t conn_allowed = kDefaultWindow;
+    std::uint64_t conn_sent = 0;
+    bool conn_tagged = false;
+    std::set<std::uint32_t> stream_tagged;
+    for (std::size_t i = begin_; i < end_; ++i) {
+      TraceEvent& ev = events_[i];
+      if (is_frame(ev, Direction::kClientToServer, FrameType::kWindowUpdate)) {
+        if (ev.stream_id == 0) {
+          conn_allowed += ev.detail_a;
+        } else {
+          auto [it, inserted] =
+              stream_allowed.try_emplace(ev.stream_id, client_iws_);
+          it->second += ev.detail_a;
+        }
+        continue;
+      }
+      if (!is_frame(ev, Direction::kServerToClient, FrameType::kData) ||
+          ev.stream_id == 0) {
+        continue;
+      }
+      const std::uint64_t payload = ev.detail_a;
+      conn_sent += payload;
+      auto [it, inserted] = stream_allowed.try_emplace(ev.stream_id, client_iws_);
+      std::uint64_t& sent = stream_sent[ev.stream_id];
+      sent += payload;
+      if (sent > it->second && stream_tagged.insert(ev.stream_id).second) {
+        tag(ev, tags::kDataExceedsStreamWindow);
+      }
+      if (conn_sent > conn_allowed && !conn_tagged) {
+        conn_tagged = true;
+        tag(ev, tags::kDataExceedsConnWindow);
+      }
+    }
+  }
+
+  // §5.3 / paper Algorithm 1: once the client declares a dependency tree,
+  // response DATA for a stream whose declared ancestor is still requested,
+  // unserved and unreset means the scheduler ignored the tree. The shadow
+  // tree mirrors client-sent PRIORITY / HEADERS-with-priority signals,
+  // including exclusive reparenting.
+  void annotate_priority_order() {
+    std::map<std::uint32_t, std::uint32_t> parent;
+    std::set<std::uint32_t> requested;
+    std::set<std::uint32_t> closed;
+    bool tagged = false;
+
+    auto apply_signal = [&](std::uint32_t stream, std::uint32_t dependency,
+                            bool exclusive) {
+      if (stream == 0 || dependency == stream) return;  // self-dep handled above
+      if (exclusive) {
+        for (auto& [child, par] : parent) {
+          if (par == dependency && child != stream) par = stream;
+        }
+      }
+      parent[stream] = dependency;
+    };
+
+    for (std::size_t i = begin_; i < end_ && !tagged; ++i) {
+      TraceEvent& ev = events_[i];
+      if (ev.kind != EventKind::kFrame) continue;
+      if (ev.dir == Direction::kClientToServer) {
+        if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kHeaders)) {
+          requested.insert(ev.stream_id);
+          if ((ev.detail_b & kPriorityPresentBit) != 0) {
+            apply_signal(ev.stream_id, ev.detail_a,
+                         (ev.detail_b & kExclusiveBit) != 0);
+          }
+        } else if (ev.frame_type ==
+                   static_cast<std::uint8_t>(FrameType::kPriority)) {
+          apply_signal(ev.stream_id, ev.detail_a,
+                       (ev.detail_b & kExclusiveBit) != 0);
+        } else if (ev.frame_type ==
+                   static_cast<std::uint8_t>(FrameType::kRstStream)) {
+          closed.insert(ev.stream_id);  // client cancelled (e.g. drain stream)
+        }
+        continue;
+      }
+      // Server side: track completion, then check ordering on payload DATA.
+      const auto type = static_cast<FrameType>(ev.frame_type);
+      if (type == FrameType::kRstStream) {
+        closed.insert(ev.stream_id);
+        continue;
+      }
+      if (type == FrameType::kGoaway) break;
+      const bool ends_stream = (type == FrameType::kData ||
+                                type == FrameType::kHeaders) &&
+                               (ev.flags & h2::flags::kEndStream) != 0;
+      if (type == FrameType::kData && ev.detail_a > 0 &&
+          requested.count(ev.stream_id) != 0 &&
+          closed.count(ev.stream_id) == 0) {
+        std::set<std::uint32_t> visited;
+        std::uint32_t node = ev.stream_id;
+        while (visited.insert(node).second) {
+          const auto it = parent.find(node);
+          if (it == parent.end() || it->second == 0) break;
+          node = it->second;
+          if (requested.count(node) != 0 && closed.count(node) == 0) {
+            tag(ev, tags::kPriorityInversion);
+            tagged = true;
+            break;
+          }
+        }
+      }
+      if (ends_stream) closed.insert(ev.stream_id);
+    }
+  }
+
+  // RFC 7541: a connection carrying several response header blocks that
+  // never grows the response dynamic table is serving from the static table
+  // only — the compression ratio is pinned at 1 (Table III "support*").
+  void annotate_hpack_indexing() {
+    std::size_t response_blocks = 0;
+    std::size_t last_headers = 0;
+    std::uint64_t inserts = 0;
+    for (std::size_t i = begin_; i < end_; ++i) {
+      const TraceEvent& ev = events_[i];
+      if (is_frame(ev, Direction::kServerToClient, FrameType::kHeaders)) {
+        ++response_blocks;
+        last_headers = i;
+      }
+      if (ev.kind == EventKind::kHpackInsert &&
+          ev.dir == Direction::kServerToClient) {
+        inserts += ev.detail_a;
+      }
+    }
+    if (response_blocks >= 2 && inserts == 0) {
+      tag(events_[last_headers], tags::kHpackNoDynamicIndexing);
+    }
+  }
+
+  std::vector<TraceEvent>& events_;
+  std::size_t begin_;
+  std::size_t end_;
+  std::set<std::string>& found_;
+  std::uint64_t client_iws_ = kDefaultWindow;
+};
+
+}  // namespace
+
+std::vector<std::string> annotate_violations(std::vector<TraceEvent>& events) {
+  std::set<std::string> found;
+  std::size_t segment_begin = 0;
+  bool in_segment = false;
+  auto close_segment = [&](std::size_t end) {
+    if (in_segment && end > segment_begin) {
+      SegmentAnnotator(events, segment_begin, end, found).run();
+    }
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == EventKind::kConnectionStart) {
+      close_segment(i);
+      segment_begin = i;
+      in_segment = true;
+    }
+  }
+  // Traces may omit connection markers (hand-built event lists); treat the
+  // whole vector as one segment then.
+  if (!in_segment && !events.empty()) {
+    segment_begin = 0;
+    in_segment = true;
+  }
+  close_segment(events.size());
+  return {found.begin(), found.end()};
+}
+
+}  // namespace h2r::trace

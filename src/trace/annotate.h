@@ -1,0 +1,91 @@
+// H2Wiretap violation annotator.
+//
+// Post-processes a recorded trace and tags events where the server's
+// observable behaviour deviates from RFC 7540 — exactly the quirk axes of
+// the paper's Table III. The annotator works purely on the event stream
+// (per connection segment, delimited by kConnectionStart), so a server's
+// deviation column can be *derived from traces* instead of being read back
+// from bespoke probe counters; core::derive_table3_quirks() does that
+// mapping.
+//
+// Reaction-style tags follow one scheme: `<axis>-ignored`, `<axis>-goaway`,
+// `<axis>-goaway-debug` — the RFC-prescribed reaction (RST_STREAM for
+// stream-scoped errors, plain GOAWAY for connection-scoped ones) is never
+// tagged. The `-goaway-debug` variants mark GOAWAYs carrying debug data,
+// which the paper counts separately (§V-D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace h2r::trace {
+
+namespace tags {
+
+// §6.9 WINDOW_UPDATE with a zero increment (RFC: stream error / conn error).
+inline constexpr const char* kZeroWuStreamIgnored =
+    "zero-window-update-stream-ignored";
+inline constexpr const char* kZeroWuStreamGoaway =
+    "zero-window-update-stream-goaway";
+inline constexpr const char* kZeroWuStreamGoawayDebug =
+    "zero-window-update-stream-goaway-debug";
+inline constexpr const char* kZeroWuConnIgnored =
+    "zero-window-update-connection-ignored";
+inline constexpr const char* kZeroWuConnGoawayDebug =
+    "zero-window-update-connection-goaway-debug";
+
+// §6.9.1 window overflow past 2^31-1 (RFC: RST_STREAM / GOAWAY).
+inline constexpr const char* kLargeWuStreamIgnored =
+    "large-window-update-stream-ignored";
+inline constexpr const char* kLargeWuStreamGoaway =
+    "large-window-update-stream-goaway";
+inline constexpr const char* kLargeWuStreamGoawayDebug =
+    "large-window-update-stream-goaway-debug";
+inline constexpr const char* kLargeWuConnIgnored =
+    "large-window-update-connection-ignored";
+inline constexpr const char* kLargeWuConnGoawayDebug =
+    "large-window-update-connection-goaway-debug";
+
+// §5.3.1 self-dependent stream (RFC: stream error PROTOCOL_ERROR).
+inline constexpr const char* kSelfDependencyIgnored = "self-dependency-ignored";
+inline constexpr const char* kSelfDependencyGoaway = "self-dependency-goaway";
+inline constexpr const char* kSelfDependencyGoawayDebug =
+    "self-dependency-goaway-debug";
+
+// §6.9/§4.2: flow control governs DATA only; a request that gets neither
+// HEADERS nor an error under INITIAL_WINDOW_SIZE = 0 reveals flow control
+// misapplied to HEADERS (the LiteSpeed deviation).
+inline constexpr const char* kFlowControlOnHeaders = "flow-control-on-headers";
+
+// §V-D1 small-window deviations: a zero-length END_STREAM DATA frame in
+// place of window-respecting chunks; or a response that never starts.
+inline constexpr const char* kZeroLengthDataUnderTinyWindow =
+    "zero-length-data-under-tiny-window";
+inline constexpr const char* kStalledUnderTinyWindow =
+    "stalled-under-tiny-window";
+
+// §6.9: DATA beyond the advertised stream / connection budget.
+inline constexpr const char* kDataExceedsStreamWindow =
+    "data-exceeds-stream-window";
+inline constexpr const char* kDataExceedsConnWindow =
+    "data-exceeds-connection-window";
+
+// §5.3 scheduling: DATA on a stream while a declared ancestor is requested,
+// unfinished and unreset (round-robin servers fail Algorithm 1 this way).
+inline constexpr const char* kPriorityInversion = "priority-inversion";
+
+// RFC 7541: >= 2 response header blocks with zero dynamic-table insertions
+// (the "support*" compression column — ratio pinned at 1).
+inline constexpr const char* kHpackNoDynamicIndexing =
+    "hpack-no-dynamic-indexing";
+
+}  // namespace tags
+
+/// Scans @p events connection by connection, appends violation tags to the
+/// offending events in place, and returns the sorted, de-duplicated set of
+/// tags found anywhere in the trace.
+std::vector<std::string> annotate_violations(std::vector<TraceEvent>& events);
+
+}  // namespace h2r::trace

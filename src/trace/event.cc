@@ -1,0 +1,186 @@
+#include "trace/event.h"
+
+#include <cstdio>
+
+namespace h2r::trace {
+namespace {
+
+using h2::FrameType;
+
+void put_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Direction d) noexcept {
+  return d == Direction::kClientToServer ? "c2s" : "s2c";
+}
+
+std::string_view to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kConnectionStart:
+      return "conn-start";
+    case EventKind::kRoundMark:
+      return "round";
+    case EventKind::kFrame:
+      return "frame";
+    case EventKind::kParseError:
+      return "parse-error";
+    case EventKind::kSettingsApplied:
+      return "settings-applied";
+    case EventKind::kWindowStall:
+      return "window-stall";
+    case EventKind::kWindowResume:
+      return "window-resume";
+    case EventKind::kHpackInsert:
+      return "hpack-insert";
+    case EventKind::kHpackEvict:
+      return "hpack-evict";
+  }
+  return "?";
+}
+
+TraceEvent frame_event(Direction dir, const h2::Frame& frame,
+                       std::size_t wire_length) {
+  TraceEvent ev;
+  ev.dir = dir;
+  ev.kind = EventKind::kFrame;
+  ev.stream_id = frame.stream_id;
+  ev.flags = frame.flags;
+  ev.wire_length = static_cast<std::uint32_t>(wire_length);
+
+  const FrameType type = frame.type();
+  ev.frame_type = frame.is<h2::UnknownPayload>()
+                      ? frame.as<h2::UnknownPayload>().type
+                      : static_cast<std::uint8_t>(type);
+  switch (type) {
+    case FrameType::kData:
+      ev.detail_a =
+          static_cast<std::uint32_t>(frame.as<h2::DataPayload>().data.size());
+      break;
+    case FrameType::kHeaders: {
+      const auto& p = frame.as<h2::HeadersPayload>();
+      if (p.priority) {
+        ev.detail_a = p.priority->dependency;
+        ev.detail_b = kPriorityPresentBit | p.priority->weight_field |
+                      (p.priority->exclusive ? kExclusiveBit : 0);
+      }
+      break;
+    }
+    case FrameType::kPriority: {
+      const auto& info = frame.as<h2::PriorityPayload>().info;
+      ev.detail_a = info.dependency;
+      ev.detail_b = info.weight_field | (info.exclusive ? kExclusiveBit : 0);
+      break;
+    }
+    case FrameType::kRstStream: {
+      const auto code = frame.as<h2::RstStreamPayload>().error;
+      ev.detail_a = static_cast<std::uint32_t>(code);
+      ev.note = std::string(h2::to_string(code));
+      break;
+    }
+    case FrameType::kSettings:
+      ev.detail_a = static_cast<std::uint32_t>(
+          frame.as<h2::SettingsPayload>().entries.size());
+      break;
+    case FrameType::kPushPromise:
+      ev.detail_a = frame.as<h2::PushPromisePayload>().promised_stream_id;
+      break;
+    case FrameType::kGoaway: {
+      const auto& p = frame.as<h2::GoawayPayload>();
+      ev.detail_a = static_cast<std::uint32_t>(p.error);
+      ev.detail_b = p.last_stream_id;
+      ev.note = std::string(h2::to_string(p.error));
+      if (!p.debug_data.empty()) {
+        ev.note += ':';
+        ev.note.append(p.debug_data.begin(), p.debug_data.end());
+      }
+      break;
+    }
+    case FrameType::kWindowUpdate:
+      ev.detail_a = frame.as<h2::WindowUpdatePayload>().increment;
+      break;
+    default:
+      if (frame.is<h2::UnknownPayload>()) {
+        ev.detail_a = frame.as<h2::UnknownPayload>().type;
+      }
+      break;
+  }
+  return ev;
+}
+
+void append_jsonl(std::string& out, const TraceEvent& ev,
+                  std::string_view site) {
+  char buf[160];
+  out += '{';
+  if (!site.empty()) {
+    out += "\"site\":\"";
+    put_escaped(out, site);
+    out += "\",";
+  }
+  std::snprintf(buf, sizeof buf, "\"seq\":%llu,\"t\":%.3f,",
+                static_cast<unsigned long long>(ev.seq), ev.time_ms);
+  out += buf;
+  out += "\"dir\":\"";
+  out += to_string(ev.dir);
+  out += "\",\"kind\":\"";
+  out += to_string(ev.kind);
+  out += "\",";
+  const std::string_view type_name =
+      ev.kind == EventKind::kFrame
+          ? h2::to_string(static_cast<h2::FrameType>(ev.frame_type))
+          : std::string_view{};
+  std::snprintf(buf, sizeof buf, "\"stream\":%u,\"type\":\"", ev.stream_id);
+  out += buf;
+  put_escaped(out, type_name);
+  std::snprintf(buf, sizeof buf,
+                "\",\"flags\":%u,\"len\":%u,\"a\":%u,\"b\":%u,\"note\":\"",
+                ev.flags, ev.wire_length, ev.detail_a, ev.detail_b);
+  out += buf;
+  put_escaped(out, ev.note);
+  out += "\",\"tags\":[";
+  for (std::size_t i = 0; i < ev.tags.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    put_escaped(out, ev.tags[i]);
+    out += '"';
+  }
+  out += "]}\n";
+}
+
+std::string to_jsonl(const std::vector<TraceEvent>& events,
+                     std::string_view site) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const auto& ev : events) append_jsonl(out, ev, site);
+  return out;
+}
+
+}  // namespace h2r::trace

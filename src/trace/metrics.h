@@ -1,0 +1,119 @@
+// H2Wiretap aggregation: counters + histograms over trace events.
+//
+// A MetricsRegistry is a plain value — each scan worker folds its own sites
+// into a private registry and merge() combines them; every field is a sum
+// (or a bucket-wise sum), so the merged result is independent of how sites
+// were sharded across `H2R_THREADS` workers. to_json()/to_text() emit
+// snapshots with stable field ordering, byte-identical for identical
+// registries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+#include "trace/recorder.h"
+
+namespace h2r::trace {
+
+/// Fixed log2-bucket histogram: bucket 0 holds zeros, bucket i>=1 holds
+/// values with bit width i (i.e. [2^(i-1), 2^i)). Fixed geometry is what
+/// makes merge() a plain bucket-wise sum.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void add(std::uint64_t value, std::uint64_t times = 1);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Slot count for per-frame-type counters: the ten RFC 7540 types plus one
+/// shared slot for unknown type octets.
+inline constexpr std::size_t kFrameTypeSlots = 11;
+
+/// Returns the counter slot for a raw frame-type octet.
+[[nodiscard]] std::size_t frame_type_slot(std::uint8_t type_octet) noexcept;
+
+struct MetricsRegistry {
+  std::uint64_t connections = 0;
+  std::uint64_t rounds = 0;
+  std::array<std::uint64_t, kFrameTypeSlots> frames_c2s{};
+  std::array<std::uint64_t, kFrameTypeSlots> frames_s2c{};
+  std::uint64_t bytes_c2s = 0;
+  std::uint64_t bytes_s2c = 0;
+  std::uint64_t settings_applied = 0;
+  std::uint64_t hpack_inserts = 0;
+  std::uint64_t hpack_evictions = 0;
+  std::uint64_t rst_streams = 0;
+  std::uint64_t goaways = 0;
+  std::uint64_t window_stalls = 0;
+  std::uint64_t parse_errors = 0;
+  /// Violation-annotator tag counts (tag -> occurrences).
+  std::map<std::string, std::uint64_t> violation_tags;
+
+  Histogram frame_size;             ///< wire octets per frame, both directions
+  Histogram stream_wire_bytes;      ///< wire octets per non-zero stream
+  Histogram stall_span_events;      ///< stall->resume distance in trace events
+  Histogram compression_ratio_pct;  ///< per-connection Equation-1 ratio x100
+
+  void merge(const MetricsRegistry& other);
+  [[nodiscard]] std::uint64_t total_frames() const noexcept;
+  [[nodiscard]] std::uint64_t total_violations() const noexcept;
+
+  /// JSON snapshot, stable field order, no trailing whitespace.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable snapshot (same content as to_json).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Folds events into a registry as they are recorded, retaining nothing but
+/// small per-connection state (per-stream byte tallies, open stall marks,
+/// response header-block sizes for the Equation-1 compression ratio). Call
+/// finish() — or let the destructor — to flush the final connection.
+class MetricsRecorder : public Recorder {
+ public:
+  explicit MetricsRecorder(MetricsRegistry& registry) : registry_(registry) {}
+  ~MetricsRecorder() override { finish(); }
+
+  /// Feeds an already-stamped event (replay path used by consume()).
+  void replay(const TraceEvent& event) { on_event(event); }
+
+  /// Flushes per-connection state into the registry. Idempotent.
+  void finish();
+
+ protected:
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  void flush_connection();
+
+  MetricsRegistry& registry_;
+  std::map<std::uint32_t, std::uint64_t> stream_bytes_;
+  std::map<std::uint32_t, std::uint64_t> open_stalls_;  ///< stream -> seq
+  std::vector<std::uint64_t> response_block_sizes_;
+};
+
+/// Replays @p events (e.g. a VectorRecorder's, after annotation) into
+/// @p registry.
+void consume(MetricsRegistry& registry, const std::vector<TraceEvent>& events);
+
+}  // namespace h2r::trace

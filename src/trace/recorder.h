@@ -1,0 +1,79 @@
+// H2Wiretap sinks.
+//
+// A `Recorder*` threads through ClientOptions / Http2Server / Target; null
+// means tracing is off and every hook reduces to one pointer test (the
+// "null sink" — measured by bench_scan_throughput's exchange_untraced /
+// exchange_traced rows). The base class stamps sequence numbers (and the
+// virtual-clock time when a clock is attached) so sinks see a totally
+// ordered stream; concrete sinks either retain events (VectorRecorder, for
+// JSONL dumps and the violation annotator) or fold them straight into a
+// MetricsRegistry without retention (MetricsRecorder, in metrics.h).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/clock.h"
+#include "trace/event.h"
+
+namespace h2r::trace {
+
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+
+  /// Stamps seq/time and forwards to the sink. Not reentrant.
+  void record(TraceEvent event) {
+    event.seq = next_seq_++;
+    if (clock_ != nullptr) event.time_ms = clock_->now_ms();
+    on_event(event);
+  }
+
+  /// Marks the start of a new connection; @p label (host, probe name, ...)
+  /// lands in the event's note. Segmentation boundaries for the annotator
+  /// and for per-connection metrics.
+  void begin_connection(std::string_view label) {
+    TraceEvent ev;
+    ev.kind = EventKind::kConnectionStart;
+    ev.note = label;
+    record(std::move(ev));
+  }
+
+  /// Attaches a virtual clock; events record now_ms() from then on.
+  void set_clock(const net::VirtualClock* clock) noexcept { clock_ = clock; }
+
+  [[nodiscard]] std::uint64_t events_recorded() const noexcept {
+    return next_seq_;
+  }
+
+ protected:
+  virtual void on_event(const TraceEvent& event) = 0;
+
+ private:
+  std::uint64_t next_seq_ = 0;
+  const net::VirtualClock* clock_ = nullptr;
+};
+
+/// Null-safe connection marker, for call sites holding a maybe-null sink.
+inline void begin(Recorder* recorder, std::string_view label) {
+  if (recorder != nullptr) recorder->begin_connection(label);
+}
+
+/// Retains every event in order — the trace proper.
+class VectorRecorder : public Recorder {
+ public:
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Mutable access for the violation annotator (tags are written in place).
+  [[nodiscard]] std::vector<TraceEvent>& events() noexcept { return events_; }
+
+ protected:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace h2r::trace

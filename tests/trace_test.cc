@@ -1,0 +1,196 @@
+// H2Wiretap determinism and aggregation tests.
+//
+// The subsystem's whole value rests on two properties: (1) identical probe
+// runs produce byte-identical JSONL traces, so traces can be diffed across
+// code versions, and (2) metrics aggregation is independent of how the
+// scan was sharded across H2R_THREADS workers, so reports are comparable
+// across machines.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/report.h"
+#include "corpus/population.h"
+#include "corpus/scan.h"
+#include "server/profile.h"
+#include "trace/annotate.h"
+#include "trace/event.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
+
+namespace h2r::trace {
+namespace {
+
+// ------------------------------------------------------------- event model
+
+TEST(TraceEvent, JsonlHasStableFieldOrderAndEscaping) {
+  TraceEvent ev;
+  ev.seq = 3;
+  ev.dir = Direction::kServerToClient;
+  ev.kind = EventKind::kFrame;
+  ev.stream_id = 5;
+  ev.frame_type = 0x0;  // DATA
+  ev.flags = 0x1;
+  ev.wire_length = 17;
+  ev.detail_a = 8;
+  ev.note = "quote\" and \\slash";
+  ev.tags = {"a-tag"};
+
+  std::string line;
+  append_jsonl(line, ev, "host.test");
+  EXPECT_EQ(line,
+            "{\"site\":\"host.test\",\"seq\":3,\"t\":0.000,\"dir\":\"s2c\","
+            "\"kind\":\"frame\",\"stream\":5,\"type\":\"DATA\",\"flags\":1,"
+            "\"len\":17,\"a\":8,\"b\":0,\"note\":\"quote\\\" and "
+            "\\\\slash\",\"tags\":[\"a-tag\"]}\n");
+}
+
+TEST(TraceRecorder, NullSinkIsSafeAndVectorSinkStampsSequence) {
+  Recorder* none = nullptr;
+  begin(none, "ignored");  // null-safe helper: must be a no-op
+
+  VectorRecorder rec;
+  rec.begin_connection("c1");
+  TraceEvent ev;
+  ev.kind = EventKind::kRoundMark;
+  rec.record(std::move(ev));
+  ASSERT_EQ(rec.events().size(), 2u);
+  EXPECT_EQ(rec.events()[0].kind, EventKind::kConnectionStart);
+  EXPECT_EQ(rec.events()[0].seq, 0u);
+  EXPECT_EQ(rec.events()[1].seq, 1u);
+}
+
+// ------------------------------------------------------------- histograms
+
+TEST(Histogram, Log2BucketsAndMerge) {
+  Histogram h;
+  h.add(0);        // bucket 0
+  h.add(1);        // bucket 1
+  h.add(2);        // bucket 2
+  h.add(3);        // bucket 2
+  h.add(1024, 5);  // bucket 11, five times
+  EXPECT_EQ(h.count(), 9u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 5 * 1024);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[11], 5u);
+
+  Histogram other;
+  other.add(3);
+  other.merge(h);
+  EXPECT_EQ(other.count(), 10u);
+  EXPECT_EQ(other.buckets()[2], 3u);
+}
+
+TEST(MetricsRegistry, MergeIsFieldwiseSum) {
+  MetricsRegistry a;
+  a.connections = 2;
+  a.frames_c2s[0] = 7;
+  a.violation_tags["x"] = 1;
+  a.frame_size.add(100);
+
+  MetricsRegistry b;
+  b.connections = 3;
+  b.frames_c2s[0] = 1;
+  b.violation_tags["x"] = 2;
+  b.violation_tags["y"] = 5;
+
+  a.merge(b);
+  EXPECT_EQ(a.connections, 5u);
+  EXPECT_EQ(a.frames_c2s[0], 8u);
+  EXPECT_EQ(a.violation_tags.at("x"), 3u);
+  EXPECT_EQ(a.violation_tags.at("y"), 5u);
+  EXPECT_EQ(a.total_violations(), 8u);
+  EXPECT_EQ(a.frame_size.count(), 1u);
+}
+
+// -------------------------------------------------- end-to-end determinism
+
+TEST(TraceDeterminism, RepeatedCharacterizationsProduceIdenticalJsonl) {
+  const auto run = [] {
+    Rng rng(7);
+    VectorRecorder recorder;
+    core::characterize_traced(
+        core::Target::testbed(server::litespeed_profile()), rng, recorder);
+    return to_jsonl(recorder.events(), "litespeed");
+  };
+  const std::string a = run();
+  const std::string b = run();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceDeterminism, CharacterizeTracedRecordsFullDuplexConversation) {
+  Rng rng(7);
+  VectorRecorder recorder;
+  const auto c = core::characterize_traced(
+      core::Target::testbed(server::nghttpd_profile()), rng, recorder);
+
+  const auto& m = c.wire_metrics;
+  EXPECT_GT(m.connections, 10u);  // one per probe connection
+  EXPECT_GT(m.rounds, 0u);
+  // Both directions must be present: client HEADERS, server DATA.
+  constexpr std::size_t kHeadersSlot = 1, kDataSlot = 0, kSettingsSlot = 4;
+  EXPECT_GT(m.frames_c2s[kHeadersSlot], 0u);
+  EXPECT_GT(m.frames_s2c[kDataSlot], 0u);
+  EXPECT_GT(m.frames_c2s[kSettingsSlot], 0u);
+  EXPECT_GT(m.frames_s2c[kSettingsSlot], 0u);
+  EXPECT_GT(m.bytes_s2c, m.bytes_c2s);  // responses dwarf requests
+  EXPECT_GT(m.settings_applied, 0u);
+  EXPECT_GT(m.hpack_inserts, 0u);  // nghttpd indexes aggressively
+  EXPECT_EQ(m.parse_errors, 0u);
+  // The registry's violation counts mirror the annotated tags.
+  EXPECT_EQ(m.total_violations() > 0, !c.violation_tags.empty());
+  // Equation-1 ratio histogram: nghttpd compresses, so ratios land well
+  // below 100%.
+  EXPECT_GT(m.compression_ratio_pct.count(), 0u);
+  EXPECT_LT(m.compression_ratio_pct.mean(), 100.0);
+}
+
+TEST(TraceDeterminism, ScanWiretapIndependentOfThreadCount) {
+  // 1/1000 of the epoch-2 list, as in scan_determinism_test: every probe
+  // and family bucket, a few hundred ms. wiretap_traces keeps the JSONL of
+  // every site, so the comparison covers traces and metrics both.
+  const corpus::Population pop =
+      corpus::generate_population(corpus::Epoch::kExp2, 7, /*scale=*/1000);
+  ASSERT_FALSE(pop.sites.empty());
+
+  corpus::ScanOptions single;
+  single.threads = 1;
+  single.wiretap_metrics = true;
+  single.wiretap_traces = true;
+  corpus::ScanOptions pooled = single;
+  pooled.threads = 8;
+
+  const auto a = corpus::scan_population(pop, single);
+  const auto b = corpus::scan_population(pop, pooled);
+
+  EXPECT_EQ(a.wire_metrics.to_json(), b.wire_metrics.to_json());
+  ASSERT_EQ(a.wire_metrics_by_family.size(), b.wire_metrics_by_family.size());
+  for (const auto& [family, metrics] : a.wire_metrics_by_family) {
+    ASSERT_TRUE(b.wire_metrics_by_family.count(family)) << family;
+    EXPECT_EQ(metrics.to_json(), b.wire_metrics_by_family.at(family).to_json())
+        << family;
+  }
+  EXPECT_FALSE(a.site_traces.empty());
+  EXPECT_EQ(a.site_traces, b.site_traces);  // byte-identical JSONL per site
+  EXPECT_GT(a.wire_metrics.total_frames(), 0u);
+
+  // The text rendering is derived from the same registry; spot-check it
+  // round-trips the headline counters.
+  const std::string text = a.wire_metrics.to_text();
+  EXPECT_NE(text.find("connections"), std::string::npos);
+
+  // Tracing must not perturb the scan's published aggregates.
+  corpus::ScanOptions plain;
+  plain.threads = 3;
+  const auto c = corpus::scan_population(pop, plain);
+  EXPECT_EQ(c.responding_sites, a.responding_sites);
+  EXPECT_EQ(c.server_counts, a.server_counts);
+  EXPECT_TRUE(c.site_traces.empty());  // wiretap off: nothing retained
+  EXPECT_EQ(c.wire_metrics.total_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace h2r::trace

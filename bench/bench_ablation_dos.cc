@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "core/probes.h"
-#include "core/session.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -33,7 +33,7 @@ void print_slow_read() {
     for (int i = 0; i < streams; ++i) {
       client.send_request("/large/" + std::to_string(i % 8));
     }
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     for (std::uint32_t sid = 1;
          sid <= static_cast<std::uint32_t>(2 * streams); sid += 2) {
       released += client.data_received(sid);
@@ -70,7 +70,7 @@ void print_header_bomb() {
       client.send_frame(h2::make_headers(
           static_cast<std::uint32_t>(sent * 2 + 1), attacker.encode(headers),
           /*end_stream=*/true));
-      core::run_exchange(client, server);
+      net::LockstepTransport(client.recorder()).run(client, server);
       if (!server.alive()) break;
     }
     std::printf("%-10d %-22zu %-16u\n", sent, server.decoder_table_octets(),
@@ -102,7 +102,7 @@ void BM_PriorityChurnFlood(benchmark::State& state) {
                                  .exclusive = rng.next_bool(0.3)});
       ++frames;
     }
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     benchmark::DoNotOptimize(server.priority_tree().size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(frames));
@@ -123,7 +123,7 @@ void BM_SlowReadSetupCost(benchmark::State& state) {
     for (int i = 0; i < streams; ++i) {
       client.send_request("/large/" + std::to_string(i % 8));
     }
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     benchmark::DoNotOptimize(server.pending_response_octets());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(streams) *

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "core/probes.h"
-#include "core/session.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -58,7 +58,7 @@ void BM_PriorityWorkload(benchmark::State& state) {
     for (int i = 0; i < 6; ++i) {
       client.send_request("/object/" + std::to_string(i + 1));
     }
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     for (std::uint32_t sid = 1; sid <= 11; sid += 2) {
       bytes += client.data_received(sid);
     }

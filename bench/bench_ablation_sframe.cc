@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "core/probes.h"
-#include "core/session.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -30,7 +30,8 @@ SweepPoint run_sweep_point(std::uint32_t sframe) {
   opts.settings = {{h2::SettingId::kInitialWindowSize, sframe}};
   core::ClientConnection client(opts);
   const auto sid = client.send_request("/style.css");  // 4 KiB object
-  const int rounds = core::run_exchange(client, server);
+  const int rounds =
+      net::LockstepTransport().run(client, server).rounds;
 
   SweepPoint p{.sframe = sframe, .data_frames = 0, .payload_bytes = 0,
                .wire_bytes = 0, .exchange_rounds = rounds};

@@ -4,7 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/probes.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "h2/frame_codec.h"
 #include "h2/priority_tree.h"
 #include "server/engine.h"
@@ -75,7 +75,7 @@ void BM_FullRequestResponse(benchmark::State& state) {
     auto server = target.make_server();
     core::ClientConnection client;
     const auto sid = client.send_request("/small");
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     bytes += client.data_received(sid);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
@@ -90,7 +90,7 @@ void BM_LargeDownload(benchmark::State& state) {
     auto server = target.make_server();
     core::ClientConnection client;
     const auto sid = client.send_request("/large/0");  // 512 KiB
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     bytes += client.data_received(sid);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));

@@ -12,7 +12,8 @@
 // H2R_BENCH_JSON. H2R_SCALE / H2R_SEED / H2R_THREADS apply as in every
 // other bench. H2R_TRACE_OUT=<path> additionally dumps the traced scan's
 // H2Wiretap JSONL to <path> and its metrics snapshot to
-// <path>.metrics.json.
+// <path>.metrics.json. H2R_FAULT_SEED reseeds the scan_epoch2_faulted
+// chaos row's fault schedules.
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -22,7 +23,7 @@
 
 #include "bench/bench_util.h"
 #include "core/probes.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "h2/frame.h"
 #include "h2/frame_codec.h"
 #include "hpack/decoder.h"
@@ -274,7 +275,7 @@ void bench_exchange() {
     core::ClientConnection client(target.client_options());
     auto server = target.make_server();
     client.send_request("/");
-    core::run_exchange(client, server);
+    net::LockstepTransport(client.recorder()).run(client, server);
     return client.events().size();
   };
 
@@ -338,6 +339,33 @@ void bench_scan(std::uint64_t seed) {
     bench::write_file_or_warn(trace_out, jsonl);
     bench::write_file_or_warn(trace_out + ".metrics.json",
                               traced.wire_metrics.to_json() + "\n");
+  }
+
+  // The chaos row: the same population over seeded FaultyTransports with
+  // fresh-connection retries — the cost of scanning under adversarial
+  // delivery, and a standing proof the faulted scan loop cannot hang
+  // (deadline_hits must stay 0).
+  corpus::ScanOptions fopts = opts;
+  fopts.fault_injection = true;
+  fopts.fault_seed = bench::fault_seed_from_env();
+  const auto fstart = Clock::now();
+  const auto faulted = corpus::scan_population(pop, fopts);
+  const double fwall = ms_since(fstart);
+  record("scan_epoch2_faulted", fwall, sites, sites / (fwall / 1000.0));
+  std::printf("  (outcomes: ok=%zu retried_ok=%zu truncated=%zu "
+              "disconnected=%zu timed_out=%zu)\n",
+              faulted.sites_ok, faulted.sites_retried_ok,
+              faulted.sites_truncated, faulted.sites_disconnected,
+              faulted.sites_timed_out);
+  std::printf("  (%llu faults over %llu exchanges, %llu retries, "
+              "deadline_hits=%llu)\n",
+              static_cast<unsigned long long>(faulted.fault_injected),
+              static_cast<unsigned long long>(faulted.fault_exchanges),
+              static_cast<unsigned long long>(faulted.fault_retries),
+              static_cast<unsigned long long>(faulted.fault_deadline_hits));
+  if (faulted.fault_deadline_hits != 0) {
+    std::fprintf(stderr, "!! faulted scan hit an exchange deadline — the "
+                         "chaos loop is supposed to make that impossible\n");
   }
 }
 

@@ -84,6 +84,22 @@ inline int threads_from_env() {
   return static_cast<int>(v);
 }
 
+/// `H2R_FAULT_SEED`: base seed for chaos-scan fault schedules. Defaults to
+/// ScanOptions' own default so every machine reproduces the same faults;
+/// override to explore a different chaos universe.
+inline std::uint64_t fault_seed_from_env() {
+  const char* s = std::getenv("H2R_FAULT_SEED");
+  if (s == nullptr) return corpus::ScanOptions{}.fault_seed;
+  long v = 0;
+  if (!parse_env_long("H2R_FAULT_SEED", s, v) || v < 0) {
+    if (v < 0) {
+      std::fprintf(stderr, "!! H2R_FAULT_SEED=%s negative; using default\n", s);
+    }
+    return corpus::ScanOptions{}.fault_seed;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 /// `H2R_TRACE_OUT=<path>`: where trace-capable benches dump the H2Wiretap
 /// JSONL trace (a sibling "<path>.metrics.json" gets the metrics snapshot).
 /// Empty string = tracing stays off.

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "hpack/encoder.h"
 #include "server/engine.h"
 #include "util/rng.h"
@@ -30,7 +30,7 @@ void slow_read_attack() {
   for (int i = 0; i < 16; ++i) {
     client.send_request("/large/" + std::to_string(i % 8));
   }
-  core::run_exchange(client, server);
+  net::LockstepTransport().run(client, server);
   std::printf(
       "  16 requests, SETTINGS_INITIAL_WINDOW_SIZE=1, no window updates:\n"
       "  server now pins %zu bytes of response data for 16 octets leaked\n"
@@ -54,7 +54,7 @@ void priority_churn_attack() {
                                    static_cast<std::uint8_t>(rng.next_below(256)),
                                .exclusive = rng.next_bool(0.3)});
   }
-  core::run_exchange(client, server);
+  net::LockstepTransport().run(client, server);
   std::printf(
       "  %d PRIORITY frames against idle streams: the server materialized a\n"
       "  %zu-node dependency tree and rebuilt it on every frame — pure\n"
@@ -79,7 +79,7 @@ void header_bomb_attack() {
     client.send_frame(h2::make_headers(
         static_cast<std::uint32_t>(i * 2 + 1), attacker.encode(headers), true));
   }
-  core::run_exchange(client, server);
+  net::LockstepTransport().run(client, server);
   std::printf(
       "  64 requests x 16 unique 48-octet headers: decoder table holds %zu\n"
       "  of a %u-octet cap — the default SETTINGS_HEADER_TABLE_SIZE bounds\n"

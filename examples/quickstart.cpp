@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "server/engine.h"
 #include "server/profile.h"
 #include "server/site.h"
@@ -23,8 +23,11 @@ int main() {
   core::ClientConnection client;
 
   // 3. Request the front page and pump bytes until both sides go quiet.
+  //    The transport is an injectable policy: swap LockstepTransport for
+  //    net::FaultyTransport to watch the same conversation under faults.
   const std::uint32_t stream = client.send_request("/");
-  core::run_exchange(client, server);
+  net::LockstepTransport transport;
+  transport.run(client, server);
 
   // 4. Inspect what happened, frame by frame.
   std::printf("frames received from the server:\n");

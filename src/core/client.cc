@@ -19,6 +19,18 @@ std::size_t payload_wire_size(const Frame& f) {
 
 }  // namespace
 
+std::string_view to_string(ClientTerminal t) noexcept {
+  switch (t) {
+    case ClientTerminal::kQuiescent:
+      return "quiescent";
+    case ClientTerminal::kTransportError:
+      return "transport-error";
+    case ClientTerminal::kProtocolError:
+      return "protocol-error";
+  }
+  return "unknown";
+}
+
 ClientConnection::ClientConnection(ClientOptions options)
     : options_(std::move(options)),
       parser_(h2::kMaxAllowedFrameSize),  // accept whatever the server sends
@@ -174,11 +186,23 @@ void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
   parser_.feed(bytes);
   while (auto next = parser_.next()) {
     if (!next->ok()) {
+      // Surface the evidence, not just "parse error": the parser knows
+      // which frame (stream offset + type octet) poisoned the stream.
+      terminal_.state = ClientTerminal::kProtocolError;
+      terminal_.status = next->status();
+      if (const auto& ctx = parser_.error_context(); ctx.has_value()) {
+        terminal_.byte_offset = ctx->frame_offset;
+        terminal_.frame_type = ctx->frame_type;
+        terminal_.frame_type_known = ctx->type_known;
+      }
       if (options_.recorder != nullptr) {
         trace::TraceEvent ev;
         ev.dir = trace::Direction::kServerToClient;
         ev.kind = trace::EventKind::kParseError;
         ev.note = next->status().message();
+        ev.detail_a = static_cast<std::uint32_t>(terminal_.byte_offset);
+        ev.detail_b = terminal_.frame_type_known ? 1 : 0;
+        ev.frame_type = terminal_.frame_type;
         options_.recorder->record(std::move(ev));
       }
       dead_ = true;
@@ -187,6 +211,18 @@ void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
     const std::size_t size = payload_wire_size(next->value());
     on_frame(std::move(next->value()), size);
   }
+}
+
+void ClientConnection::on_transport_close(const Status& status) {
+  // A protocol-level cause already recorded on this connection (parse
+  // error, GOAWAY) outranks the transport dying afterwards.
+  if (!dead_ && terminal_.state == ClientTerminal::kQuiescent &&
+      !goaway_.has_value()) {
+    terminal_.state = ClientTerminal::kTransportError;
+    terminal_.status = status;
+    terminal_.byte_offset = parser_.fed_total();
+  }
+  dead_ = true;
 }
 
 void ClientConnection::on_frame(Frame frame, std::size_t payload_size) {

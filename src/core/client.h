@@ -21,8 +21,32 @@
 #include "hpack/encoder.h"
 #include "trace/recorder.h"
 #include "util/bytes.h"
+#include "util/status.h"
 
 namespace h2r::core {
+
+/// Why a connection stopped: the probe-side terminal-error taxonomy. A scan
+/// needs to distinguish "the site finished talking" from "the transport died
+/// under us" from "the site sent bytes that are not HTTP/2".
+enum class ClientTerminal : std::uint8_t {
+  kQuiescent = 0,   ///< no terminal fault: idle, or cleanly closed (GOAWAY)
+  kTransportError,  ///< the transport died (truncation / disconnect)
+  kProtocolError,   ///< inbound bytes violated HTTP/2 framing (parse error)
+};
+
+std::string_view to_string(ClientTerminal t) noexcept;
+
+/// The terminal classification plus the evidence behind it.
+struct TerminalInfo {
+  ClientTerminal state = ClientTerminal::kQuiescent;
+  Status status;  ///< the underlying error; OK while kQuiescent
+  /// Octet offset into the server->client stream: for kProtocolError the
+  /// start of the offending frame, for kTransportError the octets received
+  /// before the transport died.
+  std::uint64_t byte_offset = 0;
+  std::uint8_t frame_type = 0;  ///< offending frame's raw type octet
+  bool frame_type_known = false;
+};
 
 /// One frame as received from the server, with observation metadata.
 struct ReceivedFrame {
@@ -63,6 +87,10 @@ class ClientConnection {
   void receive(std::span<const std::uint8_t> bytes);
   /// False after a GOAWAY was received or a parse error poisoned the link.
   [[nodiscard]] bool alive() const noexcept { return !dead_; }
+  /// The transport under this connection is gone (net::FaultyTransport's
+  /// truncation / disconnect path). Marks the connection dead with a
+  /// kTransportError terminal; a GOAWAY or parse error seen earlier wins.
+  void on_transport_close(const Status& status);
 
   // ---- actions ----------------------------------------------------------
   /// Opens a stream with a GET for @p path; returns the stream id.
@@ -148,6 +176,11 @@ class ClientConnection {
     return options_.recorder;
   }
 
+  /// Terminal classification: why (if at all) this connection stopped.
+  [[nodiscard]] const TerminalInfo& terminal() const noexcept {
+    return terminal_;
+  }
+
  private:
   void on_frame(h2::Frame frame, std::size_t payload_size);
   /// encoder_.encode with HPACK table-churn trace events. Only the encoding
@@ -196,6 +229,7 @@ class ClientConnection {
   ByteWriter out_;
   BufferPool buffer_pool_;
   bool dead_ = false;
+  TerminalInfo terminal_;
 };
 
 }  // namespace h2r::core

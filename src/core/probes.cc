@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 
-#include "core/session.h"
 #include "net/upgrade.h"
 
 namespace h2r::core {
@@ -76,6 +75,18 @@ Target Target::testbed(server::ServerProfile profile) {
   return t;
 }
 
+std::unique_ptr<net::Transport> Target::make_transport() const {
+  if (!faults.enabled) {
+    return std::make_unique<net::LockstepTransport>(recorder, ledger);
+  }
+  // Each connection gets its own plan: same target state + same faults.seed
+  // => the same sequence of plans, independent of which worker runs it.
+  std::uint64_t sm = faults.seed + 0x9E3779B97F4A7C15ull * ++transport_seq_;
+  return std::make_unique<net::FaultyTransport>(
+      net::FaultPlan::generate(splitmix64(sm), faults.probability), recorder,
+      ledger);
+}
+
 // ------------------------------------------------------------- negotiation
 
 NegotiationProbeResult probe_negotiation(const Target& target) {
@@ -108,8 +119,9 @@ SettingsProbeResult probe_settings(const Target& target) {
   // connection-start marker precedes the server's preface frames.
   ClientConnection client(target.client_options());
   auto server = target.make_server();
+  auto transport = target.make_transport();
   const std::uint32_t sid = client.send_request("/");
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
 
   out.settings_entry_count = client.server_settings_entry_count();
   const auto& s = client.server_settings();
@@ -133,12 +145,13 @@ MultiplexingProbeResult probe_multiplexing(const Target& target,
   MultiplexingProbeResult out;
   ClientConnection client(target.client_options(with_initial_window(kHugeWindow)));
   auto server = target.make_server();
+  auto transport = target.make_transport();
   std::vector<std::uint32_t> streams;
   streams.reserve(static_cast<std::size_t>(num_streams));
   for (int i = 0; i < num_streams; ++i) {
     streams.push_back(client.send_request("/large/" + std::to_string(i)));
   }
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
 
   std::uint32_t prev = 0;
   for (const auto& ev : client.events()) {
@@ -163,8 +176,9 @@ ConcurrencyLimitProbeResult probe_concurrency_limit(const Target& target) {
     capped.profile.max_concurrent_streams = 0;
     ClientConnection client(capped.client_options());
     auto server = capped.make_server();
+    auto transport = capped.make_transport();
     const std::uint32_t sid = client.send_request("/small");
-    run_exchange(client, server);
+    transport->run(client, server, capped.limits);
     out.refused_when_zero =
         client.rst_on(sid) == std::optional<ErrorCode>(ErrorCode::kRefusedStream);
   }
@@ -173,11 +187,12 @@ ConcurrencyLimitProbeResult probe_concurrency_limit(const Target& target) {
     capped.profile.max_concurrent_streams = 1;
     ClientConnection client(capped.client_options());
     auto server = capped.make_server();
+    auto transport = capped.make_transport();
     // Two requests for objects large enough that the first is still active
     // when the second arrives.
     const std::uint32_t first = client.send_request("/large/0");
     const std::uint32_t second = client.send_request("/large/1");
-    run_exchange(client, server);
+    transport->run(client, server, capped.limits);
     out.refused_second_when_one =
         !client.rst_on(first).has_value() &&
         client.rst_on(second) ==
@@ -193,8 +208,9 @@ DataFrameControlResult probe_data_frame_control(const Target& target,
   DataFrameControlResult out;
   ClientConnection client(target.client_options(with_initial_window(sframe)));
   auto server = target.make_server();
+  auto transport = target.make_transport();
   const std::uint32_t sid = client.send_request("/small");
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
 
   out.headers_received = client.response_headers(sid).has_value();
   const auto data = client.frames_of(FrameType::kData, sid);
@@ -217,8 +233,9 @@ ZeroWindowHeadersResult probe_zero_window_headers(const Target& target) {
   ZeroWindowHeadersResult out;
   ClientConnection client(target.client_options(with_initial_window(0)));
   auto server = target.make_server();
+  auto transport = target.make_transport();
   const std::uint32_t sid = client.send_request("/small");
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
   out.headers_received = client.response_headers(sid).has_value();
   for (const auto* ev : client.frames_of(FrameType::kData, sid)) {
     if (!ev->frame.as<h2::DataPayload>().data.empty()) out.data_received = true;
@@ -234,17 +251,19 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     opts.auto_stream_window_update = false;  // keep the stream open/blocked
     ClientConnection client(target.client_options(opts));
     auto server = target.make_server();
+    auto transport = target.make_transport();
     const std::uint32_t sid = client.send_request("/large/0");
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
     client.send_window_update(sid, 0);
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
     out.zero_on_stream = classify_reaction(client, sid, &out.zero_debug_data);
   }
   {  // zero increment, connection scope
     ClientConnection client(target.client_options());
     auto server = target.make_server();
+    auto transport = target.make_transport();
     client.send_window_update(0, 0);
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
     out.zero_on_connection = classify_reaction(client, std::nullopt);
   }
   {  // overflowing increments, stream scope (two halves summing past 2^31-1)
@@ -252,21 +271,23 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     opts.auto_stream_window_update = false;
     ClientConnection client(target.client_options(opts));
     auto server = target.make_server();
+    auto transport = target.make_transport();
     const std::uint32_t sid = client.send_request("/large/0");
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
     client.send_window_update(sid, kHalfWindow);
     client.send_window_update(sid, kHalfWindow);
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
     out.large_on_stream = classify_reaction(client, sid);
   }
   {  // overflowing increments, connection scope
     ClientConnection client(target.client_options());
     auto server = target.make_server();
+    auto transport = target.make_transport();
     const std::uint32_t sid = client.send_request("/large/0");
     (void)sid;
     client.send_window_update(0, kHalfWindow);
     client.send_window_update(0, kHalfWindow);
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
     out.large_on_connection = classify_reaction(client, std::nullopt);
   }
   return out;
@@ -285,14 +306,15 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
   opts.auto_stream_window_update = false;
   ClientConnection client(target.client_options(opts));
   auto server = target.make_server();
+  auto transport = target.make_transport();  // one connection, six exchanges
 
   const std::uint32_t drain = client.send_request("/object/0");  // 64 KiB
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
   if (client.data_received(drain) != h2::kDefaultInitialWindowSize) {
     return out;  // context preparation failed; verdict unreliable
   }
   client.send_rst_stream(drain, ErrorCode::kCancel);
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
 
   // Step 2 (lines 22-28): six requests with the Table I dependency tree...
   auto prio = [](std::uint32_t dep, bool excl = false) {
@@ -305,7 +327,7 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
   const std::uint32_t d = client.send_request("/object/4", prio(a));
   const std::uint32_t e = client.send_request("/object/5", prio(b));
   const std::uint32_t f = client.send_request("/object/6", prio(d));
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
   out.headers_during_zero_window =
       client.response_headers(a).has_value();
 
@@ -314,11 +336,11 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
   client.send_priority(d, prio(0));
   client.send_priority(a, prio(d, /*excl=*/true));
   client.send_priority(e, prio(c));
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
 
   // Step 3 (line 29-30): reopen the connection window and observe order.
   client.send_window_update(0, 0x7FFF'0000u);
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
 
   const std::vector<std::uint32_t> all = {a, b, c, d, e, f};
   std::map<std::uint32_t, std::size_t> first, last;
@@ -354,9 +376,10 @@ SelfDependencyProbeResult probe_self_dependency(const Target& target) {
   opts.auto_stream_window_update = false;  // keep the stream alive
   ClientConnection client(target.client_options(opts));
   auto server = target.make_server();
+  auto transport = target.make_transport();
   const std::uint32_t sid = client.send_request("/large/0");
   client.send_priority(sid, {.dependency = sid, .weight_field = 0});
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
   out.reaction = classify_reaction(client, sid);
   return out;
 }
@@ -370,8 +393,9 @@ PushProbeResult probe_server_push(const Target& target,
   opts.settings = {{SettingId::kEnablePush, 1}};  // §III-D: opt in explicitly
   ClientConnection client(target.client_options(opts));
   auto server = target.make_server();
+  auto transport = target.make_transport();
   client.send_request(page);
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
   for (const auto& [promised_id, request] : client.pushes()) {
     out.pushed_paths.emplace_back(hpack::find_header(request, ":path"));
     out.pushed_bytes += client.data_received(promised_id);
@@ -387,12 +411,13 @@ HpackProbeResult probe_hpack_ratio(const Target& target, int h,
   HpackProbeResult out;
   ClientConnection client(target.client_options());
   auto server = target.make_server();
+  auto transport = target.make_transport();
   std::vector<std::uint32_t> streams;
   for (int i = 0; i < h; ++i) {
     // Sequential requests so each response block sees the dynamic table
     // state left by the previous one (§III-E).
     streams.push_back(client.send_request(path));
-    run_exchange(client, server);
+    transport->run(client, server, target.limits);
   }
   for (std::uint32_t sid : streams) {
     const auto headers = client.frames_of(FrameType::kHeaders, sid);
@@ -413,10 +438,11 @@ PingProbeResult probe_ping(const Target& target, int samples, Rng& rng) {
   PingProbeResult out;
   ClientConnection client(target.client_options());
   auto server = target.make_server();
+  auto transport = target.make_transport();
   const std::array<std::uint8_t, 8> opaque = {0x13, 0x37, 0xC0, 0xDE,
                                               0x00, 0x01, 0x02, 0x03};
   client.send_ping(opaque);
-  run_exchange(client, server);
+  transport->run(client, server, target.limits);
   for (const auto* ev : client.frames_of(FrameType::kPing)) {
     if (ev->frame.has_flag(h2::flags::kAck) &&
         ev->frame.as<h2::PingPayload>().opaque == opaque) {

@@ -11,16 +11,41 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/client.h"
 #include "h2/constants.h"
 #include "net/alpn.h"
 #include "net/path.h"
+#include "net/transport.h"
 #include "server/engine.h"
 #include "server/profile.h"
 #include "server/site.h"
 #include "util/rng.h"
 
 namespace h2r::core {
+
+/// Fault injection applied to every connection a probe opens against one
+/// target (see net::FaultyTransport). Off by default: the plain scan runs
+/// over the perfect lockstep pump, bit-identical to the historical one.
+struct FaultConfig {
+  bool enabled = false;
+  /// Base seed; each connection derives its own FaultPlan from
+  /// (seed, connection ordinal), so a probe sequence is deterministic.
+  std::uint64_t seed = 0;
+  /// Per-connection fault probability (net::fault_probability folds the
+  /// site's PathModel::loss_rate into this before it lands here).
+  double probability = 0.0;
+};
+
+/// Bounded fresh-connection retry for probes on faulted transports: a probe
+/// whose attempt hit a transport fault or deadline is re-run from scratch
+/// (fresh connections, fresh FaultPlans) with simulated backoff.
+struct RetryPolicy {
+  int max_attempts = 2;  ///< total attempts including the first
+  double backoff_base_ms = 50.0;
+  double backoff_multiplier = 2.0;
+};
 
 /// One scan target: a (virtual) host with its server behaviour, content,
 /// and network path.
@@ -34,6 +59,16 @@ struct Target {
   /// Optional H2Wiretap sink shared by every connection (client and server
   /// side) a probe opens against this target. Null = tracing off.
   trace::Recorder* recorder = nullptr;
+  /// Per-exchange deadline every probe runs under; the defaults match the
+  /// historical round cap, plus a byte cap generous enough that only a
+  /// runaway conversation trips it.
+  net::ExchangeLimits limits{.max_rounds = 4096,
+                             .max_bytes = 256ull * 1024 * 1024};
+  /// Delivery-fault injection for every connection against this target.
+  FaultConfig faults;
+  /// Outcome accumulator shared by every transport this target creates
+  /// (scan-owned, one per site). Null = no accounting.
+  net::ExchangeLedger* ledger = nullptr;
 
   [[nodiscard]] server::Http2Server make_server() const {
     return server::Http2Server(profile, site, server::Http2Server::StartMode::kTls,
@@ -46,9 +81,47 @@ struct Target {
     return opts;
   }
 
+  /// The transport for the next connection against this target: lockstep
+  /// when faults are off, otherwise a FaultyTransport whose plan is derived
+  /// from (faults.seed, connection ordinal). One transport models one
+  /// connection — probes that reuse a connection reuse its transport.
+  [[nodiscard]] std::unique_ptr<net::Transport> make_transport() const;
+
   /// A target wired to the paper's testbed content for @p profile.
   static Target testbed(server::ServerProfile profile);
+
+ private:
+  /// Ordinal of the next connection, for per-connection fault seeds.
+  /// Mutable: handing out a transport doesn't change what the target *is*,
+  /// and probes receive `const Target&` everywhere.
+  mutable std::uint64_t transport_seq_ = 0;
 };
+
+/// Runs @p fn — a probe body that opens fresh connections against
+/// @p target — up to policy.max_attempts times, retrying (with simulated
+/// backoff booked into the target's ledger) whenever the attempt hit a
+/// transport fault or deadline. Returns the last attempt's result. With no
+/// ledger or no faults this collapses to a single plain call.
+template <typename Fn>
+auto probe_with_retry(const Target& target, const RetryPolicy& policy,
+                      Fn&& fn) {
+  net::ExchangeLedger* ledger = target.ledger;
+  double backoff = policy.backoff_base_ms;
+  for (int attempt = 1;; ++attempt) {
+    if (ledger != nullptr) ledger->begin_attempt();
+    auto result = fn();
+    if (ledger == nullptr || !ledger->attempt_faulted() ||
+        attempt >= policy.max_attempts) {
+      if (ledger != nullptr) ledger->settle_attempt();
+      return result;
+    }
+    // The attempt was degraded by the transport: book the retry and go
+    // again on fresh connections (the failed attempt's flags are dropped —
+    // only the final attempt's outcome classifies the site).
+    ledger->note_retry(backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+}
 
 // ------------------------------------------------------------ negotiation
 

@@ -1,29 +1,19 @@
 #include "core/session.h"
 
+#include "net/transport.h"
+
 namespace h2r::core {
+
+// The shim itself is the one sanctioned caller of the deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 int run_exchange(ClientConnection& client, server::Http2Server& server,
                  int max_rounds) {
-  int rounds = 0;
-  for (; rounds < max_rounds; ++rounds) {
-    Bytes c2s = client.take_output();
-    if (!c2s.empty()) server.receive(c2s);
-    Bytes s2c = server.take_output();
-    if (!s2c.empty()) client.receive(s2c);
-    const bool quiescent = c2s.empty() && s2c.empty();
-    if (!quiescent && client.recorder() != nullptr) {
-      trace::TraceEvent mark;
-      mark.kind = trace::EventKind::kRoundMark;
-      mark.detail_a = static_cast<std::uint32_t>(rounds);
-      client.recorder()->record(std::move(mark));
-    }
-    // Both directions have been shipped; hand the drained buffers back so
-    // the next round reuses their capacity instead of reallocating.
-    client.recycle(std::move(c2s));
-    server.recycle(std::move(s2c));
-    if (quiescent) break;
-  }
-  return rounds;
+  net::LockstepTransport transport(client.recorder());
+  return transport.run(client, server, {.max_rounds = max_rounds}).rounds;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace h2r::core

@@ -1,8 +1,11 @@
-// Lockstep transport between a ClientConnection and an Http2Server.
+// Deprecated shim over net::LockstepTransport.
 //
-// The probes are synchronous: a "round" ships all pending client bytes to
-// the server, then all pending server bytes back. Exchanges run until both
-// directions are idle (or a round cap is hit, which indicates a bug).
+// The byte shuttle between a ClientConnection and an Http2Server is now a
+// first-class, injectable policy — see net/transport.h (LockstepTransport
+// for the historical perfect pump, FaultyTransport for adversarial
+// delivery). This free function survives one PR for out-of-tree callers;
+// it runs a LockstepTransport wired to the client's recorder, preserving
+// the old behaviour bit-for-bit.
 #pragma once
 
 #include "core/client.h"
@@ -11,6 +14,9 @@
 namespace h2r::core {
 
 /// Pumps bytes both ways until quiescent. Returns the number of rounds run.
+[[deprecated(
+    "use net::LockstepTransport / Target::make_transport "
+    "(net/transport.h)")]]
 int run_exchange(ClientConnection& client, server::Http2Server& server,
                  int max_rounds = 4096);
 

@@ -51,6 +51,9 @@ struct SiteSpec {
   bool cookie_churn = false;
   int extra_header_count = 3;
   double base_rtt_ms = 60;
+  /// Path packet-loss rate (PathModel::loss_rate). Most sites sit on clean
+  /// paths; a tail is lossy. Feeds net::fault_probability in faulted scans.
+  double loss_rate = 0;
 
   /// Materializes the server profile this site runs.
   [[nodiscard]] server::ServerProfile to_profile() const;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string_view>
 #include <thread>
 
+#include "net/transport.h"
 #include "trace/annotate.h"
 #include "trace/event.h"
 #include "trace/recorder.h"
+#include "util/rng.h"
 
 namespace h2r::corpus {
 namespace {
@@ -14,6 +17,18 @@ namespace {
 using core::SmallWindowOutcome;
 using core::Target;
 using core::UpdateReaction;
+
+/// FNV-1a 64. Hashing the host (instead of the scan index) makes a site's
+/// fault stream a pure function of (fault_seed, host) — independent of
+/// H2R_THREADS, scan order, and the subsample scale.
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 /// Families whose HPACK ratio CDFs the paper plots (Figures 4 and 5).
 bool hpack_family_of_interest(const std::string& family) {
@@ -29,6 +44,19 @@ struct Partial {
   void observe(const SiteSpec& spec, const ScanOptions& opts) {
     Target target = spec.to_target();
 
+    // One ledger per site: every connection any probe opens against this
+    // target folds its outcome here, and the final-attempt flags classify
+    // the site below.
+    net::ExchangeLedger ledger;
+    if (opts.fault_injection) {
+      std::uint64_t mix = opts.fault_seed ^ fnv1a64(spec.host);
+      target.faults.enabled = true;
+      target.faults.seed = splitmix64(mix);
+      target.faults.probability =
+          net::fault_probability(target.path.loss_rate, opts.fault_floor);
+      target.ledger = &ledger;
+    }
+
     // The probe sequence bails out early on dead or non-h2 sites, so the
     // wiretap wraps it: record, run, then always annotate + fold.
     const bool wiretap = opts.wiretap_metrics || opts.wiretap_traces;
@@ -36,6 +64,26 @@ struct Partial {
     if (wiretap) target.recorder = &recorder;
 
     run_probes(target, spec, opts);
+
+    // Exactly one outcome class per site (precedence: a deadline outranks a
+    // disconnect outranks a truncation; anything clean that needed retries
+    // is retried_ok). A lockstep scan books every site as sites_ok.
+    if (ledger.final_deadline) {
+      ++r.sites_timed_out;
+    } else if (ledger.final_disconnect) {
+      ++r.sites_disconnected;
+    } else if (ledger.final_truncated) {
+      ++r.sites_truncated;
+    } else if (ledger.retries > 0) {
+      ++r.sites_retried_ok;
+    } else {
+      ++r.sites_ok;
+    }
+    r.fault_exchanges += ledger.exchanges;
+    r.fault_injected += ledger.faults_injected;
+    r.fault_retries += ledger.retries;
+    r.fault_deadline_hits += ledger.deadline_hits;
+    r.fault_backoff_ms += ledger.backoff_ms;
 
     if (wiretap) {
       trace::annotate_violations(recorder.events());
@@ -49,12 +97,20 @@ struct Partial {
 
   void run_probes(const Target& target, const SiteSpec& spec,
                   const ScanOptions& opts) {
+    // Faulted probes are re-run on fresh connections (bounded by
+    // opts.retry); with no ledger the wrapper collapses to one plain call,
+    // so the lockstep path is untouched.
+    auto retried = [&](auto probe) {
+      return core::probe_with_retry(target, opts.retry, probe);
+    };
+
     const auto negotiation = core::probe_negotiation(target);
     if (negotiation.npn_h2) ++r.npn_sites;
     if (negotiation.alpn_h2) ++r.alpn_sites;
     if (!negotiation.h2_established) return;
 
-    const auto settings = core::probe_settings(target);
+    const auto settings =
+        retried([&] { return core::probe_settings(target); });
     if (!settings.headers_received) return;
     ++r.responding_sites;
     ++r.server_counts[settings.server_header];
@@ -86,7 +142,8 @@ struct Partial {
     }
 
     if (opts.probe_flow_control) {
-      const auto sframe = core::probe_data_frame_control(target);
+      const auto sframe =
+          retried([&] { return core::probe_data_frame_control(target); });
       switch (sframe.outcome) {
         case SmallWindowOutcome::kRespectsWindow:
           ++r.sframe_respecting;
@@ -101,10 +158,12 @@ struct Partial {
         case SmallWindowOutcome::kOversized:
           break;
       }
-      if (core::probe_zero_window_headers(target).headers_received) {
+      if (retried([&] { return core::probe_zero_window_headers(target); })
+              .headers_received) {
         ++r.zero_window_headers_ok;
       }
-      const auto wu = core::probe_window_update_reactions(target);
+      const auto wu =
+          retried([&] { return core::probe_window_update_reactions(target); });
       switch (wu.zero_on_stream) {
         case UpdateReaction::kRstStream:
           ++r.zero_wu_rst;
@@ -133,13 +192,15 @@ struct Partial {
     }
 
     if (opts.probe_priority) {
-      const auto prio = core::probe_priority_mechanism(target);
+      const auto prio =
+          retried([&] { return core::probe_priority_mechanism(target); });
       if (prio.ran) {
         if (prio.pass_by_last_data) ++r.priority_pass_last;
         if (prio.pass_by_first_data) ++r.priority_pass_first;
         if (prio.pass_by_both) ++r.priority_pass_both;
       }
-      switch (core::probe_self_dependency(target).reaction) {
+      switch (retried([&] { return core::probe_self_dependency(target); })
+                  .reaction) {
         case UpdateReaction::kRstStream:
           ++r.self_dep_rst;
           break;
@@ -154,13 +215,15 @@ struct Partial {
     }
 
     if (opts.probe_push) {
-      if (core::probe_server_push(target).push_received) {
+      if (retried([&] { return core::probe_server_push(target); })
+              .push_received) {
         r.push_hosts.push_back(spec.host);
       }
     }
 
     if (opts.probe_hpack && hpack_family_of_interest(spec.family)) {
-      const auto hpack = core::probe_hpack_ratio(target, opts.hpack_h);
+      const auto hpack =
+          retried([&] { return core::probe_hpack_ratio(target, opts.hpack_h); });
       if (hpack.ran) {
         if (hpack.ratio > 1.0) {
           ++r.hpack_filtered_out;  // the paper drops r > 1 (§V-G)
@@ -216,6 +279,16 @@ struct Partial {
       dst.insert(dst.end(), ratios.begin(), ratios.end());
     }
     total.hpack_filtered_out += r.hpack_filtered_out;
+    total.sites_ok += r.sites_ok;
+    total.sites_retried_ok += r.sites_retried_ok;
+    total.sites_truncated += r.sites_truncated;
+    total.sites_disconnected += r.sites_disconnected;
+    total.sites_timed_out += r.sites_timed_out;
+    total.fault_exchanges += r.fault_exchanges;
+    total.fault_injected += r.fault_injected;
+    total.fault_retries += r.fault_retries;
+    total.fault_deadline_hits += r.fault_deadline_hits;
+    total.fault_backoff_ms += r.fault_backoff_ms;
     total.wire_metrics.merge(r.wire_metrics);
     for (const auto& [family, metrics] : r.wire_metrics_by_family) {
       total.wire_metrics_by_family[family].merge(metrics);

@@ -33,6 +33,19 @@ struct ScanOptions {
   /// recording wiretap_metrics needs; memory-heavy at full population
   /// scale, intended for small scans and debugging).
   bool wiretap_traces = false;
+  /// Run every probe connection over a net::FaultyTransport instead of the
+  /// perfect lockstep pump. Off by default: the plain scan stays
+  /// bit-identical to the historical one.
+  bool fault_injection = false;
+  /// Base seed for fault schedules. Each site derives its own stream from
+  /// (fault_seed, host), so schedules are independent of H2R_THREADS and of
+  /// scan order. Override with H2R_FAULT_SEED in the benches.
+  std::uint64_t fault_seed = 0xFA017ull;
+  /// Scan-wide floor on the per-connection fault probability; each site's
+  /// PathModel::loss_rate raises its own probability above this.
+  double fault_floor = 0.2;
+  /// Fresh-connection retry for faulted probes.
+  core::RetryPolicy retry;
 };
 
 /// Everything a full scan learns, pre-aggregated.
@@ -95,6 +108,23 @@ struct ScanReport {
   std::map<std::string, trace::MetricsRegistry> wire_metrics_by_family;
   /// host -> annotated JSONL trace (when ScanOptions::wiretap_traces).
   std::map<std::string, std::string> site_traces;
+
+  // Per-site scan outcome, from the final (post-retry) attempt of each
+  // site's probe sequence. Every site lands in exactly one class, so the
+  // five counters always sum to total h2-offering sites scanned. On a
+  // lockstep scan everything is sites_ok.
+  std::size_t sites_ok = 0;            ///< clean first attempt
+  std::size_t sites_retried_ok = 0;    ///< clean only after >= 1 retry
+  std::size_t sites_truncated = 0;     ///< final attempt cut or corrupted
+  std::size_t sites_disconnected = 0;  ///< final attempt lost the connection
+  std::size_t sites_timed_out = 0;     ///< final attempt hit a deadline
+  // Transport-level totals over every connection of the scan (faulted runs
+  // only; all zero on a lockstep scan).
+  std::uint64_t fault_exchanges = 0;      ///< exchanges run
+  std::uint64_t fault_injected = 0;       ///< exchanges with a fired fault
+  std::uint64_t fault_retries = 0;        ///< probe re-runs taken
+  std::uint64_t fault_deadline_hits = 0;  ///< round/byte caps hit (hangs)
+  double fault_backoff_ms = 0;            ///< simulated backoff spent
 
   /// Sites making up the Figures 4/5 sample (sum over families).
   [[nodiscard]] std::size_t hpack_sample_size() const;

@@ -185,6 +185,7 @@ FrameParser::FrameParser(std::uint32_t max_frame_size)
 
 void FrameParser::feed(std::span<const std::uint8_t> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  fed_total_ += bytes.size();
 }
 
 std::optional<Result<Frame>> FrameParser::next() {
@@ -198,6 +199,10 @@ std::optional<Result<Frame>> FrameParser::next() {
                                             buf_.size() - consumed_};
   if (avail.size() < kFrameHeaderSize) return std::nullopt;
 
+  // Stream offset of the frame header we are about to read: everything fed
+  // minus what is still unparsed in front of us.
+  const std::uint64_t frame_offset = fed_total_ - avail.size();
+
   ByteReader header(avail.first(kFrameHeaderSize));
   const std::uint32_t length = header.read_u24().value();
   const std::uint8_t type = header.read_u8().value();
@@ -206,6 +211,7 @@ std::optional<Result<Frame>> FrameParser::next() {
 
   if (length > max_frame_size_) {
     poisoned_ = FrameSizeViolationError("frame exceeds SETTINGS_MAX_FRAME_SIZE");
+    error_context_ = ParseErrorContext{frame_offset, type, true};
     return Result<Frame>{*poisoned_};
   }
   if (avail.size() < kFrameHeaderSize + length) return std::nullopt;
@@ -216,6 +222,7 @@ std::optional<Result<Frame>> FrameParser::next() {
   auto parsed = parse_payload(type, flagbits, stream_id, payload);
   if (!parsed.ok()) {
     poisoned_ = parsed.status();
+    error_context_ = ParseErrorContext{frame_offset, type, true};
   }
   return parsed;
 }

@@ -29,6 +29,20 @@ Bytes serialize_frame(const Frame& frame);
 /// Serializes a sequence of frames back-to-back.
 Bytes serialize_frames(std::span<const Frame> frames);
 
+/// Where in the inbound byte stream a parse error happened — kept by the
+/// parser so the connection's error taxonomy (and the wiretap parse_error
+/// event) can name the offending frame instead of just "parse error".
+struct ParseErrorContext {
+  /// Octet offset, from the first octet ever fed, of the frame whose
+  /// header or payload failed to parse.
+  std::uint64_t frame_offset = 0;
+  /// Raw type octet from the offending frame header.
+  std::uint8_t frame_type = 0;
+  /// False when the stream died before a full 9-octet header was read
+  /// (frame_type is meaningless then).
+  bool type_known = false;
+};
+
 /// Incremental parser for one direction of a connection.
 class FrameParser {
  public:
@@ -50,6 +64,15 @@ class FrameParser {
 
   [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buf_.size(); }
 
+  /// Total octets ever fed to this parser (consumed or still buffered).
+  [[nodiscard]] std::uint64_t fed_total() const noexcept { return fed_total_; }
+
+  /// Populated once the parser poisons; empty while the stream is healthy.
+  [[nodiscard]] const std::optional<ParseErrorContext>& error_context()
+      const noexcept {
+    return error_context_;
+  }
+
  private:
   [[nodiscard]] Result<Frame> parse_payload(std::uint8_t type, std::uint8_t flagbits,
                                             std::uint32_t stream_id,
@@ -57,8 +80,10 @@ class FrameParser {
 
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_ = 0;  // bytes of buf_ already parsed
+  std::uint64_t fed_total_ = 0;  // octets ever fed (for error offsets)
   std::uint32_t max_frame_size_;
   std::optional<Status> poisoned_;
+  std::optional<ParseErrorContext> error_context_;
 };
 
 }  // namespace h2r::h2

@@ -22,6 +22,7 @@
 #include "net/alpn.h"              // IWYU pragma: export
 #include "net/clock.h"             // IWYU pragma: export
 #include "net/path.h"              // IWYU pragma: export
+#include "net/transport.h"         // IWYU pragma: export
 #include "net/upgrade.h"           // IWYU pragma: export
 
 // Server engine and profiles.

@@ -1,0 +1,336 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace h2r::net {
+
+std::string_view to_string(ExchangeOutcome o) noexcept {
+  switch (o) {
+    case ExchangeOutcome::kQuiescent:
+      return "quiescent";
+    case ExchangeOutcome::kRoundCap:
+      return "round_cap";
+    case ExchangeOutcome::kByteCap:
+      return "byte_cap";
+    case ExchangeOutcome::kDisconnected:
+      return "disconnected";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+  }
+  return "unknown";
+}
+
+double fault_probability(double loss_rate, double floor) noexcept {
+  // A lossy path multiplies the chance that some segment of the (single)
+  // TCP connection dies or degrades mid-exchange; 25x turns the corpus's
+  // per-packet loss rates (up to ~2%) into per-connection fault odds that
+  // separate lossy sites from clean ones without drowning the floor.
+  return std::clamp(floor + loss_rate * 25.0, 0.0, 0.95);
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  if (kind == FaultKind::kNone) {
+    out = "clean";
+  } else {
+    out = std::string(to_string(kind));
+    out += dir == trace::Direction::kClientToServer ? " c2s@" : " s2c@";
+    out += std::to_string(at_byte);
+    if (kind == FaultKind::kStall) {
+      out += " rounds=" + std::to_string(stall_rounds);
+    }
+  }
+  out += max_chunk == 0 ? " chunk=whole"
+                        : " chunk<=" + std::to_string(max_chunk);
+  return out;
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed, double fault_probability) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::uint64_t sm = seed;
+  const auto draw = [&sm] { return splitmix64(sm); };
+
+  // Segmentation is always on, with a heavy tail toward tiny chunks so
+  // 1-byte dribble is a routine case, not a corner one.
+  const std::uint64_t bucket = draw() % 10;
+  if (bucket == 0) {
+    plan.max_chunk = 1;  // pure dribble
+  } else if (bucket <= 3) {
+    plan.max_chunk = static_cast<std::uint32_t>(2 + draw() % 15);
+  } else if (bucket <= 7) {
+    plan.max_chunk = static_cast<std::uint32_t>(17 + draw() % 240);
+  } else {
+    plan.max_chunk = static_cast<std::uint32_t>(257 + draw() % 1280);
+  }
+
+  const double roll = static_cast<double>(draw() >> 11) * 0x1.0p-53;
+  if (roll >= fault_probability) return plan;
+
+  switch (draw() % 4) {
+    case 0:
+      plan.kind = FaultKind::kTruncate;
+      break;
+    case 1:
+      plan.kind = FaultKind::kCorrupt;
+      break;
+    case 2:
+      plan.kind = FaultKind::kStall;
+      break;
+    default:
+      plan.kind = FaultKind::kDisconnect;
+      break;
+  }
+  plan.dir = draw() % 2 == 0 ? trace::Direction::kClientToServer
+                             : trace::Direction::kServerToClient;
+  // Small enough to routinely land inside the preface, a frame header, or
+  // an HPACK block; large enough that some plans outlive short exchanges
+  // (an armed fault that never fires is a legitimate outcome).
+  plan.at_byte = draw() % 600;
+  plan.stall_rounds = static_cast<int>(1 + draw() % 6);
+  plan.xor_mask = static_cast<std::uint8_t>(1 + draw() % 255);
+  return plan;
+}
+
+void ExchangeLedger::note(const ExchangeResult& result) noexcept {
+  ++exchanges;
+  if (result.fault != FaultKind::kNone) ++faults_injected;
+  if (result.deadline_hit()) {
+    ++deadline_hits;
+    attempt_deadline = true;
+  }
+  if (result.outcome == ExchangeOutcome::kDisconnected ||
+      result.fault == FaultKind::kDisconnect) {
+    attempt_disconnect = true;
+  }
+  if (result.fault == FaultKind::kTruncate ||
+      result.fault == FaultKind::kCorrupt) {
+    attempt_truncated = true;
+  }
+}
+
+// ---------------------------------------------------------------- lockstep
+
+ExchangeResult LockstepTransport::run_endpoints(Endpoint& client,
+                                                Endpoint& server,
+                                                const ExchangeLimits& limits) {
+  ExchangeResult result;
+  int rounds = 0;
+  for (; rounds < limits.max_rounds; ++rounds) {
+    Bytes c2s = client.take_output();
+    if (!c2s.empty()) server.receive(c2s);
+    Bytes s2c = server.take_output();
+    if (!s2c.empty()) client.receive(s2c);
+    result.bytes_c2s += c2s.size();
+    result.bytes_s2c += s2c.size();
+    const bool quiescent = c2s.empty() && s2c.empty();
+    if (!quiescent) mark_round(rounds);
+    // Both directions have been shipped; hand the drained buffers back so
+    // the next round reuses their capacity instead of reallocating.
+    client.recycle(std::move(c2s));
+    server.recycle(std::move(s2c));
+    if (quiescent) break;
+    if (limits.max_bytes != 0 &&
+        result.bytes_c2s + result.bytes_s2c >= limits.max_bytes) {
+      result.outcome = ExchangeOutcome::kByteCap;
+      ++rounds;
+      break;
+    }
+  }
+  result.rounds = rounds;
+  if (result.outcome == ExchangeOutcome::kQuiescent &&
+      rounds >= limits.max_rounds) {
+    result.outcome = ExchangeOutcome::kRoundCap;
+  }
+  finish(result);
+  return result;
+}
+
+// ------------------------------------------------------------------ faulty
+
+FaultyTransport::FaultyTransport(FaultPlan plan, trace::Recorder* recorder,
+                                 ExchangeLedger* ledger)
+    : Transport(recorder, ledger),
+      plan_(plan),
+      chunk_rng_(plan.seed ^ 0x9E3779B97F4A7C15ull),
+      fault_armed_(plan.kind != FaultKind::kNone) {}
+
+void FaultyTransport::record_fault(trace::Direction dir, std::uint64_t at,
+                                   std::uint32_t detail_b) {
+  if (recorder_ == nullptr) return;
+  trace::TraceEvent ev;
+  ev.kind = trace::EventKind::kFault;
+  ev.dir = dir;
+  ev.detail_a = static_cast<std::uint32_t>(at);
+  ev.detail_b = detail_b;
+  ev.note = to_string(plan_.kind);
+  recorder_->record(std::move(ev));
+}
+
+bool FaultyTransport::step(DirState& d, trace::Direction dir, Endpoint& dst,
+                          Endpoint& client, Endpoint& server,
+                          ExchangeResult& result) {
+  if (d.cut) {
+    // Truncated direction: anything still held (or newly produced) is lost.
+    d.pending.clear();
+    d.pos = 0;
+    return false;
+  }
+  if (d.stall_left > 0) {
+    --d.stall_left;  // delivery is held; time still advances
+    return true;
+  }
+
+  const auto deliver = [&](std::size_t n) {
+    dst.receive(std::span<const std::uint8_t>(d.pending.data() + d.pos, n));
+    d.pos += n;
+    d.offset += n;
+  };
+
+  bool moved = false;
+  while (d.pos < d.pending.size()) {
+    const std::size_t avail = d.pending.size() - d.pos;
+    const std::size_t n =
+        plan_.max_chunk == 0
+            ? avail
+            : static_cast<std::size_t>(std::min<std::uint64_t>(
+                  avail, 1 + chunk_rng_.next_below(plan_.max_chunk)));
+
+    if (fault_armed_ && dir == plan_.dir && plan_.at_byte < d.offset + n) {
+      const std::size_t prefix =
+          plan_.at_byte > d.offset
+              ? static_cast<std::size_t>(plan_.at_byte - d.offset)
+              : 0;
+      fault_armed_ = false;
+      fault_fired_ = true;
+      result.fault = plan_.kind;
+      switch (plan_.kind) {
+        case FaultKind::kTruncate:
+          // Everything up to the cut arrives; the tail never does. The
+          // receiver learns its read side died (half-close + RST).
+          if (prefix > 0) deliver(prefix);
+          record_fault(dir, plan_.at_byte, 0);
+          d.cut = true;
+          d.pending.clear();
+          d.pos = 0;
+          dst.on_transport_close(
+              UnavailableError("transport truncated at octet " +
+                               std::to_string(plan_.at_byte)));
+          return true;
+        case FaultKind::kStall:
+          if (prefix > 0) deliver(prefix);
+          record_fault(dir, plan_.at_byte,
+                       static_cast<std::uint32_t>(plan_.stall_rounds));
+          d.stall_left = plan_.stall_rounds;
+          return true;
+        case FaultKind::kDisconnect:
+          if (prefix > 0) deliver(prefix);
+          record_fault(dir, plan_.at_byte, 0);
+          disconnected_ = true;
+          c2s_.cut = s2c_.cut = true;
+          c2s_.pending.clear();
+          c2s_.pos = 0;
+          s2c_.pending.clear();
+          s2c_.pos = 0;
+          client.on_transport_close(
+              UnavailableError("transport disconnected mid-exchange"));
+          server.on_transport_close(
+              UnavailableError("transport disconnected mid-exchange"));
+          return true;
+        case FaultKind::kCorrupt: {
+          const std::uint8_t mask = plan_.xor_mask != 0 ? plan_.xor_mask : 1;
+          d.pending[d.pos + prefix] ^= mask;
+          record_fault(dir, plan_.at_byte, mask);
+          break;  // the (now corrupted) chunk is delivered normally below
+        }
+        case FaultKind::kNone:
+          break;
+      }
+    }
+
+    deliver(n);
+    moved = true;
+  }
+  d.pending.clear();
+  d.pos = 0;
+  return moved;
+}
+
+ExchangeResult FaultyTransport::run_endpoints(Endpoint& client,
+                                              Endpoint& server,
+                                              const ExchangeLimits& limits) {
+  ExchangeResult result;
+  if (disconnected_) {
+    // The connection died in an earlier run() on this transport; nothing
+    // can be exchanged any more.
+    result.outcome = ExchangeOutcome::kDisconnected;
+    finish(result);
+    return result;
+  }
+
+  int rounds = 0;
+  for (; rounds < limits.max_rounds; ++rounds) {
+    // Pull fresh output into the per-direction holds, then let the plan
+    // decide how much of each hold actually arrives this round.
+    Bytes c2s = client.take_output();
+    const std::size_t in_c2s = c2s.size();
+    if (!c2s.empty() && !c2s_.cut) {
+      c2s_.pending.insert(c2s_.pending.end(), c2s.begin(), c2s.end());
+    }
+    client.recycle(std::move(c2s));
+    Bytes s2c = server.take_output();
+    const std::size_t in_s2c = s2c.size();
+    if (!s2c.empty() && !s2c_.cut) {
+      s2c_.pending.insert(s2c_.pending.end(), s2c.begin(), s2c.end());
+    }
+    server.recycle(std::move(s2c));
+    result.bytes_c2s += in_c2s;
+    result.bytes_s2c += in_s2c;
+
+    bool moved = step(c2s_, trace::Direction::kClientToServer, server, client,
+                      server, result);
+    if (!disconnected_) {
+      moved |= step(s2c_, trace::Direction::kServerToClient, client, client,
+                    server, result);
+    }
+
+    const bool progressed = in_c2s > 0 || in_s2c > 0 || moved;
+    if (progressed) mark_round(rounds);
+    if (disconnected_) {
+      result.outcome = ExchangeOutcome::kDisconnected;
+      ++rounds;
+      break;
+    }
+    if (!progressed) break;  // quiescent
+    if (limits.max_bytes != 0 &&
+        result.bytes_c2s + result.bytes_s2c >= limits.max_bytes) {
+      result.outcome = ExchangeOutcome::kByteCap;
+      ++rounds;
+      break;
+    }
+  }
+  result.rounds = rounds;
+  if (result.outcome == ExchangeOutcome::kQuiescent &&
+      rounds >= limits.max_rounds) {
+    result.outcome = ExchangeOutcome::kRoundCap;
+  }
+  finish(result);
+  return result;
+}
+
+}  // namespace h2r::net

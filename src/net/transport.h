@@ -1,0 +1,318 @@
+// The transport seam: who moves bytes between two HTTP/2 endpoints, and how
+// badly.
+//
+// Every exchange in the reproduction used to run over one hard-coded
+// lossless lockstep pump (core::run_exchange). That models the paper's
+// testbed, but none of the adversarial delivery scenarios a real scanner
+// hits — truncated frames, dribbled bytes, corrupted octets, delivery
+// stalls, mid-exchange disconnects (the §VI "lossy environment" caveat).
+// net::Transport makes delivery a first-class, injectable policy:
+//
+//   * LockstepTransport reproduces the historical pump bit-for-bit
+//     (byte stream, round marks, buffer recycling).
+//   * FaultyTransport executes a seeded FaultPlan: per-direction
+//     re-segmentation into arbitrary chunk sizes (down to 1-byte dribble),
+//     truncation mid-frame-header or mid-payload, single-octet corruption,
+//     delivery stalls for N rounds, and hard mid-exchange disconnects.
+//
+// Endpoints are abstracted behind net::Endpoint so the transport layer
+// stays below core/ and server/; EndpointRef adapts any class with the
+// take_output / receive / recycle / alive vocabulary (ClientConnection,
+// Http2Server) without those classes inheriting anything. Faults are
+// recorded as trace events (EventKind::kFault) so annotated JSONL shows
+// the cause next to its protocol-level effect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "trace/event.h"
+#include "trace/recorder.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace h2r::net {
+
+// --------------------------------------------------------------- endpoints
+
+/// One end of a byte-stream connection, as the transport sees it.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Drains the octets this endpoint wants on the wire.
+  [[nodiscard]] virtual Bytes take_output() = 0;
+  /// Delivers inbound octets (any segmentation; endpoints reassemble).
+  virtual void receive(std::span<const std::uint8_t> bytes) = 0;
+  /// Hands a drained output buffer back for reuse.
+  virtual void recycle(Bytes buffer) = 0;
+  /// False once the endpoint considers the connection unusable.
+  [[nodiscard]] virtual bool alive() const = 0;
+  /// The transport is gone (disconnect / truncation). Default: ignore —
+  /// endpoints that track a terminal cause (ClientConnection) override.
+  virtual void on_transport_close(const Status& status) { (void)status; }
+};
+
+/// Adapts any type with the endpoint vocabulary to net::Endpoint by
+/// reference. `on_transport_close` is forwarded only when T has it.
+template <typename T>
+class EndpointRef final : public Endpoint {
+ public:
+  explicit EndpointRef(T& impl) : impl_(impl) {}
+
+  [[nodiscard]] Bytes take_output() override { return impl_.take_output(); }
+  void receive(std::span<const std::uint8_t> bytes) override {
+    impl_.receive(bytes);
+  }
+  void recycle(Bytes buffer) override { impl_.recycle(std::move(buffer)); }
+  [[nodiscard]] bool alive() const override { return impl_.alive(); }
+  void on_transport_close(const Status& status) override {
+    if constexpr (requires(T& t) { t.on_transport_close(status); }) {
+      impl_.on_transport_close(status);
+    }
+  }
+
+ private:
+  T& impl_;
+};
+
+// ----------------------------------------------------------------- results
+
+/// Per-exchange deadline: every probe runs under one of these so a faulted
+/// exchange can never hang a scan worker.
+struct ExchangeLimits {
+  /// Lockstep rounds before the exchange is declared timed out. The
+  /// historical default: well above any legitimate conversation.
+  int max_rounds = 4096;
+  /// Total octets (both directions) before the exchange is declared timed
+  /// out; 0 = unlimited.
+  std::uint64_t max_bytes = 0;
+};
+
+enum class ExchangeOutcome : std::uint8_t {
+  kQuiescent,     ///< both directions idle — the normal end state
+  kRoundCap,      ///< ExchangeLimits::max_rounds exhausted (deadline)
+  kByteCap,       ///< ExchangeLimits::max_bytes exhausted (deadline)
+  kDisconnected,  ///< the transport injected a hard disconnect
+};
+
+std::string_view to_string(ExchangeOutcome o) noexcept;
+
+/// The delivery fault classes FaultyTransport can inject.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kTruncate,    ///< cut one direction at an octet offset; tail never arrives
+  kCorrupt,     ///< flip bits in one octet, keep delivering
+  kStall,       ///< hold one direction's delivery for N rounds, then resume
+  kDisconnect,  ///< hard close mid-exchange: both directions die at once
+};
+
+std::string_view to_string(FaultKind k) noexcept;
+
+/// What one Transport::run call did.
+struct ExchangeResult {
+  ExchangeOutcome outcome = ExchangeOutcome::kQuiescent;
+  int rounds = 0;
+  std::uint64_t bytes_c2s = 0;
+  std::uint64_t bytes_s2c = 0;
+  /// The fault that fired during this run (kNone on clean exchanges).
+  FaultKind fault = FaultKind::kNone;
+
+  [[nodiscard]] bool deadline_hit() const noexcept {
+    return outcome == ExchangeOutcome::kRoundCap ||
+           outcome == ExchangeOutcome::kByteCap;
+  }
+};
+
+// -------------------------------------------------------------- fault plan
+
+/// A fully-determined delivery schedule for one connection. Pure value:
+/// generate() is a function of (seed, probability) alone, so the same seed
+/// reproduces the same faults byte-for-byte — the property the scan's
+/// determinism suite pins.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Segmentation: chunks drawn uniformly in [1, max_chunk] octets;
+  /// 0 = deliver each round's bytes whole (no re-segmentation).
+  std::uint32_t max_chunk = 0;
+  /// The (at most one) delivery fault this connection suffers.
+  FaultKind kind = FaultKind::kNone;
+  trace::Direction dir = trace::Direction::kClientToServer;
+  /// Cumulative octet offset, in `dir`, where the fault fires. Offsets are
+  /// drawn small enough to routinely land mid-frame-header and mid-payload.
+  std::uint64_t at_byte = 0;
+  int stall_rounds = 0;        ///< kStall: rounds to hold delivery
+  std::uint8_t xor_mask = 0;   ///< kCorrupt: bits flipped in the octet
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// "clean chunk<=64" / "truncate s2c@137 chunk<=1" — for logs and tests.
+  [[nodiscard]] std::string describe() const;
+
+  /// Derives a plan from @p seed. With probability @p fault_probability the
+  /// plan carries one fault (kind, direction, offset all seed-derived);
+  /// segmentation is always on. Same (seed, probability) ⇒ same plan.
+  static FaultPlan generate(std::uint64_t seed, double fault_probability);
+};
+
+/// Per-connection fault probability from a path's packet-loss rate: lossy
+/// sites (PathModel::loss_rate) fault proportionally more often, on top of
+/// the scan-wide floor. Clamped to [0, 0.95] so no site faults always.
+[[nodiscard]] double fault_probability(double loss_rate, double floor) noexcept;
+
+// ------------------------------------------------------------------ ledger
+
+/// Accumulates exchange outcomes across every connection a probe sequence
+/// opens against one site, so the scan can classify the site into exactly
+/// one outcome class. The attempt_* flags cover the current retry attempt;
+/// settle_attempt() folds them into the final_* flags once no retry will
+/// follow (see core::probe_with_retry).
+struct ExchangeLedger {
+  std::uint64_t exchanges = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_hits = 0;
+  double backoff_ms = 0.0;  ///< simulated retry backoff, accumulated
+
+  bool attempt_deadline = false;
+  bool attempt_disconnect = false;
+  bool attempt_truncated = false;
+
+  bool final_deadline = false;
+  bool final_disconnect = false;
+  bool final_truncated = false;
+
+  void begin_attempt() noexcept {
+    attempt_deadline = attempt_disconnect = attempt_truncated = false;
+  }
+  [[nodiscard]] bool attempt_faulted() const noexcept {
+    return attempt_deadline || attempt_disconnect || attempt_truncated;
+  }
+  void note_retry(double backoff) noexcept {
+    ++retries;
+    backoff_ms += backoff;
+  }
+  void settle_attempt() noexcept {
+    final_deadline = final_deadline || attempt_deadline;
+    final_disconnect = final_disconnect || attempt_disconnect;
+    final_truncated = final_truncated || attempt_truncated;
+  }
+
+  /// Folds one exchange's result into the current attempt.
+  void note(const ExchangeResult& result) noexcept;
+};
+
+// --------------------------------------------------------------- transport
+
+/// Owns the byte shuttle between a client and a server endpoint. One
+/// transport instance models one connection: successive run() calls
+/// continue the same byte streams (offsets, pending holds, injected-fault
+/// state all persist).
+class Transport {
+ public:
+  explicit Transport(trace::Recorder* recorder = nullptr,
+                     ExchangeLedger* ledger = nullptr)
+      : recorder_(recorder), ledger_(ledger) {}
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Pumps bytes both ways until quiescent, a fault ends the connection, or
+  /// a deadline trips. Never hangs: every exit path is bounded by @p limits.
+  virtual ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
+                                       const ExchangeLimits& limits = {}) = 0;
+
+  /// Convenience: adapts concrete endpoint types (ClientConnection,
+  /// Http2Server) in place.
+  template <typename C, typename S>
+  ExchangeResult run(C& client, S& server, const ExchangeLimits& limits = {}) {
+    EndpointRef<C> c(client);
+    EndpointRef<S> s(server);
+    return run_endpoints(c, s, limits);
+  }
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] trace::Recorder* recorder() const noexcept { return recorder_; }
+  [[nodiscard]] ExchangeLedger* ledger() const noexcept { return ledger_; }
+
+ protected:
+  /// Ledger fold + kRoundMark bookkeeping shared by implementations.
+  void finish(ExchangeResult& result) {
+    if (ledger_ != nullptr) ledger_->note(result);
+  }
+  void mark_round(int round) {
+    if (recorder_ == nullptr) return;
+    trace::TraceEvent mark;
+    mark.kind = trace::EventKind::kRoundMark;
+    mark.detail_a = static_cast<std::uint32_t>(round);
+    recorder_->record(std::move(mark));
+  }
+
+  trace::Recorder* recorder_;
+  ExchangeLedger* ledger_;
+};
+
+/// The historical perfect pump: each round ships all pending client bytes,
+/// then all pending server bytes, whole. Bit-for-bit compatible with the
+/// pre-seam core::run_exchange (byte stream, round-mark events, recycling).
+class LockstepTransport final : public Transport {
+ public:
+  using Transport::Transport;
+
+  ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
+                               const ExchangeLimits& limits = {}) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lockstep";
+  }
+};
+
+/// Adversarial delivery driven by a FaultPlan. Deterministic: the same plan
+/// over the same endpoints reproduces the same delivery schedule.
+class FaultyTransport final : public Transport {
+ public:
+  explicit FaultyTransport(FaultPlan plan,
+                           trace::Recorder* recorder = nullptr,
+                           ExchangeLedger* ledger = nullptr);
+
+  ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
+                               const ExchangeLimits& limits = {}) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "faulty";
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  /// True once an injected fault has fired on this connection.
+  [[nodiscard]] bool fault_fired() const noexcept { return fault_fired_; }
+
+ private:
+  /// One direction's delivery state, persistent across run() calls.
+  struct DirState {
+    Bytes pending;          ///< taken from the source, not yet delivered
+    std::size_t pos = 0;    ///< consumed prefix of `pending`
+    std::uint64_t offset = 0;  ///< cumulative octets delivered in this dir
+    int stall_left = 0;     ///< rounds left holding delivery
+    bool cut = false;       ///< truncated: drop everything from now on
+  };
+
+  /// Delivers as much of @p d's pending bytes as the plan allows this
+  /// round. Returns true when time observably advanced (octets delivered,
+  /// a stall ticked, or a fault fired).
+  bool step(DirState& d, trace::Direction dir, Endpoint& dst,
+            Endpoint& client, Endpoint& server, ExchangeResult& result);
+  void record_fault(trace::Direction dir, std::uint64_t at,
+                    std::uint32_t detail_b);
+
+  FaultPlan plan_;
+  Rng chunk_rng_;
+  DirState c2s_;
+  DirState s2c_;
+  bool fault_armed_;
+  bool fault_fired_ = false;
+  bool disconnected_ = false;
+};
+
+}  // namespace h2r::net

@@ -1,6 +1,7 @@
 #include "server/engine.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace h2r::server {
 namespace {
@@ -94,6 +95,30 @@ void Http2Server::shutdown() {
                              "shutting down"));
   pump();
   if (active_stream_count() == 0) dead_ = true;
+}
+
+void Http2Server::on_transport_close(const Status& status) {
+  (void)status;
+  // Death-path invariants. A fault can interrupt the connection at any
+  // octet — mid-preface, mid-frame-header, mid-HPACK-block — but it must
+  // never leave the engine with incoherent accounting: windows within the
+  // RFC 7540 §6.9.1 bound and response cursors within their bodies. A
+  // violation here means partial delivery tore an update in half, which
+  // the frame reassembly layer is supposed to make impossible.
+  assert(conn_send_window_.available() <= h2::kMaxWindowSize);
+  assert(conn_recv_window_.available() <= h2::kMaxWindowSize);
+  for (const auto& [id, s] : streams_) {
+    (void)id;
+    assert(s.body_offset <= s.body_size);
+    assert(s.send_window.available() <= h2::kMaxWindowSize);
+    assert(s.recv_window.available() <= h2::kMaxWindowSize);
+  }
+  // CONTINUATION reassembly may legitimately be cut mid-block, but only on
+  // a stream the engine actually opened.
+  assert(!continuation_stream_.has_value() ||
+         *continuation_stream_ <= last_client_stream_id_ ||
+         *continuation_stream_ >= 2);
+  dead_ = true;
 }
 
 void Http2Server::receive(std::span<const std::uint8_t> bytes) {

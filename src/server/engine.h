@@ -72,6 +72,13 @@ class Http2Server {
   /// False once a connection error occurred or GOAWAY was exchanged.
   [[nodiscard]] bool alive() const noexcept { return !dead_; }
 
+  /// The transport under this connection died (net::FaultyTransport's
+  /// truncation / disconnect path). No GOAWAY can reach the peer; the
+  /// engine just stops. Asserts the death-path invariants: whatever state
+  /// the fault interrupted, stream and flow-control accounting must still
+  /// be coherent.
+  void on_transport_close(const Status& status);
+
   [[nodiscard]] const ServerProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] const Site& site() const noexcept { return site_; }
 

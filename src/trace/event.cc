@@ -63,6 +63,8 @@ std::string_view to_string(EventKind k) noexcept {
       return "hpack-insert";
     case EventKind::kHpackEvict:
       return "hpack-evict";
+    case EventKind::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -153,10 +155,14 @@ void append_jsonl(std::string& out, const TraceEvent& ev,
   out += "\",\"kind\":\"";
   out += to_string(ev.kind);
   out += "\",";
+  // kParseError events name the offending frame type too (detail_b = 1
+  // marks the type octet as meaningful — see ClientConnection::receive).
+  const bool has_type =
+      ev.kind == EventKind::kFrame ||
+      (ev.kind == EventKind::kParseError && ev.detail_b != 0);
   const std::string_view type_name =
-      ev.kind == EventKind::kFrame
-          ? h2::to_string(static_cast<h2::FrameType>(ev.frame_type))
-          : std::string_view{};
+      has_type ? h2::to_string(static_cast<h2::FrameType>(ev.frame_type))
+               : std::string_view{};
   std::snprintf(buf, sizeof buf, "\"stream\":%u,\"type\":\"", ev.stream_id);
   out += buf;
   put_escaped(out, type_name);

@@ -29,12 +29,17 @@ enum class EventKind : std::uint8_t {
   kConnectionStart,  ///< a new connection began; `note` labels it
   kRoundMark,        ///< one lockstep exchange round completed (detail_a = #)
   kFrame,            ///< a frame hit the wire (frame_type/flags/wire_length)
-  kParseError,       ///< inbound bytes poisoned the parser; `note` = reason
+  kParseError,       ///< inbound bytes poisoned the parser; `note` = reason,
+                     ///< a = offending frame's stream offset, b = 1 when
+                     ///< frame_type names the offending frame
+
   kSettingsApplied,  ///< receiver applied one SETTINGS entry (a = id, b = value)
   kWindowStall,      ///< a response stream became flow-control blocked
   kWindowResume,     ///< a previously stalled stream can progress again
   kHpackInsert,      ///< dynamic-table insertions while coding a block (a = n)
   kHpackEvict,       ///< dynamic-table evictions while coding a block (a = n)
+  kFault,            ///< transport injected a delivery fault (`note` = kind,
+                     ///< a = octet offset, b = per-kind detail)
 };
 
 std::string_view to_string(Direction d) noexcept;

@@ -97,6 +97,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   goaways += other.goaways;
   window_stalls += other.window_stalls;
   parse_errors += other.parse_errors;
+  faults_injected += other.faults_injected;
   for (const auto& [tag, n] : other.violation_tags) violation_tags[tag] += n;
   frame_size.merge(other.frame_size);
   stream_wire_bytes.merge(other.stream_wire_bytes);
@@ -147,6 +148,12 @@ std::string MetricsRegistry::to_json() const {
   append_u64(out, window_stalls);
   out += ",\"parse_errors\":";
   append_u64(out, parse_errors);
+  // Emitted only when present so fault-free snapshots stay byte-identical
+  // to pre-fault-injection output (same policy as the violations map).
+  if (faults_injected != 0) {
+    out += ",\"faults_injected\":";
+    append_u64(out, faults_injected);
+  }
   out += ",\"violations\":{";
   bool first = true;
   for (const auto& [tag, n] : violation_tags) {  // std::map: sorted, stable
@@ -199,6 +206,11 @@ std::string MetricsRegistry::to_text() const {
                 static_cast<unsigned long long>(window_stalls),
                 static_cast<unsigned long long>(parse_errors));
   out += buf;
+  if (faults_injected != 0) {
+    std::snprintf(buf, sizeof buf, "  transport faults injected %llu\n",
+                  static_cast<unsigned long long>(faults_injected));
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf,
                 "  frame size mean %.1fB; stream wire bytes mean %.1fB; "
                 "compression ratio mean %.2f (%llu conns); stall span mean "
@@ -240,6 +252,9 @@ void MetricsRecorder::on_event(const TraceEvent& ev) {
       return;
     case EventKind::kHpackEvict:
       registry_.hpack_evictions += ev.detail_a;
+      return;
+    case EventKind::kFault:
+      ++registry_.faults_injected;
       return;
     case EventKind::kWindowStall:
       ++registry_.window_stalls;

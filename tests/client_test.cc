@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "server/engine.h"
 
 namespace h2r::core {
@@ -14,6 +14,12 @@ using server::Site;
 
 Http2Server make_server() {
   return Http2Server(server::h2o_profile(), Site::standard_testbed_site());
+}
+
+/// The net::Transport replacement for the retired run_exchange shim: one
+/// lockstep connection pump, wired to the client's recorder.
+void pump(ClientConnection& client, Http2Server& server) {
+  net::LockstepTransport(client.recorder()).run(client, server);
 }
 
 TEST(Client, EmitsPrefaceAndSettingsFirst) {
@@ -61,7 +67,7 @@ TEST(Client, EventsPreserveArrivalOrderAndSequence) {
   auto server = make_server();
   ClientConnection client;
   client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   const auto& events = client.events();
   ASSERT_GE(events.size(), 3u);
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -76,7 +82,7 @@ TEST(Client, FramesOfFiltersByTypeAndStream) {
   ClientConnection client;
   const auto a = client.send_request("/small");
   const auto b = client.send_request("/style.css");
-  run_exchange(client, server);
+  pump(client, server);
   const auto data_a = client.frames_of(h2::FrameType::kData, a);
   const auto data_b = client.frames_of(h2::FrameType::kData, b);
   const auto all_data = client.frames_of(h2::FrameType::kData);
@@ -89,7 +95,7 @@ TEST(Client, FramesOfFiltersByTypeAndStream) {
 TEST(Client, RecordsServerSettingsAndAcks) {
   auto server = make_server();
   ClientConnection client;
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.server_settings_received());
   EXPECT_EQ(client.server_settings().max_frame_size(), 16'777'215u);
   EXPECT_GT(client.server_settings_entry_count(), 0u);
@@ -154,7 +160,7 @@ TEST(Client, AutoWindowUpdatesCanBeDisabledIndependently) {
   opts.auto_stream_window_update = true;
   ClientConnection client(opts);
   const auto sid = client.send_request("/large/0");  // 512 KiB
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_EQ(client.data_received(sid), h2::kDefaultInitialWindowSize);
   EXPECT_FALSE(client.stream_complete(sid));
 }

@@ -6,7 +6,7 @@
 
 #include "core/client.h"
 #include "core/report.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "pageload/loader.h"
 #include "server/engine.h"
 
@@ -17,21 +17,29 @@ using core::ClientConnection;
 using server::Http2Server;
 using server::Site;
 
+/// Client-side wire tap: the endpoint vocabulary over a real client, with
+/// every server-emitted octet mirrored into @p sink before delivery.
+struct TappedClient {
+  ClientConnection& client;
+  Bytes& sink;
+
+  [[nodiscard]] Bytes take_output() { return client.take_output(); }
+  void receive(std::span<const std::uint8_t> bytes) {
+    sink.insert(sink.end(), bytes.begin(), bytes.end());
+    client.receive(bytes);
+  }
+  void recycle(Bytes buffer) { client.recycle(std::move(buffer)); }
+  [[nodiscard]] bool alive() const { return client.alive(); }
+};
+
 /// Runs one scripted session and returns every byte the server emitted.
 Bytes scripted_session_output(const server::ServerProfile& profile) {
   Http2Server server(profile, Site::standard_testbed_site());
   ClientConnection client;
   Bytes all;
-  auto pump = [&] {
-    for (int i = 0; i < 4096; ++i) {
-      const Bytes c2s = client.take_output();
-      if (!c2s.empty()) server.receive(c2s);
-      const Bytes s2c = server.take_output();
-      all.insert(all.end(), s2c.begin(), s2c.end());
-      if (!s2c.empty()) client.receive(s2c);
-      if (c2s.empty() && s2c.empty()) break;
-    }
-  };
+  TappedClient tap{client, all};
+  net::LockstepTransport transport;  // one transport, one connection
+  auto pump = [&] { transport.run(tap, server); };
   client.send_request("/");
   pump();
   client.send_request("/large/0",

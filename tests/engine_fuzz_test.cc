@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "h2/frame_codec.h"
 #include "server/engine.h"
 #include "util/rng.h"
@@ -96,6 +96,7 @@ TEST_P(EngineFuzz, RandomValidOperationsKeepInvariants) {
   Rng rng(GetParam() * 0x7777u);
   auto server = fresh_server();
   core::ClientConnection client;
+  net::LockstepTransport transport(client.recorder());  // one connection
   std::vector<std::uint32_t> open;
   for (int step = 0; step < 120 && server.alive(); ++step) {
     switch (rng.next_below(6)) {
@@ -132,7 +133,7 @@ TEST_P(EngineFuzz, RandomValidOperationsKeepInvariants) {
               static_cast<std::uint32_t>(rng.next_below(1 << 20))}});
         break;
     }
-    core::run_exchange(client, server);
+    transport.run(client, server);
     EXPECT_LE(server.active_stream_count(), open.size() + 1);
   }
 }

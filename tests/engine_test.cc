@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "server/engine.h"
 #include "server/profile.h"
 #include "server/site.h"
@@ -13,7 +13,6 @@ namespace {
 
 using core::ClientConnection;
 using core::ClientOptions;
-using core::run_exchange;
 using h2::ErrorCode;
 using h2::FrameType;
 using h2::SettingId;
@@ -29,6 +28,12 @@ ServerProfile plain_profile() {
 
 Http2Server make_server(ServerProfile p = plain_profile()) {
   return Http2Server(std::move(p), Site::standard_testbed_site());
+}
+
+/// The net::Transport replacement for the retired run_exchange shim: one
+/// lockstep connection pump, wired to the client's recorder.
+void pump(ClientConnection& client, Http2Server& server) {
+  net::LockstepTransport(client.recorder()).run(client, server);
 }
 
 TEST(Engine, SendsSettingsPrefaceImmediately) {
@@ -47,7 +52,7 @@ TEST(Engine, NginxAnnouncesZeroWindowThenUpdates) {
   auto server = Http2Server(server::nginx_profile(),
                             Site::standard_testbed_site());
   ClientConnection client;
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_EQ(client.server_settings().raw(SettingId::kInitialWindowSize),
             std::optional<std::uint32_t>(0));
   EXPECT_GT(client.preemptive_window_bonus(), 0u);
@@ -69,7 +74,7 @@ TEST(Engine, ServesSimpleGet) {
   auto server = make_server();
   ClientConnection client;
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   auto headers = client.response_headers(sid);
   ASSERT_TRUE(headers.has_value());
   EXPECT_EQ(hpack::find_header(*headers, ":status"), "200");
@@ -83,7 +88,7 @@ TEST(Engine, Returns404ForUnknownPath) {
   auto server = make_server();
   ClientConnection client;
   const auto sid = client.send_request("/no/such/thing");
-  run_exchange(client, server);
+  pump(client, server);
   auto headers = client.response_headers(sid);
   ASSERT_TRUE(headers.has_value());
   EXPECT_EQ(hpack::find_header(*headers, ":status"), "404");
@@ -96,8 +101,8 @@ TEST(Engine, ResponseBodyIsDeterministic) {
   ClientConnection c1, c2;
   const auto id1 = c1.send_request("/small");
   const auto id2 = c2.send_request("/small");
-  run_exchange(c1, s1);
-  run_exchange(c2, s2);
+  pump(c1, s1);
+  pump(c2, s2);
   const auto d1 = c1.frames_of(FrameType::kData, id1);
   const auto d2 = c2.frames_of(FrameType::kData, id2);
   ASSERT_FALSE(d1.empty());
@@ -110,7 +115,7 @@ TEST(Engine, LargeDownloadCompletesAcrossWindowRefills) {
   auto server = make_server();
   ClientConnection client;
   const auto sid = client.send_request("/large/0");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_EQ(client.data_received(sid), 512u * 1024u);
   EXPECT_TRUE(client.stream_complete(sid));
 }
@@ -119,7 +124,7 @@ TEST(Engine, RespectsTinyStreamWindow) {
   auto server = make_server();
   ClientConnection client({.settings = {{SettingId::kInitialWindowSize, 1}}});
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   const auto data = client.frames_of(FrameType::kData, sid);
   ASSERT_FALSE(data.empty());
   EXPECT_EQ(data.front()->frame.as<h2::DataPayload>().data.size(), 1u);
@@ -131,7 +136,7 @@ TEST(Engine, PingAnsweredWithIdenticalPayload) {
   ClientConnection client;
   const std::array<std::uint8_t, 8> opaque = {9, 8, 7, 6, 5, 4, 3, 2};
   client.send_ping(opaque);
-  run_exchange(client, server);
+  pump(client, server);
   const auto pings = client.frames_of(FrameType::kPing);
   ASSERT_EQ(pings.size(), 1u);
   EXPECT_TRUE(pings.front()->frame.has_flag(h2::flags::kAck));
@@ -142,7 +147,7 @@ TEST(Engine, PushedResourcesArriveWhenEnabled) {
   auto server = make_server();  // h2o profile pushes
   ClientConnection client;
   client.send_request("/");
-  run_exchange(client, server);
+  pump(client, server);
   ASSERT_EQ(client.pushes().size(), 3u);  // style.css, app.js, logo.png
   for (const auto& [promised, request] : client.pushes()) {
     EXPECT_EQ(promised % 2, 0u) << "push streams must be even";
@@ -155,7 +160,7 @@ TEST(Engine, PushSuppressedByClientSetting) {
   auto server = make_server();
   ClientConnection client({.settings = {{SettingId::kEnablePush, 0}}});
   client.send_request("/");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.pushes().empty());
 }
 
@@ -164,7 +169,7 @@ TEST(Engine, PushSuppressedByProfile) {
                             Site::standard_testbed_site());
   ClientConnection client;
   client.send_request("/");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.pushes().empty());
 }
 
@@ -175,7 +180,7 @@ TEST(Engine, RefusesStreamsBeyondConcurrencyLimit) {
   ClientConnection client;
   const auto first = client.send_request("/large/0");
   const auto second = client.send_request("/large/1");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.rst_on(first).has_value());
   EXPECT_EQ(client.rst_on(second),
             std::optional<ErrorCode>(ErrorCode::kRefusedStream));
@@ -188,12 +193,12 @@ TEST(Engine, ClientRstCancelsResponse) {
   opts.auto_stream_window_update = false;  // keep the download incomplete
   ClientConnection client(opts);
   const auto sid = client.send_request("/large/0");
-  run_exchange(client, server);
+  pump(client, server);
   const std::size_t received = client.data_received(sid);
   EXPECT_LT(received, 512u * 1024u);
   client.send_rst_stream(sid, ErrorCode::kCancel);
   client.send_window_update(sid, 1 << 20);  // would resume if not cancelled
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_EQ(client.data_received(sid), received);
 }
 
@@ -201,7 +206,7 @@ TEST(Engine, HeadersOnStreamZeroIsConnectionError) {
   auto server = make_server();
   ClientConnection client;
   client.send_frame(h2::make_headers(0, bytes_of("\x82"), true));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.goaway_received());
   EXPECT_FALSE(server.alive());
 }
@@ -210,7 +215,7 @@ TEST(Engine, EvenStreamIdFromClientIsConnectionError) {
   auto server = make_server();
   ClientConnection client;
   client.send_frame(h2::make_headers(2, bytes_of("\x82"), true));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.goaway_received());
 }
 
@@ -219,11 +224,11 @@ TEST(Engine, ReusedStreamIdIsConnectionError) {
   ClientConnection client;
   client.send_request("/small");
   client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.goaway_received());
   // Manually fabricate a HEADERS on the already-used id 1.
   client.send_frame(h2::make_headers(1, bytes_of("\x82"), true));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.goaway_received());
 }
 
@@ -231,7 +236,7 @@ TEST(Engine, ClientPushPromiseIsConnectionError) {
   auto server = make_server();
   ClientConnection client;
   client.send_frame(h2::make_push_promise(1, 2, bytes_of("\x82")));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.goaway_received());
   EXPECT_EQ(client.goaway()->error, ErrorCode::kProtocolError);
 }
@@ -241,7 +246,7 @@ TEST(Engine, GarbageHpackIsCompressionError) {
   ClientConnection client;
   // 0x40 literal-with-indexing announcing a 63-octet name, then nothing.
   client.send_frame(h2::make_headers(1, Bytes{0x40, 0x3F}, true));
-  run_exchange(client, server);
+  pump(client, server);
   ASSERT_TRUE(client.goaway_received());
   EXPECT_EQ(client.goaway()->error, ErrorCode::kCompressionError);
 }
@@ -264,7 +269,7 @@ TEST(Engine, ContinuationReassemblyWorks) {
                                      /*end_headers=*/false));
   client.send_frame(h2::make_continuation(1, p2, false));
   client.send_frame(h2::make_continuation(1, p3, true));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(1));
   EXPECT_EQ(client.data_received(1), 256u);
 }
@@ -275,7 +280,7 @@ TEST(Engine, InterleavedFrameDuringHeaderBlockIsError) {
   client.send_frame(h2::make_headers(1, bytes_of("\x82"), true,
                                      /*end_headers=*/false));
   client.send_ping({});
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.goaway_received());
 }
 
@@ -285,12 +290,12 @@ TEST(Engine, SettingsChangeAdjustsOpenStreamWindows) {
   opts.auto_stream_window_update = false;
   ClientConnection client(opts);
   const auto sid = client.send_request("/large/0");
-  run_exchange(client, server);
+  pump(client, server);
   const std::size_t at_default = client.data_received(sid);
   EXPECT_EQ(at_default, 65535u);  // stream window exhausted
   // Raising INITIAL_WINDOW_SIZE retroactively widens the open stream.
   client.send_settings({{SettingId::kInitialWindowSize, 100000}});
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_EQ(client.data_received(sid), 100000u);
 }
 
@@ -300,7 +305,7 @@ TEST(Engine, ZeroLengthDataVariantEmitsEmptyFrame) {
   auto server = Http2Server(p, Site::standard_testbed_site());
   ClientConnection client({.settings = {{SettingId::kInitialWindowSize, 1}}});
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   const auto data = client.frames_of(FrameType::kData, sid);
   ASSERT_EQ(data.size(), 1u);
   EXPECT_TRUE(data.front()->frame.as<h2::DataPayload>().data.empty());
@@ -313,14 +318,14 @@ TEST(Engine, StallVariantSendsNothingUnderTinyWindow) {
   auto server = Http2Server(p, Site::standard_testbed_site());
   ClientConnection client({.settings = {{SettingId::kInitialWindowSize, 1}}});
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.response_headers(sid).has_value());
   EXPECT_EQ(client.data_received(sid), 0u);
   // ...but behaves normally once the window is reasonable.
   auto server2 = Http2Server(p, Site::standard_testbed_site());
   ClientConnection client2;
   const auto sid2 = client2.send_request("/small");
-  run_exchange(client2, server2);
+  pump(client2, server2);
   EXPECT_TRUE(client2.stream_complete(sid2));
 }
 
@@ -329,11 +334,11 @@ TEST(Engine, LiteSpeedWithholdsHeadersAtZeroWindow) {
                             Site::standard_testbed_site());
   ClientConnection client({.settings = {{SettingId::kInitialWindowSize, 0}}});
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.response_headers(sid).has_value());
   // Opening the window releases both HEADERS and DATA.
   client.send_window_update(sid, 65535);
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.response_headers(sid).has_value());
   EXPECT_TRUE(client.stream_complete(sid));
 }
@@ -347,7 +352,7 @@ TEST(Engine, OversizedResponseHeadersSplitIntoContinuations) {
   auto server = Http2Server(plain_profile(), std::move(site));
   ClientConnection client;  // default SETTINGS_MAX_FRAME_SIZE = 16,384
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.frames_of(FrameType::kContinuation, sid).empty());
   auto headers = client.response_headers(sid);
   ASSERT_TRUE(headers.has_value());
@@ -360,7 +365,7 @@ TEST(Engine, ConformantServerSendsHeadersAtZeroWindow) {
   auto server = make_server();
   ClientConnection client({.settings = {{SettingId::kInitialWindowSize, 0}}});
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.response_headers(sid).has_value());
   EXPECT_EQ(client.data_received(sid), 0u);
 }

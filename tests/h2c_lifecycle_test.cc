@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "net/upgrade.h"
 #include "server/engine.h"
 
@@ -10,9 +10,14 @@ namespace h2r {
 namespace {
 
 using core::ClientConnection;
-using core::run_exchange;
 using server::Http2Server;
 using server::Site;
+
+/// The net::Transport replacement for the retired run_exchange shim: one
+/// lockstep connection pump, wired to the client's recorder.
+void pump(ClientConnection& client, Http2Server& server) {
+  net::LockstepTransport(client.recorder()).run(client, server);
+}
 
 void feed_text(Http2Server& server, const std::string& text) {
   server.receive(
@@ -47,7 +52,7 @@ TEST(H2cLifecycle, UpgradeServesTheOriginalRequestOnStream1) {
   client.receive({out.data() + frames_start, out.size() - frames_start});
   // Complete the h2 side: client preface + SETTINGS, then exchange.
   feed_text(server, std::string(h2::kClientPreface));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(1));
   EXPECT_EQ(client.data_received(1), 2048u);  // the site's front page
   auto headers = client.response_headers(1);
@@ -106,7 +111,7 @@ TEST(Shutdown, GracefulDrainCompletesActiveStreams) {
   opts.auto_stream_window_update = false;  // keep the stream open a while
   ClientConnection client(opts);
   const auto sid = client.send_request("/large/0");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.stream_complete(sid));
 
   server.shutdown();
@@ -118,7 +123,7 @@ TEST(Shutdown, GracefulDrainCompletesActiveStreams) {
 
   // The in-flight stream finishes...
   client.send_window_update(sid, 1 << 20);
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(sid));
   // ...and the drained connection dies.
   EXPECT_FALSE(server.alive());
@@ -130,10 +135,10 @@ TEST(Shutdown, NewStreamsRefusedWhileDraining) {
   opts.auto_stream_window_update = false;
   ClientConnection client(opts);
   const auto before = client.send_request("/large/0");
-  run_exchange(client, server);
+  pump(client, server);
   server.shutdown();
   const auto after = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_EQ(client.rst_on(after),
             std::optional<h2::ErrorCode>(h2::ErrorCode::kRefusedStream));
   EXPECT_FALSE(client.rst_on(before).has_value());
@@ -142,7 +147,7 @@ TEST(Shutdown, NewStreamsRefusedWhileDraining) {
 TEST(Shutdown, IdleConnectionDiesImmediately) {
   Http2Server server(server::h2o_profile(), Site::standard_testbed_site());
   ClientConnection client;
-  run_exchange(client, server);
+  pump(client, server);
   server.shutdown();
   EXPECT_FALSE(server.alive());
 }

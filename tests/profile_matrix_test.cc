@@ -4,10 +4,15 @@
 #include <gtest/gtest.h>
 
 #include "core/report.h"
-#include "core/session.h"
+#include "net/transport.h"
 
 namespace h2r::core {
 namespace {
+
+/// The net::Transport replacement for the retired run_exchange shim.
+void pump(ClientConnection& client, server::Http2Server& server) {
+  net::LockstepTransport(client.recorder()).run(client, server);
+}
 
 const std::vector<std::string>& all_profile_keys() {
   static const std::vector<std::string> kKeys = {
@@ -28,7 +33,7 @@ TEST_P(ProfileMatrix, ServesBasicGet) {
   auto server = t.make_server();
   ClientConnection client;
   const auto sid = client.send_request("/small");
-  run_exchange(client, server);
+  pump(client, server);
   ASSERT_TRUE(client.stream_complete(sid)) << GetParam();
   EXPECT_EQ(client.data_received(sid), 256u);
   auto headers = client.response_headers(sid);
@@ -45,7 +50,7 @@ TEST_P(ProfileMatrix, ServesManyConcurrentRequests) {
   for (int i = 0; i < 8; ++i) {
     streams.push_back(client.send_request("/object/" + std::to_string(i % 8)));
   }
-  run_exchange(client, server);
+  pump(client, server);
   for (auto sid : streams) {
     EXPECT_TRUE(client.stream_complete(sid)) << GetParam() << " stream " << sid;
     EXPECT_EQ(client.data_received(sid), 64u * 1024u);
@@ -57,7 +62,7 @@ TEST_P(ProfileMatrix, AnswersPing) {
   auto server = t.make_server();
   ClientConnection client;
   client.send_ping({0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00, 0x11});
-  run_exchange(client, server);
+  pump(client, server);
   const auto pings = client.frames_of(h2::FrameType::kPing);
   ASSERT_EQ(pings.size(), 1u) << GetParam();
   EXPECT_TRUE(pings[0]->frame.has_flag(h2::flags::kAck));
@@ -83,7 +88,7 @@ TEST_P(ProfileMatrix, SurvivesAbruptClientGoaway) {
   ClientConnection client;
   client.send_request("/large/0");
   client.send_frame(h2::make_goaway(0, h2::ErrorCode::kNoError));
-  run_exchange(client, server);
+  pump(client, server);
   // Connection drains; new streams after GOAWAY would be refused but the
   // engine must not crash or loop.
   SUCCEED();

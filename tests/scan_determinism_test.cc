@@ -55,6 +55,12 @@ std::string fingerprint(const ScanReport& r) {
     out << "\n";
   }
   out << "hpack_filtered_out=" << r.hpack_filtered_out << "\n";
+  out << "outcomes=" << r.sites_ok << "," << r.sites_retried_ok << ","
+      << r.sites_truncated << "," << r.sites_disconnected << ","
+      << r.sites_timed_out << "\n";
+  out << "faults=" << r.fault_exchanges << "," << r.fault_injected << ","
+      << r.fault_retries << "," << r.fault_deadline_hits << ","
+      << r.fault_backoff_ms << "\n";
   return out.str();
 }
 
@@ -72,6 +78,60 @@ TEST(ScanDeterminism, ReportIndependentOfThreadCount) {
   const std::string a = fingerprint(scan_population(pop, single));
   const std::string b = fingerprint(scan_population(pop, pooled));
   EXPECT_EQ(a, b);
+}
+
+TEST(ScanDeterminism, FaultedScanIndependentOfThreadCount) {
+  // A site's fault stream is a function of (fault_seed, host) only, so the
+  // chaos scan must aggregate identically however the pool is sliced.
+  const Population pop = generate_population(Epoch::kExp2, 7, /*scale=*/1000);
+
+  ScanOptions single;
+  single.threads = 1;
+  single.fault_injection = true;
+  ScanOptions pooled = single;
+  pooled.threads = 8;
+
+  const ScanReport a = scan_population(pop, single);
+  const ScanReport b = scan_population(pop, pooled);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  // Faults actually fired, were recovered by retries, and nothing hung.
+  EXPECT_GT(a.fault_injected, 0u);
+  EXPECT_GT(a.sites_retried_ok, 0u);
+  EXPECT_EQ(a.fault_deadline_hits, 0u);
+  // Exactly one outcome class per h2-offering site.
+  EXPECT_EQ(a.sites_ok + a.sites_retried_ok + a.sites_truncated +
+                a.sites_disconnected + a.sites_timed_out,
+            pop.sites.size());
+}
+
+TEST(ScanDeterminism, FaultedWiretapTracesAreSeedStable) {
+  // Same fault seed => byte-identical annotated JSONL, even though the
+  // traces now interleave kFault events with protocol frames.
+  const Population pop = generate_population(Epoch::kExp2, 9, /*scale=*/4000);
+  ASSERT_FALSE(pop.sites.empty());
+  ScanOptions opts;
+  opts.threads = 3;
+  opts.fault_injection = true;
+  opts.wiretap_traces = true;
+  const ScanReport a = scan_population(pop, opts);
+  opts.threads = 1;
+  const ScanReport b = scan_population(pop, opts);
+  ASSERT_FALSE(a.site_traces.empty());
+  EXPECT_EQ(a.site_traces, b.site_traces);
+  // A different seed reshuffles the fault schedules.
+  opts.fault_seed ^= 0xBEEF;
+  const ScanReport c = scan_population(pop, opts);
+  EXPECT_NE(a.site_traces, c.site_traces);
+}
+
+TEST(ScanDeterminism, LockstepScanBooksEverySiteOk) {
+  const Population pop = generate_population(Epoch::kExp1, 7, /*scale=*/2000);
+  const ScanReport r = scan_population(pop, {});
+  EXPECT_EQ(r.sites_ok, pop.sites.size());
+  EXPECT_EQ(r.sites_retried_ok + r.sites_truncated + r.sites_disconnected +
+                r.sites_timed_out,
+            0u);
+  EXPECT_EQ(r.fault_exchanges, 0u);
 }
 
 TEST(ScanDeterminism, RepeatedScansAreIdentical) {

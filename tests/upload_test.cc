@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
-#include "core/session.h"
+#include "net/transport.h"
 #include "server/engine.h"
 #include "server/profile.h"
 #include "server/site.h"
@@ -13,9 +13,14 @@ namespace h2r {
 namespace {
 
 using core::ClientConnection;
-using core::run_exchange;
 using server::Http2Server;
 using server::Site;
+
+/// The net::Transport replacement for the retired run_exchange shim: one
+/// lockstep connection pump, wired to the client's recorder.
+void pump(ClientConnection& client, Http2Server& server) {
+  net::LockstepTransport(client.recorder()).run(client, server);
+}
 
 Bytes body_of(std::size_t n) {
   Bytes b(n);
@@ -35,7 +40,7 @@ TEST(Upload, SmallBodyEchoesCount) {
   auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
   ClientConnection client;
   const auto sid = client.send_request_with_body("/upload", body_of(1000));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(sid));
   EXPECT_EQ(reported_received(client, sid), 1000u);
   EXPECT_EQ(client.pending_upload_bytes(), 0u);
@@ -45,7 +50,7 @@ TEST(Upload, EmptyBodyStillCompletes) {
   auto server = Http2Server(server::h2o_profile(), Site::standard_testbed_site());
   ClientConnection client;
   const auto sid = client.send_request_with_body("/upload", {});
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(sid));
   EXPECT_EQ(reported_received(client, sid), 0u);
 }
@@ -57,7 +62,7 @@ TEST(Upload, LargeBodyCrossesConnectionWindowManyTimes) {
   ClientConnection client;
   const std::size_t size = 1 << 20;
   const auto sid = client.send_request_with_body("/upload", body_of(size));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(sid)) << "upload stalled";
   EXPECT_EQ(reported_received(client, sid), size);
   EXPECT_EQ(client.pending_upload_bytes(), 0u);
@@ -70,9 +75,9 @@ TEST(Upload, RespectsNginxZeroWindowIdiom) {
   // engine's nginx profile grants on demand; the client must wait for it.
   auto server = Http2Server(server::nginx_profile(), Site::standard_testbed_site());
   ClientConnection client;
-  run_exchange(client, server);  // learn the server SETTINGS first
+  pump(client, server);  // learn the server SETTINGS first
   const auto sid = client.send_request_with_body("/upload", body_of(50'000));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(sid));
   EXPECT_EQ(reported_received(client, sid), 50'000u);
   EXPECT_TRUE(server.alive());
@@ -85,7 +90,7 @@ TEST(Upload, ClientWaitsWhenRequestRacesSettings) {
   auto server = Http2Server(server::nginx_profile(), Site::standard_testbed_site());
   ClientConnection client;
   const auto sid = client.send_request_with_body("/upload", body_of(200'000));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(sid));
   EXPECT_EQ(reported_received(client, sid), 200'000u);
   EXPECT_TRUE(server.alive());
@@ -99,7 +104,7 @@ TEST(Upload, ManyConcurrentUploadsShareTheConnectionWindow) {
     streams.push_back(
         client.send_request_with_body("/upload", body_of(100'000)));
   }
-  run_exchange(client, server);
+  pump(client, server);
   for (auto sid : streams) {
     EXPECT_TRUE(client.stream_complete(sid)) << sid;
     EXPECT_EQ(reported_received(client, sid), 100'000u) << sid;
@@ -124,7 +129,7 @@ TEST(Upload, OverflowingUploadIsPunished) {
       /*end_stream=*/false));
   // The connection window is 65,535; send 66,000 octets in one go.
   client.send_frame(h2::make_data(1, Bytes(66'000, 0xAB), false));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.goaway_received());
   EXPECT_EQ(client.goaway()->error, h2::ErrorCode::kFlowControlError);
 }
@@ -144,11 +149,11 @@ TEST(Upload, TrailersCompleteTheRequest) {
                   {"trailer", "x-checksum"}}),
       /*end_stream=*/false));
   client.send_frame(h2::make_data(1, Bytes(500, 0x42), /*end_stream=*/false));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_FALSE(client.stream_complete(1));  // request still open
   client.send_frame(h2::make_headers(
       1, enc.encode({{"x-checksum", "abc123"}}), /*end_stream=*/true));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(1));
   EXPECT_EQ(reported_received(client, 1), 500u);
 }
@@ -159,7 +164,7 @@ TEST(Upload, GetRequestsStillAnsweredImmediately) {
   ClientConnection client;
   const auto get = client.send_request("/small");
   const auto post = client.send_request_with_body("/upload", body_of(10));
-  run_exchange(client, server);
+  pump(client, server);
   EXPECT_TRUE(client.stream_complete(get));
   EXPECT_TRUE(client.stream_complete(post));
 }

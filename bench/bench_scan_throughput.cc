@@ -7,13 +7,16 @@
 //
 // JSON schema: { "<op>": {"wall_ms": w, "per_op_ns": n, "throughput": t} }
 // where throughput is MB/sec for byte-oriented ops, ops/sec for lookups and
-// sites/sec for the end-to-end scan. Output path defaults to
+// sites/sec for the end-to-end scan; the exchange_* rows additionally carry
+// "allocs_per_op" (heap allocations per conversation, via the operator-new
+// hook in bench_util.h). Output path defaults to
 // BENCH_scan_throughput.json in the working directory; override with
 // H2R_BENCH_JSON. H2R_SCALE / H2R_SEED / H2R_THREADS apply as in every
-// other bench. H2R_TRACE_OUT=<path> additionally dumps the traced scan's
-// H2Wiretap JSONL to <path> and its metrics snapshot to
-// <path>.metrics.json. H2R_FAULT_SEED reseeds the scan_epoch2_faulted
-// chaos row's fault schedules.
+// other bench; H2R_COALESCE=0 pins the scan_epoch2_coalesced row (and any
+// other coalesce-capable scan) sequential. H2R_TRACE_OUT=<path>
+// additionally dumps the traced scan's H2Wiretap JSONL to <path> and its
+// metrics snapshot to <path>.metrics.json. H2R_FAULT_SEED reseeds the
+// scan_epoch2_faulted chaos row's fault schedules.
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#define H2R_BENCH_COUNT_ALLOCS 1
 #include "bench/bench_util.h"
 #include "core/probes.h"
 #include "net/transport.h"
@@ -47,15 +51,19 @@ struct OpResult {
   double wall_ms = 0;
   double per_op_ns = 0;
   double throughput = 0;  ///< MB/sec, ops/sec or sites/sec depending on op
+  double allocs_per_op = -1;  ///< heap allocations per op; -1 = not measured
 };
 
 std::map<std::string, OpResult> g_results;
 
 void record(const std::string& op, double wall_ms, double ops,
-            double throughput) {
-  g_results[op] = {wall_ms, ops > 0 ? wall_ms * 1e6 / ops : 0.0, throughput};
-  std::printf("%-24s %10.1f ms   %10.1f ns/op   %12.1f /s\n", op.c_str(),
+            double throughput, double allocs_per_op = -1) {
+  g_results[op] = {wall_ms, ops > 0 ? wall_ms * 1e6 / ops : 0.0, throughput,
+                   allocs_per_op};
+  std::printf("%-24s %10.1f ms   %10.1f ns/op   %12.1f /s", op.c_str(),
               wall_ms, g_results[op].per_op_ns, throughput);
+  if (allocs_per_op >= 0) std::printf("   %8.1f allocs/op", allocs_per_op);
+  std::printf("\n");
 }
 
 /// Header values typical of the corpus responses — what the scan's HPACK
@@ -264,8 +272,11 @@ void bench_framing() {
 /// One full request/response conversation (client + server engine +
 /// lockstep exchange) per op — the unit the wiretap instruments. The
 /// untraced row measures the null-sink cost; the traced row pays for the
-/// MetricsRecorder fold on every frame. The gap between them is the
-/// subsystem's whole overhead budget.
+/// MetricsRecorder fold on every frame (the gap between them is the
+/// subsystem's whole overhead budget); the reused row rewinds one client +
+/// engine + transport with reset() instead of reconstructing — the path
+/// the scan's per-worker scratch and ProbeSession actually take. Each row
+/// also reports heap allocations per conversation (operator-new hook).
 void bench_exchange() {
   using namespace h2r;
   const core::Target base = core::Target::testbed(server::nginx_profile());
@@ -279,22 +290,49 @@ void bench_exchange() {
     return client.events().size();
   };
 
+  const auto per_op = [](std::uint64_t allocs) {
+    return static_cast<double>(allocs) / kIters;
+  };
+
   std::size_t frames = 0;
+  std::uint64_t allocs0 = bench::heap_allocations();
   const auto ustart = Clock::now();
   for (int it = 0; it < kIters; ++it) frames += run_one(base);
   const double uwall = ms_since(ustart);
   record("exchange_untraced", uwall, kIters,
-         static_cast<double>(kIters) / (uwall / 1000.0));
+         static_cast<double>(kIters) / (uwall / 1000.0),
+         per_op(bench::heap_allocations() - allocs0));
+
+  {
+    core::ClientConnection client(base.client_options());
+    auto server = base.make_server();
+    net::LockstepTransport transport(client.recorder());
+    allocs0 = bench::heap_allocations();
+    const auto rstart = Clock::now();
+    for (int it = 0; it < kIters; ++it) {
+      client.reset();
+      base.reset_server(server);
+      client.send_request("/");
+      transport.run(client, server);
+      frames += client.events().size();
+    }
+    const double rwall = ms_since(rstart);
+    record("exchange_reused", rwall, kIters,
+           static_cast<double>(kIters) / (rwall / 1000.0),
+           per_op(bench::heap_allocations() - allocs0));
+  }
 
   trace::MetricsRegistry registry;
   trace::MetricsRecorder recorder(registry);
   core::Target traced = base;
   traced.recorder = &recorder;
+  allocs0 = bench::heap_allocations();
   const auto tstart = Clock::now();
   for (int it = 0; it < kIters; ++it) frames += run_one(traced);
   const double twall = ms_since(tstart);
   record("exchange_traced", twall, kIters,
-         static_cast<double>(kIters) / (twall / 1000.0));
+         static_cast<double>(kIters) / (twall / 1000.0),
+         per_op(bench::heap_allocations() - allocs0));
   recorder.finish();
   std::printf("  (traced: %llu frames, %llu connections folded)\n",
               static_cast<unsigned long long>(registry.total_frames()),
@@ -306,6 +344,10 @@ void bench_scan(std::uint64_t seed) {
   using namespace h2r;
   corpus::ScanOptions opts = bench::scan_options();
   opts.seed = seed;
+  // The historical row stays pinned sequential (a fresh connection per
+  // probe) so its trajectory — and the CI guard's ratio against the
+  // committed baseline — keeps measuring the same work across PRs.
+  opts.coalesce = false;
   const auto pop = bench::population_for(corpus::Epoch::kExp2);
   const auto start = Clock::now();
   const auto report = corpus::scan_population(pop, opts);
@@ -314,6 +356,21 @@ void bench_scan(std::uint64_t seed) {
   record("scan_epoch2", wall, sites, sites / (wall / 1000.0));
   std::printf("  (%zu sites scanned, %zu responding, threads=%d)\n",
               pop.sites.size(), report.responding_sites, opts.threads);
+
+  // The same scan with coalesced probe scheduling (the scan's default; the
+  // row honours H2R_COALESCE so a =0 run shows the two rows converging).
+  // The report is asserted bitwise identical to the sequential row's.
+  corpus::ScanOptions copts = bench::scan_options();
+  copts.seed = seed;
+  const auto cstart = Clock::now();
+  const auto coalesced = corpus::scan_population(pop, copts);
+  const double cwall = ms_since(cstart);
+  record("scan_epoch2_coalesced", cwall, sites, sites / (cwall / 1000.0));
+  if (coalesced.responding_sites != report.responding_sites) {
+    std::fprintf(stderr, "!! coalesced scan disagrees with sequential scan "
+                         "(responding %zu vs %zu)\n",
+                 coalesced.responding_sites, report.responding_sites);
+  }
 
   // Same scan with the wiretap folding metrics on every connection — the
   // end-to-end cost of tracing a full-population scan. With H2R_TRACE_OUT
@@ -383,9 +440,13 @@ void write_json() {
   for (const auto& [op, r] : g_results) {
     std::fprintf(f,
                  "%s  \"%s\": {\"wall_ms\": %.3f, \"per_op_ns\": %.2f, "
-                 "\"throughput\": %.2f}",
+                 "\"throughput\": %.2f",
                  first ? "" : ",\n", op.c_str(), r.wall_ms, r.per_op_ns,
                  r.throughput);
+    if (r.allocs_per_op >= 0) {
+      std::fprintf(f, ", \"allocs_per_op\": %.2f", r.allocs_per_op);
+    }
+    std::fprintf(f, "}");
     first = false;
   }
   std::fprintf(f, "\n}\n");

@@ -6,14 +6,55 @@
 // population. `H2R_SEED` overrides the corpus seed.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
+#include <string_view>
 
 #include "corpus/marginals.h"
 #include "corpus/population.h"
 #include "corpus/scan.h"
 #include "util/stats.h"
+
+// ------------------------------------------------------- allocation counter
+// Opt-in operator-new hook: a bench TU that defines H2R_BENCH_COUNT_ALLOCS
+// before including this header gets a process-wide heap-allocation counter,
+// readable via h2r::bench::heap_allocations(). Replaceable allocation
+// functions must be non-inline definitions with external linkage, so the
+// hook only works in single-TU bench binaries (which all of bench/ are) and
+// stays off everywhere else — the relaxed atomic increment is cheap but not
+// free, and only the allocs/op rows should pay it.
+#ifdef H2R_BENCH_COUNT_ALLOCS
+
+namespace h2r::bench {
+inline std::atomic<std::uint64_t> g_heap_allocations{0};
+inline std::uint64_t heap_allocations() noexcept {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace h2r::bench
+
+void* operator new(std::size_t size) {
+  h2r::bench::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#else
+
+namespace h2r::bench {
+/// Without the hook the counter never moves; allocs/op readouts are
+/// meaningless and callers should skip them.
+inline std::uint64_t heap_allocations() noexcept { return 0; }
+}  // namespace h2r::bench
+
+#endif  // H2R_BENCH_COUNT_ALLOCS
 
 namespace h2r::bench {
 
@@ -100,6 +141,15 @@ inline std::uint64_t fault_seed_from_env() {
   return static_cast<std::uint64_t>(v);
 }
 
+/// `H2R_COALESCE=0` pins every bench scan sequential (a fresh connection
+/// per probe); anything else — including unset — keeps coalesced probe
+/// scheduling on. The report is identical either way; only the wall clock
+/// moves.
+inline bool coalesce_from_env() {
+  const char* s = std::getenv("H2R_COALESCE");
+  return s == nullptr || std::string_view(s) != "0";
+}
+
 /// `H2R_TRACE_OUT=<path>`: where trace-capable benches dump the H2Wiretap
 /// JSONL trace (a sibling "<path>.metrics.json" gets the metrics snapshot).
 /// Empty string = tracing stays off.
@@ -122,11 +172,12 @@ inline void write_file_or_warn(const std::string& path,
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), contents.size());
 }
 
-/// ScanOptions seeded from the environment (H2R_THREADS); benches start
-/// from this instead of a default-constructed ScanOptions.
+/// ScanOptions seeded from the environment (H2R_THREADS, H2R_COALESCE);
+/// benches start from this instead of a default-constructed ScanOptions.
 inline corpus::ScanOptions scan_options() {
   corpus::ScanOptions opts;
   opts.threads = threads_from_env();
+  opts.coalesce = coalesce_from_env();
   return opts;
 }
 

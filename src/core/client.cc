@@ -8,15 +8,6 @@ namespace {
 using h2::Frame;
 using h2::FrameType;
 
-std::size_t payload_wire_size(const Frame& f) {
-  if (f.is<h2::HeadersPayload>()) return f.as<h2::HeadersPayload>().fragment.size();
-  if (f.is<h2::PushPromisePayload>()) {
-    return f.as<h2::PushPromisePayload>().fragment.size();
-  }
-  if (f.is<h2::DataPayload>()) return f.as<h2::DataPayload>().data.size();
-  return 0;
-}
-
 }  // namespace
 
 std::string_view to_string(ClientTerminal t) noexcept {
@@ -37,6 +28,46 @@ ClientConnection::ClientConnection(ClientOptions options)
       encoder_({.policy = hpack::IndexingPolicy::kAggressive,
                 .use_huffman = true}),
       decoder_() {
+  if (options_.recorder != nullptr) {
+    options_.recorder->begin_connection(options_.authority);
+  }
+  events_.reserve(16);
+  out_.write_string(h2::kClientPreface);
+  send_frame(h2::make_settings(options_.settings));
+}
+
+void ClientConnection::reset(ClientOptions options) {
+  options_ = std::move(options);
+  reset();
+}
+
+void ClientConnection::reset() {
+  parser_ = h2::FrameParser(h2::kMaxAllowedFrameSize);
+  encoder_ = hpack::Encoder({.policy = hpack::IndexingPolicy::kAggressive,
+                             .use_huffman = true});
+  decoder_ = hpack::Decoder();
+  server_settings_ = h2::SettingsMap();
+  server_settings_received_ = false;
+  server_settings_entry_count_ = 0;
+  next_stream_id_ = 1;
+  sent_any_request_ = false;
+  response_seen_ = false;
+  preemptive_window_bonus_ = 0;
+  events_.clear();
+  data_bytes_.clear();
+  complete_.clear();
+  rst_.clear();
+  pushed_.clear();
+  goaway_.reset();
+  continuation_stream_.reset();
+  continuation_buffer_.clear();
+  continuation_end_stream_ = false;
+  uploads_.clear();
+  upload_conn_window_ = h2::FlowWindow(h2::kDefaultInitialWindowSize);
+  upload_initial_window_ = h2::kDefaultInitialWindowSize;
+  out_ = ByteWriter(buffer_pool_.acquire());
+  dead_ = false;
+  terminal_ = TerminalInfo{};
   if (options_.recorder != nullptr) {
     options_.recorder->begin_connection(options_.authority);
   }
@@ -184,7 +215,7 @@ void ClientConnection::send_settings(
 void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
   if (dead_) return;
   parser_.feed(bytes);
-  while (auto next = parser_.next()) {
+  while (auto next = parser_.next_view()) {
     if (!next->ok()) {
       // Surface the evidence, not just "parse error": the parser knows
       // which frame (stream offset + type octet) poisoned the stream.
@@ -208,8 +239,7 @@ void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
       dead_ = true;
       return;
     }
-    const std::size_t size = payload_wire_size(next->value());
-    on_frame(std::move(next->value()), size);
+    on_frame(next->value());
   }
 }
 
@@ -225,81 +255,80 @@ void ClientConnection::on_transport_close(const Status& status) {
   dead_ = true;
 }
 
-void ClientConnection::on_frame(Frame frame, std::size_t payload_size) {
+void ClientConnection::on_frame(const h2::FrameView& view) {
   ReceivedFrame ev;
   ev.sequence = events_.size();
-  ev.header_block_size = payload_size;
+  // Payload octets for the frame kinds whose sizes probes reason about.
+  if (view.type() == FrameType::kData || view.type() == FrameType::kHeaders ||
+      view.type() == FrameType::kPushPromise) {
+    ev.header_block_size = view.body.size();
+  }
 
-  switch (frame.type()) {
+  switch (view.type()) {
     case FrameType::kData: {
       response_seen_ = true;
-      const auto& d = frame.as<h2::DataPayload>();
-      data_bytes_[frame.stream_id] += d.data.size();
-      if (frame.has_flag(h2::flags::kEndStream)) {
-        complete_[frame.stream_id] = true;
+      data_bytes_[view.stream_id] += view.body.size();
+      if (view.has_flag(h2::flags::kEndStream)) {
+        complete_[view.stream_id] = true;
       }
-      if (!d.data.empty()) {
-        const auto n = static_cast<std::uint32_t>(d.data.size());
+      if (!view.body.empty()) {
+        const auto n = static_cast<std::uint32_t>(view.body.size());
         if (options_.auto_connection_window_update) send_window_update(0, n);
-        if (options_.auto_stream_window_update && !complete_[frame.stream_id]) {
-          send_window_update(frame.stream_id, n);
+        if (options_.auto_stream_window_update && !complete_[view.stream_id]) {
+          send_window_update(view.stream_id, n);
         }
       }
       break;
     }
     case FrameType::kHeaders: {
       response_seen_ = true;
-      const auto& payload = frame.as<h2::HeadersPayload>();
-      if (!frame.has_flag(h2::flags::kEndHeaders)) {
+      if (!view.has_flag(h2::flags::kEndHeaders)) {
         // Header block continues in CONTINUATION frames (§4.3).
-        continuation_stream_ = frame.stream_id;
-        continuation_buffer_ = payload.fragment;
-        continuation_end_stream_ = frame.has_flag(h2::flags::kEndStream);
+        continuation_stream_ = view.stream_id;
+        continuation_buffer_.assign(view.body.begin(), view.body.end());
+        continuation_end_stream_ = view.has_flag(h2::flags::kEndStream);
         break;
       }
-      auto decoded = decoder_.decode(payload.fragment);
+      auto decoded = decoder_.decode(view.body);
       if (decoded.ok()) ev.headers = std::move(decoded).value();
-      if (frame.has_flag(h2::flags::kEndStream)) {
-        complete_[frame.stream_id] = true;
+      if (view.has_flag(h2::flags::kEndStream)) {
+        complete_[view.stream_id] = true;
       }
       break;
     }
     case FrameType::kContinuation: {
-      if (!continuation_stream_ || *continuation_stream_ != frame.stream_id) {
+      if (!continuation_stream_ || *continuation_stream_ != view.stream_id) {
         break;  // stray CONTINUATION; record the event, decode nothing
       }
-      const auto& fragment = frame.as<h2::ContinuationPayload>().fragment;
-      continuation_buffer_.insert(continuation_buffer_.end(), fragment.begin(),
-                                  fragment.end());
-      if (!frame.has_flag(h2::flags::kEndHeaders)) break;
+      continuation_buffer_.insert(continuation_buffer_.end(),
+                                  view.body.begin(), view.body.end());
+      if (!view.has_flag(h2::flags::kEndHeaders)) break;
       auto decoded = decoder_.decode(continuation_buffer_);
       if (decoded.ok()) ev.headers = std::move(decoded).value();
       ev.header_block_size = continuation_buffer_.size();
-      if (continuation_end_stream_) complete_[frame.stream_id] = true;
+      if (continuation_end_stream_) complete_[view.stream_id] = true;
       continuation_stream_.reset();
       continuation_buffer_.clear();
       break;
     }
     case FrameType::kPushPromise: {
-      const auto& pp = frame.as<h2::PushPromisePayload>();
-      auto decoded = decoder_.decode(pp.fragment);
+      auto decoded = decoder_.decode(view.body);
       if (decoded.ok()) {
         ev.headers = decoded.value();
-        pushed_[pp.promised_stream_id] = std::move(decoded).value();
+        pushed_[view.promised_stream_id] = std::move(decoded).value();
       }
       break;
     }
     case FrameType::kSettings: {
-      if (!frame.has_flag(h2::flags::kAck)) {
+      if (!view.has_flag(h2::flags::kAck)) {
         if (!server_settings_received_) {
           server_settings_received_ = true;
-          server_settings_entry_count_ =
-              frame.as<h2::SettingsPayload>().entries.size();
+          server_settings_entry_count_ = view.settings_entry_count();
         }
-        (void)server_settings_.apply_frame(frame.as<h2::SettingsPayload>());
+        (void)server_settings_.apply_frame(view);
         if (options_.recorder != nullptr) {
-          for (const auto& [id, value] :
-               frame.as<h2::SettingsPayload>().entries) {
+          for (std::size_t i = 0; i < view.settings_entry_count(); ++i) {
+            const auto [id, value] = view.setting_at(i);
             trace::TraceEvent sev;
             sev.dir = trace::Direction::kServerToClient;
             sev.kind = trace::EventKind::kSettingsApplied;
@@ -327,28 +356,32 @@ void ClientConnection::on_frame(Frame frame, std::size_t payload_size) {
       break;
     }
     case FrameType::kPing: {
-      if (!frame.has_flag(h2::flags::kAck)) {
-        send_frame(h2::make_ping(frame.as<h2::PingPayload>().opaque, true));
+      if (!view.has_flag(h2::flags::kAck)) {
+        std::array<std::uint8_t, 8> opaque{};
+        std::copy_n(view.body.begin(), 8, opaque.begin());
+        send_frame(h2::make_ping(opaque, true));
       }
       break;
     }
     case FrameType::kRstStream:
-      rst_[frame.stream_id] = frame.as<h2::RstStreamPayload>().error;
+      rst_[view.stream_id] = view.error;
       break;
     case FrameType::kGoaway:
-      goaway_ = frame.as<h2::GoawayPayload>();
+      goaway_ = h2::GoawayPayload{
+          .last_stream_id = view.last_stream_id,
+          .error = view.error,
+          .debug_data = Bytes(view.body.begin(), view.body.end())};
       break;
     case FrameType::kWindowUpdate: {
-      const std::uint32_t increment =
-          frame.as<h2::WindowUpdatePayload>().increment;
+      const std::uint32_t increment = view.increment;
       // "Preemptive": a connection-scope window raise before the server has
       // produced any response frame — the Nginx §V-C idiom.
-      if (frame.stream_id == 0 && !response_seen_) {
+      if (view.stream_id == 0 && !response_seen_) {
         preemptive_window_bonus_ += increment;
       }
-      if (frame.stream_id == 0) {
+      if (view.stream_id == 0) {
         (void)upload_conn_window_.expand(increment);
-      } else if (auto it = uploads_.find(frame.stream_id); it != uploads_.end()) {
+      } else if (auto it = uploads_.find(view.stream_id); it != uploads_.end()) {
         (void)it->second.window.expand(increment);
       }
       flush_uploads();
@@ -358,7 +391,18 @@ void ClientConnection::on_frame(Frame frame, std::size_t payload_size) {
       break;
   }
   events_.push_back(std::move(ev));
-  events_.back().frame = std::move(frame);
+  if (view.type() == FrameType::kData && !options_.retain_data_payloads) {
+    // Size-only observation: the event keeps the frame's identity (type,
+    // flags, stream) and header_block_size; the body octets stay behind in
+    // the parser buffer.
+    Frame stripped;
+    stripped.flags = view.flags;
+    stripped.stream_id = view.stream_id;
+    stripped.payload = h2::DataPayload{};
+    events_.back().frame = std::move(stripped);
+  } else {
+    events_.back().frame = h2::materialize(view);
+  }
 }
 
 std::vector<const ReceivedFrame*> ClientConnection::frames_of(

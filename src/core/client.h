@@ -52,7 +52,11 @@ struct TerminalInfo {
 struct ReceivedFrame {
   h2::Frame frame;
   std::size_t sequence = 0;          ///< arrival index on this connection
-  std::size_t header_block_size = 0; ///< HPACK fragment octets (HEADERS/PP)
+  /// Payload octets as parsed: the HPACK fragment size for HEADERS /
+  /// PUSH_PROMISE (whole reassembled block on the final CONTINUATION) and
+  /// the DATA payload size — authoritative even when the connection runs
+  /// with retain_data_payloads off and frame's payload is empty.
+  std::size_t header_block_size = 0;
   std::optional<hpack::HeaderList> headers;  ///< decoded block, if any
 };
 
@@ -65,6 +69,11 @@ struct ClientOptions {
   bool auto_connection_window_update = true;
   /// Replenish per-stream windows as DATA arrives.
   bool auto_stream_window_update = true;
+  /// Keep the payload octets of received DATA frames. The probes only ever
+  /// look at DATA *sizes* (ReceivedFrame::header_block_size and
+  /// data_received()), so the scan turns this off and the receive path skips
+  /// copying response bodies out of the parser buffer entirely.
+  bool retain_data_payloads = true;
   std::string authority = "example.test";
   /// H2Wiretap sink; null disables tracing. When set, the constructor marks
   /// a connection start and every frame the client puts on the wire — plus
@@ -77,6 +86,26 @@ struct ClientOptions {
 class ClientConnection {
  public:
   explicit ClientConnection(ClientOptions options = {});
+
+  /// Rewinds to the just-constructed state (fresh parser, HPACK tables,
+  /// empty observation log) while keeping the options and buffer pool; the
+  /// preface and initial SETTINGS are re-emitted. Observably identical to a
+  /// newly constructed connection, minus the allocations.
+  void reset();
+
+  /// reset() with replacement options — the scan's per-worker scratch
+  /// reuses one client across sites whose recorder wiring differs.
+  void reset(ClientOptions options);
+
+  /// Flip the auto-replenish behaviours mid-connection. The coalesced probe
+  /// scheduler reuses one connection across probes that want different
+  /// flow-control stances.
+  void set_auto_connection_window_update(bool on) noexcept {
+    options_.auto_connection_window_update = on;
+  }
+  void set_auto_stream_window_update(bool on) noexcept {
+    options_.auto_stream_window_update = on;
+  }
 
   // ---- transport --------------------------------------------------------
   /// Drains queued client->server bytes (preface + frames).
@@ -182,7 +211,7 @@ class ClientConnection {
   }
 
  private:
-  void on_frame(h2::Frame frame, std::size_t payload_size);
+  void on_frame(const h2::FrameView& view);
   /// encoder_.encode with HPACK table-churn trace events. Only the encoding
   /// endpoint records churn — the peer's decoder replays the identical
   /// instruction stream, so recording both sides would double-count.

@@ -21,9 +21,11 @@ ClientOptions with_initial_window(std::uint32_t iws) {
   return o;
 }
 
-UpdateReaction classify_reaction(const ClientConnection& client,
-                                 std::optional<std::uint32_t> stream_id,
-                                 std::string* debug_out = nullptr) {
+}  // namespace
+
+UpdateReaction classify_update_reaction(const ClientConnection& client,
+                                        std::optional<std::uint32_t> stream_id,
+                                        std::string* debug_out) {
   if (client.goaway_received()) {
     const auto& g = *client.goaway();
     if (debug_out != nullptr) {
@@ -35,8 +37,6 @@ UpdateReaction classify_reaction(const ClientConnection& client,
   if (stream_id && client.rst_on(*stream_id)) return UpdateReaction::kRstStream;
   return UpdateReaction::kIgnored;
 }
-
-}  // namespace
 
 std::string_view to_string(SmallWindowOutcome o) noexcept {
   switch (o) {
@@ -64,6 +64,50 @@ std::string_view to_string(UpdateReaction r) noexcept {
       return "GOAWAY+debug";
   }
   return "?";
+}
+
+Target::Target(const Target& other)
+    : host(other.host),
+      profile(other.profile),
+      site(other.site),
+      path(other.path),
+      offers_h2(other.offers_h2),
+      recorder(other.recorder),
+      limits(other.limits),
+      faults(other.faults),
+      ledger(other.ledger),
+      transport_seq_(other.transport_seq_) {}
+
+Target& Target::operator=(const Target& other) {
+  if (this == &other) return *this;
+  host = other.host;
+  profile = other.profile;
+  site = other.site;
+  path = other.path;
+  offers_h2 = other.offers_h2;
+  recorder = other.recorder;
+  limits = other.limits;
+  faults = other.faults;
+  ledger = other.ledger;
+  transport_seq_ = other.transport_seq_;
+  cached_profile_.reset();
+  cached_site_.reset();
+  return *this;
+}
+
+const std::shared_ptr<const server::ServerProfile>& Target::shared_profile()
+    const {
+  if (!cached_profile_) {
+    cached_profile_ = std::make_shared<const server::ServerProfile>(profile);
+  }
+  return cached_profile_;
+}
+
+const std::shared_ptr<const server::Site>& Target::shared_site() const {
+  if (!cached_site_) {
+    cached_site_ = std::make_shared<const server::Site>(site);
+  }
+  return cached_site_;
 }
 
 Target Target::testbed(server::ServerProfile profile) {
@@ -218,7 +262,7 @@ DataFrameControlResult probe_data_frame_control(const Target& target,
     out.outcome = SmallWindowOutcome::kNoResponse;
     return out;
   }
-  out.first_data_size = data.front()->frame.as<h2::DataPayload>().data.size();
+  out.first_data_size = data.front()->header_block_size;
   if (out.first_data_size == sframe) {
     out.outcome = SmallWindowOutcome::kRespectsWindow;
   } else if (out.first_data_size == 0) {
@@ -238,7 +282,7 @@ ZeroWindowHeadersResult probe_zero_window_headers(const Target& target) {
   transport->run(client, server, target.limits);
   out.headers_received = client.response_headers(sid).has_value();
   for (const auto* ev : client.frames_of(FrameType::kData, sid)) {
-    if (!ev->frame.as<h2::DataPayload>().data.empty()) out.data_received = true;
+    if (ev->header_block_size != 0) out.data_received = true;
   }
   return out;
 }
@@ -256,7 +300,7 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     transport->run(client, server, target.limits);
     client.send_window_update(sid, 0);
     transport->run(client, server, target.limits);
-    out.zero_on_stream = classify_reaction(client, sid, &out.zero_debug_data);
+    out.zero_on_stream = classify_update_reaction(client, sid, &out.zero_debug_data);
   }
   {  // zero increment, connection scope
     ClientConnection client(target.client_options());
@@ -264,7 +308,7 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     auto transport = target.make_transport();
     client.send_window_update(0, 0);
     transport->run(client, server, target.limits);
-    out.zero_on_connection = classify_reaction(client, std::nullopt);
+    out.zero_on_connection = classify_update_reaction(client, std::nullopt);
   }
   {  // overflowing increments, stream scope (two halves summing past 2^31-1)
     ClientOptions opts;
@@ -277,7 +321,7 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     client.send_window_update(sid, kHalfWindow);
     client.send_window_update(sid, kHalfWindow);
     transport->run(client, server, target.limits);
-    out.large_on_stream = classify_reaction(client, sid);
+    out.large_on_stream = classify_update_reaction(client, sid);
   }
   {  // overflowing increments, connection scope
     ClientConnection client(target.client_options());
@@ -288,7 +332,7 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
     client.send_window_update(0, kHalfWindow);
     client.send_window_update(0, kHalfWindow);
     transport->run(client, server, target.limits);
-    out.large_on_connection = classify_reaction(client, std::nullopt);
+    out.large_on_connection = classify_update_reaction(client, std::nullopt);
   }
   return out;
 }
@@ -296,25 +340,31 @@ WindowUpdateProbeResult probe_window_update_reactions(const Target& target) {
 // ----------------------------------------------------------------- priority
 
 PriorityProbeResult probe_priority_mechanism(const Target& target) {
-  PriorityProbeResult out;
-
-  // Step 1 (Algorithm 1 lines 2-21): huge stream windows so only the
-  // connection window gates DATA; no automatic connection window updates,
-  // so draining it blocks the server.
+  // Huge stream windows so only the connection window gates DATA; no
+  // automatic connection window updates, so draining it blocks the server.
   ClientOptions opts = with_initial_window(kHugeWindow);
   opts.auto_connection_window_update = false;
   opts.auto_stream_window_update = false;
   ClientConnection client(target.client_options(opts));
   auto server = target.make_server();
   auto transport = target.make_transport();  // one connection, six exchanges
+  return run_priority_rounds(client, server, *transport, target.limits);
+}
 
+PriorityProbeResult run_priority_rounds(ClientConnection& client,
+                                        server::Http2Server& server,
+                                        net::Transport& transport,
+                                        const net::ExchangeLimits& limits) {
+  PriorityProbeResult out;
+
+  // Step 1 (Algorithm 1 lines 2-21): drain the connection window.
   const std::uint32_t drain = client.send_request("/object/0");  // 64 KiB
-  transport->run(client, server, target.limits);
+  transport.run(client, server, limits);
   if (client.data_received(drain) != h2::kDefaultInitialWindowSize) {
     return out;  // context preparation failed; verdict unreliable
   }
   client.send_rst_stream(drain, ErrorCode::kCancel);
-  transport->run(client, server, target.limits);
+  transport.run(client, server, limits);
 
   // Step 2 (lines 22-28): six requests with the Table I dependency tree...
   auto prio = [](std::uint32_t dep, bool excl = false) {
@@ -327,7 +377,7 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
   const std::uint32_t d = client.send_request("/object/4", prio(a));
   const std::uint32_t e = client.send_request("/object/5", prio(b));
   const std::uint32_t f = client.send_request("/object/6", prio(d));
-  transport->run(client, server, target.limits);
+  transport.run(client, server, limits);
   out.headers_during_zero_window =
       client.response_headers(a).has_value();
 
@@ -336,11 +386,11 @@ PriorityProbeResult probe_priority_mechanism(const Target& target) {
   client.send_priority(d, prio(0));
   client.send_priority(a, prio(d, /*excl=*/true));
   client.send_priority(e, prio(c));
-  transport->run(client, server, target.limits);
+  transport.run(client, server, limits);
 
   // Step 3 (line 29-30): reopen the connection window and observe order.
   client.send_window_update(0, 0x7FFF'0000u);
-  transport->run(client, server, target.limits);
+  transport.run(client, server, limits);
 
   const std::vector<std::uint32_t> all = {a, b, c, d, e, f};
   std::map<std::uint32_t, std::size_t> first, last;
@@ -380,7 +430,7 @@ SelfDependencyProbeResult probe_self_dependency(const Target& target) {
   const std::uint32_t sid = client.send_request("/large/0");
   client.send_priority(sid, {.dependency = sid, .weight_field = 0});
   transport->run(client, server, target.limits);
-  out.reaction = classify_reaction(client, sid);
+  out.reaction = classify_update_reaction(client, sid);
   return out;
 }
 

@@ -3,6 +3,10 @@
 //
 // Every probe opens a fresh connection to the target (as the paper's scans
 // do) so no probe contaminates another's HPACK or flow-control state.
+// core/session.h coalesces the probes that don't need that isolation onto
+// one shared connection per site; these free functions remain both the
+// fresh-connection path and the reference the coalesced scheduler must
+// match observation-for-observation.
 #pragma once
 
 #include <array>
@@ -70,14 +74,37 @@ struct Target {
   /// (scan-owned, one per site). Null = no accounting.
   net::ExchangeLedger* ledger = nullptr;
 
+  Target() = default;
+  /// Copying clears the cached shared profile/site so a copy that then
+  /// tweaks `profile` (probe_concurrency_limit does) serves the tweaked
+  /// values. The cache refills on the copy's first make_server().
+  Target(const Target& other);
+  Target& operator=(const Target& other);
+  Target(Target&&) = default;
+  Target& operator=(Target&&) = default;
+
+  /// Builds a server for the next connection. The profile and site are
+  /// shared with the engine (cached on first call), not deep-copied — so
+  /// don't mutate the public `profile` / `site` fields after the first
+  /// make_server(); copy the Target instead.
   [[nodiscard]] server::Http2Server make_server() const {
-    return server::Http2Server(profile, site, server::Http2Server::StartMode::kTls,
-                               recorder);
+    return server::Http2Server(shared_profile(), shared_site(),
+                               server::Http2Server::StartMode::kTls, recorder);
   }
 
-  /// ClientOptions pre-wired to this target's recorder.
+  /// Rewinds @p server into a fresh first connection against this target —
+  /// the scan's per-worker engine slot serves a different site each time
+  /// without reconstructing (see core::SessionScratch).
+  void reset_server(server::Http2Server& server) const {
+    server.reset(shared_profile(), shared_site(),
+                 server::Http2Server::StartMode::kTls, recorder);
+  }
+
+  /// ClientOptions pre-wired to this target's recorder. Probes reason about
+  /// DATA frame *sizes* only, so response payload octets are not retained.
   [[nodiscard]] ClientOptions client_options(ClientOptions opts = {}) const {
     opts.recorder = recorder;
+    opts.retain_data_payloads = false;
     return opts;
   }
 
@@ -91,10 +118,19 @@ struct Target {
   static Target testbed(server::ServerProfile profile);
 
  private:
+  [[nodiscard]] const std::shared_ptr<const server::ServerProfile>&
+  shared_profile() const;
+  [[nodiscard]] const std::shared_ptr<const server::Site>& shared_site() const;
+
   /// Ordinal of the next connection, for per-connection fault seeds.
   /// Mutable: handing out a transport doesn't change what the target *is*,
   /// and probes receive `const Target&` everywhere.
   mutable std::uint64_t transport_seq_ = 0;
+  /// Lazily built shared copies of `profile` / `site` handed to every
+  /// engine this target spawns (one deep copy per site, not per
+  /// connection). Cleared by copy so stale values never leak.
+  mutable std::shared_ptr<const server::ServerProfile> cached_profile_;
+  mutable std::shared_ptr<const server::Site> cached_site_;
 };
 
 /// Runs @p fn — a probe body that opens fresh connections against
@@ -226,6 +262,14 @@ enum class UpdateReaction : std::uint8_t {
 
 std::string_view to_string(UpdateReaction r) noexcept;
 
+/// How the server reacted on @p client: a received GOAWAY (with or without
+/// debug data, copied to @p debug_out when given) wins over an RST_STREAM
+/// on @p stream_id; anything else is kIgnored. Shared by the WINDOW_UPDATE
+/// and self-dependency probes and by the coalesced ProbeSession.
+UpdateReaction classify_update_reaction(const ClientConnection& client,
+                                        std::optional<std::uint32_t> stream_id,
+                                        std::string* debug_out = nullptr);
+
 struct WindowUpdateProbeResult {
   UpdateReaction zero_on_stream = UpdateReaction::kIgnored;
   UpdateReaction zero_on_connection = UpdateReaction::kIgnored;
@@ -254,6 +298,17 @@ struct PriorityProbeResult {
 };
 
 PriorityProbeResult probe_priority_mechanism(const Target& target);
+
+/// Algorithm 1's body, from the drain step on. Assumes @p client already
+/// has huge (2^31-1) stream windows planted, both automatic window updates
+/// off, and a connection send window holding exactly the 65,535-octet
+/// default (the drain check verifies this). Shared by
+/// probe_priority_mechanism (fresh connection, windows via the preface
+/// SETTINGS) and ProbeSession (streams of the site's shared connection).
+PriorityProbeResult run_priority_rounds(ClientConnection& client,
+                                        server::Http2Server& server,
+                                        net::Transport& transport,
+                                        const net::ExchangeLimits& limits);
 
 /// Section III-C2: PRIORITY frame making a stream depend on itself.
 struct SelfDependencyProbeResult {

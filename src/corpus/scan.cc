@@ -5,6 +5,7 @@
 #include <string_view>
 #include <thread>
 
+#include "core/session.h"
 #include "net/transport.h"
 #include "trace/annotate.h"
 #include "trace/event.h"
@@ -14,9 +15,33 @@
 namespace h2r::corpus {
 namespace {
 
+using core::ProbeKind;
 using core::SmallWindowOutcome;
 using core::Target;
 using core::UpdateReaction;
+
+// The coalesced scheduler below substitutes ProbeSession for exactly the
+// probes the trait marks shareable; everything else stays on fresh
+// connections. Keep the two in sync.
+static_assert(!core::needs_fresh_connection(ProbeKind::kSettings));
+static_assert(!core::needs_fresh_connection(ProbeKind::kPriority));
+static_assert(!core::needs_fresh_connection(ProbeKind::kSelfDependency));
+static_assert(!core::needs_fresh_connection(ProbeKind::kPush));
+static_assert(!core::needs_fresh_connection(ProbeKind::kHpackRatio));
+static_assert(core::needs_fresh_connection(ProbeKind::kNegotiation));
+static_assert(core::needs_fresh_connection(ProbeKind::kDataFrameControl));
+static_assert(core::needs_fresh_connection(ProbeKind::kZeroWindowHeaders));
+static_assert(core::needs_fresh_connection(ProbeKind::kWindowUpdateReactions));
+
+/// Per-worker reusable scratch: one wiretap buffer and one client/engine
+/// pair serve every site the worker scans, rewound between sites instead
+/// of reallocated.
+struct WorkerContext {
+  trace::VectorRecorder recorder;
+  core::SessionScratch session;
+
+  void reset() { recorder.clear(); }
+};
 
 /// FNV-1a 64. Hashing the host (instead of the scan index) makes a site's
 /// fault stream a pure function of (fault_seed, host) — independent of
@@ -41,7 +66,9 @@ bool hpack_family_of_interest(const std::string& family) {
 struct Partial {
   ScanReport r;
 
-  void observe(const SiteSpec& spec, const ScanOptions& opts) {
+  void observe(const SiteSpec& spec, const ScanOptions& opts,
+               WorkerContext& ctx) {
+    ctx.reset();
     Target target = spec.to_target();
 
     // One ledger per site: every connection any probe opens against this
@@ -60,10 +87,10 @@ struct Partial {
     // The probe sequence bails out early on dead or non-h2 sites, so the
     // wiretap wraps it: record, run, then always annotate + fold.
     const bool wiretap = opts.wiretap_metrics || opts.wiretap_traces;
-    trace::VectorRecorder recorder;
+    trace::VectorRecorder& recorder = ctx.recorder;
     if (wiretap) target.recorder = &recorder;
 
-    run_probes(target, spec, opts);
+    run_probes(target, spec, opts, ctx);
 
     // Exactly one outcome class per site (precedence: a deadline outranks a
     // disconnect outranks a truncation; anything clean that needed retries
@@ -96,7 +123,7 @@ struct Partial {
   }
 
   void run_probes(const Target& target, const SiteSpec& spec,
-                  const ScanOptions& opts) {
+                  const ScanOptions& opts, WorkerContext& ctx) {
     // Faulted probes are re-run on fresh connections (bounded by
     // opts.retry); with no ledger the wrapper collapses to one plain call,
     // so the lockstep path is untouched.
@@ -109,8 +136,25 @@ struct Partial {
     if (negotiation.alpn_h2) ++r.alpn_sites;
     if (!negotiation.h2_established) return;
 
-    const auto settings =
-        retried([&] { return core::probe_settings(target); });
+    // Coalesced scheduling: the shareable probes run as streams of one
+    // connection (core::ProbeSession). Fault injection keeps the
+    // sequential path — its retry semantics are per fresh connection — as
+    // does the wiretap, whose frame record legitimately depends on the
+    // connection layout. Report-identity between the two paths is asserted
+    // by tests/scan_coalesce_test.cc.
+    std::optional<core::ProbeSession> session;
+    if (opts.coalesce && !target.faults.enabled &&
+        target.recorder == nullptr) {
+      const core::ProbeSession::Options session_opts{
+          .hpack_h = opts.hpack_h,
+          .expect_hpack =
+              opts.probe_hpack && hpack_family_of_interest(spec.family)};
+      session.emplace(target, session_opts, &ctx.session);
+    }
+
+    const auto settings = session
+                              ? session->settings()
+                              : retried([&] { return core::probe_settings(target); });
     if (!settings.headers_received) return;
     ++r.responding_sites;
     ++r.server_counts[settings.server_header];
@@ -193,14 +237,17 @@ struct Partial {
 
     if (opts.probe_priority) {
       const auto prio =
-          retried([&] { return core::probe_priority_mechanism(target); });
+          session ? session->priority()
+                  : retried([&] { return core::probe_priority_mechanism(target); });
       if (prio.ran) {
         if (prio.pass_by_last_data) ++r.priority_pass_last;
         if (prio.pass_by_first_data) ++r.priority_pass_first;
         if (prio.pass_by_both) ++r.priority_pass_both;
       }
-      switch (retried([&] { return core::probe_self_dependency(target); })
-                  .reaction) {
+      const auto self_dep =
+          session ? session->self_dependency()
+                  : retried([&] { return core::probe_self_dependency(target); });
+      switch (self_dep.reaction) {
         case UpdateReaction::kRstStream:
           ++r.self_dep_rst;
           break;
@@ -215,15 +262,18 @@ struct Partial {
     }
 
     if (opts.probe_push) {
-      if (retried([&] { return core::probe_server_push(target); })
-              .push_received) {
+      const auto push =
+          session ? session->push()
+                  : retried([&] { return core::probe_server_push(target); });
+      if (push.push_received) {
         r.push_hosts.push_back(spec.host);
       }
     }
 
     if (opts.probe_hpack && hpack_family_of_interest(spec.family)) {
       const auto hpack =
-          retried([&] { return core::probe_hpack_ratio(target, opts.hpack_h); });
+          session ? session->hpack_ratio()
+                  : retried([&] { return core::probe_hpack_ratio(target, opts.hpack_h); });
       if (hpack.ran) {
         if (hpack.ratio > 1.0) {
           ++r.hpack_filtered_out;  // the paper drops r > 1 (§V-G)
@@ -234,72 +284,6 @@ struct Partial {
     }
   }
 
-  void merge_into(ScanReport& total) const {
-    total.npn_sites += r.npn_sites;
-    total.alpn_sites += r.alpn_sites;
-    total.responding_sites += r.responding_sites;
-    for (const auto& [name, count] : r.server_counts) {
-      total.server_counts[name] += count;
-    }
-    for (const auto& [v, c] : r.initial_window_size.counts()) {
-      total.initial_window_size.add(v, c);
-    }
-    for (const auto& [v, c] : r.max_frame_size.counts()) {
-      total.max_frame_size.add(v, c);
-    }
-    for (const auto& [v, c] : r.max_header_list_size.counts()) {
-      total.max_header_list_size.add(v, c);
-    }
-    for (const auto& [v, c] : r.max_concurrent_streams.counts()) {
-      total.max_concurrent_streams.add(v, c);
-    }
-    total.sframe_respecting += r.sframe_respecting;
-    total.sframe_zero_length += r.sframe_zero_length;
-    total.sframe_no_response += r.sframe_no_response;
-    total.sframe_no_response_litespeed += r.sframe_no_response_litespeed;
-    total.zero_window_headers_ok += r.zero_window_headers_ok;
-    total.zero_wu_rst += r.zero_wu_rst;
-    total.zero_wu_ignore += r.zero_wu_ignore;
-    total.zero_wu_goaway += r.zero_wu_goaway;
-    total.zero_wu_goaway_debug += r.zero_wu_goaway_debug;
-    total.zero_wu_conn_error += r.zero_wu_conn_error;
-    total.large_wu_conn_goaway += r.large_wu_conn_goaway;
-    total.large_wu_stream_rst += r.large_wu_stream_rst;
-    total.large_wu_stream_ignore += r.large_wu_stream_ignore;
-    total.priority_pass_last += r.priority_pass_last;
-    total.priority_pass_first += r.priority_pass_first;
-    total.priority_pass_both += r.priority_pass_both;
-    total.self_dep_rst += r.self_dep_rst;
-    total.self_dep_goaway += r.self_dep_goaway;
-    total.self_dep_ignore += r.self_dep_ignore;
-    total.push_hosts.insert(total.push_hosts.end(), r.push_hosts.begin(),
-                            r.push_hosts.end());
-    for (const auto& [family, ratios] : r.hpack_ratio_by_family) {
-      auto& dst = total.hpack_ratio_by_family[family];
-      dst.insert(dst.end(), ratios.begin(), ratios.end());
-    }
-    total.hpack_filtered_out += r.hpack_filtered_out;
-    total.sites_ok += r.sites_ok;
-    total.sites_retried_ok += r.sites_retried_ok;
-    total.sites_truncated += r.sites_truncated;
-    total.sites_disconnected += r.sites_disconnected;
-    total.sites_timed_out += r.sites_timed_out;
-    total.fault_exchanges += r.fault_exchanges;
-    total.fault_injected += r.fault_injected;
-    total.fault_retries += r.fault_retries;
-    total.fault_deadline_hits += r.fault_deadline_hits;
-    total.fault_backoff_ms += r.fault_backoff_ms;
-    total.wire_metrics.merge(r.wire_metrics);
-    for (const auto& [family, metrics] : r.wire_metrics_by_family) {
-      total.wire_metrics_by_family[family].merge(metrics);
-    }
-    // Each site appears exactly once across all workers, so inserting the
-    // per-site traces into the ordered map reassembles the same final
-    // contents for any H2R_THREADS.
-    for (const auto& [host, jsonl] : r.site_traces) {
-      total.site_traces.emplace(host, jsonl);
-    }
-  }
 };
 
 }  // namespace
@@ -310,12 +294,83 @@ std::size_t ScanReport::hpack_sample_size() const {
   return n;
 }
 
+void ScanReport::merge(const ScanReport& other) {
+  npn_sites += other.npn_sites;
+  alpn_sites += other.alpn_sites;
+  responding_sites += other.responding_sites;
+  for (const auto& [name, count] : other.server_counts) {
+    server_counts[name] += count;
+  }
+  for (const auto& [v, c] : other.initial_window_size.counts()) {
+    initial_window_size.add(v, c);
+  }
+  for (const auto& [v, c] : other.max_frame_size.counts()) {
+    max_frame_size.add(v, c);
+  }
+  for (const auto& [v, c] : other.max_header_list_size.counts()) {
+    max_header_list_size.add(v, c);
+  }
+  for (const auto& [v, c] : other.max_concurrent_streams.counts()) {
+    max_concurrent_streams.add(v, c);
+  }
+  sframe_respecting += other.sframe_respecting;
+  sframe_zero_length += other.sframe_zero_length;
+  sframe_no_response += other.sframe_no_response;
+  sframe_no_response_litespeed += other.sframe_no_response_litespeed;
+  zero_window_headers_ok += other.zero_window_headers_ok;
+  zero_wu_rst += other.zero_wu_rst;
+  zero_wu_ignore += other.zero_wu_ignore;
+  zero_wu_goaway += other.zero_wu_goaway;
+  zero_wu_goaway_debug += other.zero_wu_goaway_debug;
+  zero_wu_conn_error += other.zero_wu_conn_error;
+  large_wu_conn_goaway += other.large_wu_conn_goaway;
+  large_wu_stream_rst += other.large_wu_stream_rst;
+  large_wu_stream_ignore += other.large_wu_stream_ignore;
+  priority_pass_last += other.priority_pass_last;
+  priority_pass_first += other.priority_pass_first;
+  priority_pass_both += other.priority_pass_both;
+  self_dep_rst += other.self_dep_rst;
+  self_dep_goaway += other.self_dep_goaway;
+  self_dep_ignore += other.self_dep_ignore;
+  push_hosts.insert(push_hosts.end(), other.push_hosts.begin(),
+                    other.push_hosts.end());
+  for (const auto& [family, ratios] : other.hpack_ratio_by_family) {
+    auto& dst = hpack_ratio_by_family[family];
+    dst.insert(dst.end(), ratios.begin(), ratios.end());
+  }
+  hpack_filtered_out += other.hpack_filtered_out;
+  sites_ok += other.sites_ok;
+  sites_retried_ok += other.sites_retried_ok;
+  sites_truncated += other.sites_truncated;
+  sites_disconnected += other.sites_disconnected;
+  sites_timed_out += other.sites_timed_out;
+  fault_exchanges += other.fault_exchanges;
+  fault_injected += other.fault_injected;
+  fault_retries += other.fault_retries;
+  fault_deadline_hits += other.fault_deadline_hits;
+  fault_backoff_ms += other.fault_backoff_ms;
+  wire_metrics.merge(other.wire_metrics);
+  for (const auto& [family, metrics] : other.wire_metrics_by_family) {
+    wire_metrics_by_family[family].merge(metrics);
+  }
+  // Each site appears exactly once across all workers, so inserting the
+  // per-site traces into the ordered map reassembles the same final
+  // contents for any H2R_THREADS.
+  for (const auto& [host, jsonl] : other.site_traces) {
+    site_traces.emplace(host, jsonl);
+  }
+}
+
 ScanReport scan_population(const Population& population,
                            const ScanOptions& options) {
-  const int threads = options.threads > 0
-                          ? options.threads
-                          : static_cast<int>(std::max(
-                                1u, std::thread::hardware_concurrency()));
+  int threads = options.threads > 0
+                    ? options.threads
+                    : static_cast<int>(std::max(
+                          1u, std::thread::hardware_concurrency()));
+  // No point spinning up more workers than there are sites to pull.
+  threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads),
+      std::max<std::size_t>(1, population.sites.size())));
 
   std::vector<Partial> partials(static_cast<std::size_t>(threads));
   std::atomic<std::size_t> cursor{0};
@@ -323,12 +378,14 @@ ScanReport scan_population(const Population& population,
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
-      // Like the paper's scanner: each worker pulls the next unscanned site.
+      // Like the paper's scanner: each worker pulls the next unscanned
+      // site, reusing its own scratch endpoints site after site.
+      WorkerContext ctx;
       for (;;) {
         const std::size_t i = cursor.fetch_add(1);
         if (i >= population.sites.size()) return;
         partials[static_cast<std::size_t>(t)].observe(population.sites[i],
-                                                      options);
+                                                      options, ctx);
       }
     });
   }
@@ -337,7 +394,7 @@ ScanReport scan_population(const Population& population,
   ScanReport total;
   total.epoch = population.epoch;
   total.total_scanned = population.total_scanned;
-  for (const auto& p : partials) p.merge_into(total);
+  for (const auto& p : partials) total.merge(p.r);
   total.distinct_server_kinds = total.server_counts.size();
   std::sort(total.push_hosts.begin(), total.push_hosts.end());
   // Which worker saw which site depends on scheduling; sorting the ratio

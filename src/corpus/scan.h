@@ -24,6 +24,14 @@ struct ScanOptions {
   bool probe_priority = true;
   bool probe_push = true;
   bool probe_hpack = true;
+  /// Coalesced probe scheduling (core::ProbeSession): probes that don't
+  /// need a pristine connection run as streams of one shared connection
+  /// per site. The report is bitwise identical either way (asserted by
+  /// tests/scan_coalesce_test.cc); the scan silently stays sequential when
+  /// fault injection or the wiretap is active, whose per-connection
+  /// semantics are layout-dependent. H2R_COALESCE=0 pins the benches
+  /// sequential.
+  bool coalesce = true;
   std::uint64_t seed = 7;
   /// H2Wiretap: fold every probe connection's frames into the report's
   /// wire_metrics (and per-family shards). Off by default — the null sink
@@ -128,6 +136,12 @@ struct ScanReport {
 
   /// Sites making up the Figures 4/5 sample (sum over families).
   [[nodiscard]] std::size_t hpack_sample_size() const;
+
+  /// Folds @p other into this report: counters add, ordered maps and
+  /// vectors concatenate. Epoch and total_scanned are scan-wide facts, not
+  /// merged. Each worker's partial report covers a disjoint site subset,
+  /// so merging in any grouping yields the same totals.
+  void merge(const ScanReport& other);
 };
 
 /// Scans @p population with the probes selected in @p options.

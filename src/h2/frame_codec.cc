@@ -8,18 +8,6 @@ namespace {
 
 constexpr std::uint32_t kStreamIdMask = 0x7FFF'FFFFu;
 
-void write_frame_header(ByteWriter& out, std::size_t length, FrameType type,
-                        std::uint8_t flagbits, std::uint32_t stream_id) {
-  if (length > kMaxAllowedFrameSize) {
-    throw std::invalid_argument("frame payload exceeds 2^24-1");
-  }
-  out.reserve(kFrameHeaderSize + length);
-  out.write_u24(static_cast<std::uint32_t>(length));
-  out.write_u8(static_cast<std::uint8_t>(type));
-  out.write_u8(flagbits);
-  out.write_u32(stream_id & kStreamIdMask);
-}
-
 void write_priority_info(ByteWriter& out, const PriorityInfo& p) {
   out.write_u32((p.dependency & kStreamIdMask) |
                 (p.exclusive ? 0x8000'0000u : 0u));
@@ -160,6 +148,18 @@ PriorityInfo read_priority_info(ByteReader& r) {
 
 }  // namespace
 
+void write_frame_header(ByteWriter& out, std::size_t length, FrameType type,
+                        std::uint8_t flagbits, std::uint32_t stream_id) {
+  if (length > kMaxAllowedFrameSize) {
+    throw std::invalid_argument("frame payload exceeds 2^24-1");
+  }
+  out.reserve(kFrameHeaderSize + length);
+  out.write_u24(static_cast<std::uint32_t>(length));
+  out.write_u8(static_cast<std::uint8_t>(type));
+  out.write_u8(flagbits);
+  out.write_u32(stream_id & kStreamIdMask);
+}
+
 std::size_t serialize_frame_into(ByteWriter& out, const Frame& frame) {
   const std::size_t before = out.size();
   std::visit(SerializeVisitor{frame, out}, frame.payload);
@@ -189,7 +189,14 @@ void FrameParser::feed(std::span<const std::uint8_t> bytes) {
 }
 
 std::optional<Result<Frame>> FrameParser::next() {
-  if (poisoned_) return Result<Frame>{*poisoned_};
+  auto view = next_view();
+  if (!view) return std::nullopt;
+  if (!view->ok()) return Result<Frame>{view->status()};
+  return materialize(view->value());
+}
+
+std::optional<Result<FrameView>> FrameParser::next_view() {
+  if (poisoned_) return Result<FrameView>{*poisoned_};
   // Compact lazily so feed() stays amortized O(1).
   if (consumed_ > 0 && consumed_ * 2 > buf_.size()) {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
@@ -212,14 +219,14 @@ std::optional<Result<Frame>> FrameParser::next() {
   if (length > max_frame_size_) {
     poisoned_ = FrameSizeViolationError("frame exceeds SETTINGS_MAX_FRAME_SIZE");
     error_context_ = ParseErrorContext{frame_offset, type, true};
-    return Result<Frame>{*poisoned_};
+    return Result<FrameView>{*poisoned_};
   }
   if (avail.size() < kFrameHeaderSize + length) return std::nullopt;
 
   const auto payload = avail.subspan(kFrameHeaderSize, length);
   consumed_ += kFrameHeaderSize + length;
 
-  auto parsed = parse_payload(type, flagbits, stream_id, payload);
+  auto parsed = parse_view(type, flagbits, stream_id, payload);
   if (!parsed.ok()) {
     poisoned_ = parsed.status();
     error_context_ = ParseErrorContext{frame_offset, type, true};
@@ -227,52 +234,50 @@ std::optional<Result<Frame>> FrameParser::next() {
   return parsed;
 }
 
-Result<Frame> FrameParser::parse_payload(std::uint8_t type, std::uint8_t flagbits,
-                                         std::uint32_t stream_id,
-                                         std::span<const std::uint8_t> payload) {
-  Frame f;
-  f.flags = flagbits;
-  f.stream_id = stream_id;
+Result<FrameView> FrameParser::parse_view(std::uint8_t type,
+                                          std::uint8_t flagbits,
+                                          std::uint32_t stream_id,
+                                          std::span<const std::uint8_t> payload) {
+  FrameView v;
+  v.raw_type = type;
+  v.flags = flagbits;
+  v.stream_id = stream_id;
+  v.payload_wire_octets = static_cast<std::uint32_t>(payload.size());
 
   switch (static_cast<FrameType>(type)) {
     case FrameType::kData: {
-      H2R_ASSIGN_OR_RETURN(auto body,
+      H2R_ASSIGN_OR_RETURN(v.body,
                            strip_padding(payload, flagbits & flags::kPadded));
-      f.payload = DataPayload{.data = Bytes(body.begin(), body.end())};
-      return f;
+      return v;
     }
     case FrameType::kHeaders: {
       H2R_ASSIGN_OR_RETURN(auto body,
                            strip_padding(payload, flagbits & flags::kPadded));
-      HeadersPayload hp;
       ByteReader r(body);
       if (flagbits & flags::kPriority) {
         if (r.remaining() < 5) {
           return FrameSizeViolationError("HEADERS with PRIORITY too short");
         }
-        hp.priority = read_priority_info(r);
+        v.priority = read_priority_info(r);
       }
-      H2R_ASSIGN_OR_RETURN(auto frag, r.read_bytes(r.remaining()));
-      hp.fragment.assign(frag.begin(), frag.end());
-      f.payload = std::move(hp);
-      return f;
+      v.body = body.subspan(r.position());
+      return v;
     }
     case FrameType::kPriority: {
       if (payload.size() != 5) {
         return FrameSizeViolationError("PRIORITY length != 5");
       }
       ByteReader r(payload);
-      f.payload = PriorityPayload{.info = read_priority_info(r)};
-      return f;
+      v.priority = read_priority_info(r);
+      return v;
     }
     case FrameType::kRstStream: {
       if (payload.size() != 4) {
         return FrameSizeViolationError("RST_STREAM length != 4");
       }
       ByteReader r(payload);
-      f.payload = RstStreamPayload{
-          .error = static_cast<ErrorCode>(r.read_u32().value())};
-      return f;
+      v.error = static_cast<ErrorCode>(r.read_u32().value());
+      return v;
     }
     case FrameType::kSettings: {
       if (payload.size() % 6 != 0) {
@@ -281,15 +286,8 @@ Result<Frame> FrameParser::parse_payload(std::uint8_t type, std::uint8_t flagbit
       if ((flagbits & flags::kAck) && !payload.empty()) {
         return FrameSizeViolationError("SETTINGS ACK with payload");
       }
-      SettingsPayload sp;
-      ByteReader r(payload);
-      while (!r.empty()) {
-        const std::uint16_t id = r.read_u16().value();
-        const std::uint32_t value = r.read_u32().value();
-        sp.entries.emplace_back(id, value);
-      }
-      f.payload = std::move(sp);
-      return f;
+      v.body = payload;
+      return v;
     }
     case FrameType::kPushPromise: {
       H2R_ASSIGN_OR_RETURN(auto body,
@@ -298,54 +296,108 @@ Result<Frame> FrameParser::parse_payload(std::uint8_t type, std::uint8_t flagbit
         return FrameSizeViolationError("PUSH_PROMISE too short");
       }
       ByteReader r(body);
-      PushPromisePayload pp;
-      pp.promised_stream_id = r.read_u32().value() & kStreamIdMask;
-      H2R_ASSIGN_OR_RETURN(auto frag, r.read_bytes(r.remaining()));
-      pp.fragment.assign(frag.begin(), frag.end());
-      f.payload = std::move(pp);
-      return f;
+      v.promised_stream_id = r.read_u32().value() & kStreamIdMask;
+      v.body = body.subspan(r.position());
+      return v;
     }
     case FrameType::kPing: {
       if (payload.size() != kPingPayloadSize) {
         return FrameSizeViolationError("PING length != 8");
       }
-      PingPayload pp;
-      std::copy(payload.begin(), payload.end(), pp.opaque.begin());
-      f.payload = pp;
-      return f;
+      v.body = payload;
+      return v;
     }
     case FrameType::kGoaway: {
       if (payload.size() < 8) {
         return FrameSizeViolationError("GOAWAY too short");
       }
       ByteReader r(payload);
-      GoawayPayload gp;
-      gp.last_stream_id = r.read_u32().value() & kStreamIdMask;
-      gp.error = static_cast<ErrorCode>(r.read_u32().value());
-      H2R_ASSIGN_OR_RETURN(auto debug, r.read_bytes(r.remaining()));
-      gp.debug_data.assign(debug.begin(), debug.end());
-      f.payload = std::move(gp);
-      return f;
+      v.last_stream_id = r.read_u32().value() & kStreamIdMask;
+      v.error = static_cast<ErrorCode>(r.read_u32().value());
+      v.body = payload.subspan(r.position());
+      return v;
     }
     case FrameType::kWindowUpdate: {
       if (payload.size() != 4) {
         return FrameSizeViolationError("WINDOW_UPDATE length != 4");
       }
       ByteReader r(payload);
-      f.payload =
-          WindowUpdatePayload{.increment = r.read_u32().value() & kStreamIdMask};
-      return f;
+      v.increment = r.read_u32().value() & kStreamIdMask;
+      return v;
     }
     case FrameType::kContinuation: {
-      f.payload =
-          ContinuationPayload{.fragment = Bytes(payload.begin(), payload.end())};
-      return f;
+      v.body = payload;
+      return v;
     }
   }
   // §4.1: unknown types must be ignored; we surface them tagged so a caller
   // can choose to skip.
+  v.body = payload;
+  return v;
+}
+
+Frame materialize(const FrameView& view) {
+  Frame f;
+  f.flags = view.flags;
+  f.stream_id = view.stream_id;
+  const auto& body = view.body;
+
+  switch (view.type()) {
+    case FrameType::kData:
+      f.payload = DataPayload{.data = Bytes(body.begin(), body.end())};
+      return f;
+    case FrameType::kHeaders: {
+      HeadersPayload hp;
+      hp.priority = view.priority;
+      hp.fragment.assign(body.begin(), body.end());
+      f.payload = std::move(hp);
+      return f;
+    }
+    case FrameType::kPriority:
+      f.payload = PriorityPayload{.info = view.priority.value_or(PriorityInfo{})};
+      return f;
+    case FrameType::kRstStream:
+      f.payload = RstStreamPayload{.error = view.error};
+      return f;
+    case FrameType::kSettings: {
+      SettingsPayload sp;
+      sp.entries.reserve(view.settings_entry_count());
+      for (std::size_t i = 0; i < view.settings_entry_count(); ++i) {
+        sp.entries.push_back(view.setting_at(i));
+      }
+      f.payload = std::move(sp);
+      return f;
+    }
+    case FrameType::kPushPromise: {
+      PushPromisePayload pp;
+      pp.promised_stream_id = view.promised_stream_id;
+      pp.fragment.assign(body.begin(), body.end());
+      f.payload = std::move(pp);
+      return f;
+    }
+    case FrameType::kPing: {
+      PingPayload pp;
+      std::copy(body.begin(), body.end(), pp.opaque.begin());
+      f.payload = pp;
+      return f;
+    }
+    case FrameType::kGoaway: {
+      GoawayPayload gp;
+      gp.last_stream_id = view.last_stream_id;
+      gp.error = view.error;
+      gp.debug_data.assign(body.begin(), body.end());
+      f.payload = std::move(gp);
+      return f;
+    }
+    case FrameType::kWindowUpdate:
+      f.payload = WindowUpdatePayload{.increment = view.increment};
+      return f;
+    case FrameType::kContinuation:
+      f.payload = ContinuationPayload{.fragment = Bytes(body.begin(), body.end())};
+      return f;
+  }
   f.payload =
-      UnknownPayload{.type = type, .data = Bytes(payload.begin(), payload.end())};
+      UnknownPayload{.type = view.raw_type, .data = Bytes(body.begin(), body.end())};
   return f;
 }
 

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "h2/frame.h"
+#include "h2/frame_view.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -20,6 +21,12 @@ namespace h2r::h2 {
 /// transport output buffer instead of materializing a per-frame vector.
 /// Returns the number of octets written (the frame's wire length).
 std::size_t serialize_frame_into(ByteWriter& out, const Frame& frame);
+
+/// Writes just the 9-octet frame header (§4.1). The engine's DATA emission
+/// fast path writes this and then synthesizes the payload directly into
+/// @p out, skipping the intermediate Frame entirely.
+void write_frame_header(ByteWriter& out, std::size_t length, FrameType type,
+                        std::uint8_t flagbits, std::uint32_t stream_id);
 
 /// Serializes one frame, including its 9-octet header.
 /// Throws std::invalid_argument for unserializable model states (payload
@@ -59,6 +66,13 @@ class FrameParser {
   ///   calls keep returning the same error.
   [[nodiscard]] std::optional<Result<Frame>> next();
 
+  /// Zero-copy variant of next(): validates the frame in place and returns
+  /// a FrameView whose `body` aliases the internal buffer. The view (and
+  /// any spans derived from it) is valid only until the next call to
+  /// feed(), next() or next_view(). Error semantics are identical to
+  /// next(): the same inputs poison the stream with the same status.
+  [[nodiscard]] std::optional<Result<FrameView>> next_view();
+
   /// Raises the acceptable frame size (after the peer ACKs our SETTINGS).
   void set_max_frame_size(std::uint32_t size) { max_frame_size_ = size; }
 
@@ -74,9 +88,10 @@ class FrameParser {
   }
 
  private:
-  [[nodiscard]] Result<Frame> parse_payload(std::uint8_t type, std::uint8_t flagbits,
-                                            std::uint32_t stream_id,
-                                            std::span<const std::uint8_t> payload);
+  [[nodiscard]] Result<FrameView> parse_view(std::uint8_t type,
+                                             std::uint8_t flagbits,
+                                             std::uint32_t stream_id,
+                                             std::span<const std::uint8_t> payload);
 
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_ = 0;  // bytes of buf_ already parsed

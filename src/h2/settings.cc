@@ -35,6 +35,14 @@ Status SettingsMap::apply_frame(const SettingsPayload& payload) {
   return OkStatus();
 }
 
+Status SettingsMap::apply_frame(const FrameView& view) {
+  for (std::size_t i = 0; i < view.settings_entry_count(); ++i) {
+    const auto [id, value] = view.setting_at(i);
+    H2R_RETURN_IF_ERROR(apply(id, value));
+  }
+  return OkStatus();
+}
+
 std::uint32_t SettingsMap::header_table_size() const {
   return raw(SettingId::kHeaderTableSize).value_or(kDefaultHeaderTableSize);
 }

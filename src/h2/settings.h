@@ -11,6 +11,7 @@
 
 #include "h2/constants.h"
 #include "h2/frame.h"
+#include "h2/frame_view.h"
 #include "util/status.h"
 
 namespace h2r::h2 {
@@ -30,6 +31,9 @@ class SettingsMap {
 
   /// Applies every entry of a SETTINGS frame payload, in order.
   Status apply_frame(const SettingsPayload& payload);
+
+  /// Same, straight from a zero-copy SETTINGS FrameView.
+  Status apply_frame(const FrameView& view);
 
   [[nodiscard]] std::uint32_t header_table_size() const;
   [[nodiscard]] bool enable_push() const;

@@ -16,6 +16,7 @@ void Decoder::set_max_table_capacity(std::uint32_t capacity) {
 Result<HeaderList> Decoder::decode(std::span<const std::uint8_t> block) {
   ByteReader in(block);
   HeaderList out;
+  out.reserve(8);  // typical request/response blocks; avoids growth churn
   std::size_t list_size = 0;
   bool saw_field = false;
 

@@ -33,10 +33,17 @@ hpack::DecoderOptions decoder_options(const ServerProfile& p) {
 
 Http2Server::Http2Server(ServerProfile profile, Site site, StartMode mode,
                          trace::Recorder* recorder)
+    : Http2Server(std::make_shared<const ServerProfile>(std::move(profile)),
+                  std::make_shared<const Site>(std::move(site)), mode,
+                  recorder) {}
+
+Http2Server::Http2Server(std::shared_ptr<const ServerProfile> profile,
+                         std::shared_ptr<const Site> site, StartMode mode,
+                         trace::Recorder* recorder)
     : profile_(std::move(profile)),
       site_(std::move(site)),
-      encoder_(encoder_options(profile_)),
-      decoder_(decoder_options(profile_)),
+      encoder_(encoder_options(*profile_)),
+      decoder_(decoder_options(*profile_)),
       conn_send_window_(h2::kDefaultInitialWindowSize),
       conn_recv_window_(h2::kDefaultInitialWindowSize),
       start_mode_(mode),
@@ -48,6 +55,43 @@ Http2Server::Http2Server(ServerProfile profile, Site site, StartMode mode,
   send_connection_preface();
 }
 
+void Http2Server::reset() { reset(profile_, site_, start_mode_, recorder_); }
+
+void Http2Server::reset(std::shared_ptr<const ServerProfile> profile,
+                        std::shared_ptr<const Site> site, StartMode mode,
+                        trace::Recorder* recorder) {
+  profile_ = std::move(profile);
+  site_ = std::move(site);
+  parser_ = h2::FrameParser();
+  encoder_ = hpack::Encoder(encoder_options(*profile_));
+  decoder_ = hpack::Decoder(decoder_options(*profile_));
+  our_settings_ = h2::SettingsMap();
+  peer_settings_ = h2::SettingsMap();
+  conn_send_window_ = h2::FlowWindow(h2::kDefaultInitialWindowSize);
+  conn_recv_window_ = h2::FlowWindow(h2::kDefaultInitialWindowSize);
+  streams_.clear();
+  tree_ = h2::PriorityTree();
+  preface_matched_ = 0;
+  last_client_stream_id_ = 0;
+  next_push_stream_id_ = 2;
+  last_round_robin_ = 0;
+  cookie_counter_ = 0;
+  frames_received_ = 0;
+  continuation_stream_.reset();
+  continuation_fragment_.clear();
+  continuation_end_stream_ = false;
+  continuation_priority_.reset();
+  out_ = ByteWriter(buffer_pool_.acquire());
+  dead_ = false;
+  client_goaway_ = false;
+  draining_ = false;
+  start_mode_ = mode;
+  upgraded_ = false;
+  http1_buffer_.clear();
+  recorder_ = recorder;
+  if (start_mode_ != StartMode::kH2c) send_connection_preface();
+}
+
 void Http2Server::send_connection_preface() {
   // Server connection preface: a SETTINGS frame (§3.5), possibly followed by
   // the Nginx-style connection WINDOW_UPDATE (§V-C of the paper).
@@ -55,36 +99,36 @@ void Http2Server::send_connection_preface() {
   // Default-valued HEADER_TABLE_SIZE is omitted, like real deployments: the
   // paper infers "all servers use the default" from its absence (§V-C), and
   // the corpus "NULL" sites send an entirely empty SETTINGS frame.
-  if (profile_.header_table_size != h2::kDefaultHeaderTableSize) {
+  if (profile_->header_table_size != h2::kDefaultHeaderTableSize) {
     entries.emplace_back(h2::SettingId::kHeaderTableSize,
-                         profile_.header_table_size);
+                         profile_->header_table_size);
   }
-  if (profile_.max_concurrent_streams) {
+  if (profile_->max_concurrent_streams) {
     entries.emplace_back(h2::SettingId::kMaxConcurrentStreams,
-                         *profile_.max_concurrent_streams);
+                         *profile_->max_concurrent_streams);
   }
-  if (profile_.initial_window_size) {
+  if (profile_->initial_window_size) {
     entries.emplace_back(h2::SettingId::kInitialWindowSize,
-                         *profile_.initial_window_size);
+                         *profile_->initial_window_size);
   }
-  if (profile_.max_frame_size) {
-    entries.emplace_back(h2::SettingId::kMaxFrameSize, *profile_.max_frame_size);
+  if (profile_->max_frame_size) {
+    entries.emplace_back(h2::SettingId::kMaxFrameSize, *profile_->max_frame_size);
   }
-  if (profile_.max_header_list_size) {
+  if (profile_->max_header_list_size) {
     entries.emplace_back(h2::SettingId::kMaxHeaderListSize,
-                         *profile_.max_header_list_size);
+                         *profile_->max_header_list_size);
   }
   for (const auto& [id, value] : entries) {
     (void)our_settings_.apply(static_cast<std::uint16_t>(id), value);
   }
   // Inbound frame size limit is what *we* advertised, not what the peer did.
   parser_.set_max_frame_size(
-      profile_.max_frame_size.value_or(h2::kDefaultMaxFrameSize));
+      profile_->max_frame_size.value_or(h2::kDefaultMaxFrameSize));
   send_frame(h2::make_settings(entries));
-  if (profile_.window_update_after_settings &&
-      profile_.connection_window_bonus > 0) {
-    (void)conn_recv_window_.expand(profile_.connection_window_bonus);
-    send_frame(h2::make_window_update(0, profile_.connection_window_bonus));
+  if (profile_->window_update_after_settings &&
+      profile_->connection_window_bonus > 0) {
+    (void)conn_recv_window_.expand(profile_->connection_window_bonus);
+    send_frame(h2::make_window_update(0, profile_->connection_window_bonus));
   }
 }
 
@@ -135,7 +179,7 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
     http1_buffer_.clear();
 
     const auto result =
-        net::process_upgrade_request(request, profile_.supports_h2c);
+        net::process_upgrade_request(request, profile_->supports_h2c);
     if (!result.switched) {
       // Declined: answer over HTTP/1.1 and close (this engine is h2-only).
       const std::string response = result.status_line +
@@ -159,10 +203,10 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
     (void)stream.sm.on_recv_headers(/*end_stream=*/true);
     stream.request_headers = {{":method", "GET"},
                               {":scheme", "http"},
-                              {":authority", site_.host()},
+                              {":authority", site_->host()},
                               {":path", "/"}};
     auto [pos, inserted] = streams_.emplace(1u, std::move(stream));
-    if (scheduler_uses_tree(profile_.scheduler)) {
+    if (scheduler_uses_tree(profile_->scheduler)) {
       (void)tree_.declare_default(1);
     }
     start_response(pos->second);
@@ -188,7 +232,7 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
   }
   parser_.feed(bytes.subspan(offset));
 
-  while (auto next = parser_.next()) {
+  while (auto next = parser_.next_view()) {
     if (!next->ok()) {
       if (recorder_ != nullptr) {
         trace::TraceEvent ev;
@@ -204,7 +248,7 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
       return;
     }
     ++frames_received_;
-    on_frame(std::move(next->value()));
+    on_frame(next->value());
     if (dead_) return;
   }
   pump();
@@ -236,7 +280,7 @@ std::size_t Http2Server::active_stream_count() const {
 
 // --------------------------------------------------------------- dispatch
 
-void Http2Server::on_frame(Frame frame) {
+void Http2Server::on_frame(const h2::FrameView& frame) {
   // A header block in flight admits only CONTINUATION on the same stream.
   if (continuation_stream_ && frame.type() != FrameType::kContinuation) {
     connection_error(ErrorCode::kProtocolError,
@@ -247,7 +291,7 @@ void Http2Server::on_frame(Frame frame) {
     case FrameType::kData:
       return handle_data(frame);
     case FrameType::kHeaders:
-      return handle_headers(std::move(frame));
+      return handle_headers(frame);
     case FrameType::kPriority:
       return handle_priority(frame);
     case FrameType::kRstStream:
@@ -264,14 +308,13 @@ void Http2Server::on_frame(Frame frame) {
     case FrameType::kWindowUpdate:
       return handle_window_update(frame);
     case FrameType::kContinuation:
-      return handle_continuation(std::move(frame));
+      return handle_continuation(frame);
     default:
       return;  // §4.1: unknown frame types are ignored
   }
 }
 
-void Http2Server::handle_headers(Frame frame) {
-  const auto& payload = frame.as<h2::HeadersPayload>();
+void Http2Server::handle_headers(const h2::FrameView& frame) {
   if (frame.stream_id == 0) {
     return connection_error(ErrorCode::kProtocolError, "HEADERS on stream 0");
   }
@@ -281,24 +324,22 @@ void Http2Server::handle_headers(Frame frame) {
   }
   if (!frame.has_flag(h2::flags::kEndHeaders)) {
     continuation_stream_ = frame.stream_id;
-    continuation_fragment_ = payload.fragment;
+    continuation_fragment_.assign(frame.body.begin(), frame.body.end());
     continuation_end_stream_ = frame.has_flag(h2::flags::kEndStream);
-    continuation_priority_ = payload.priority;
+    continuation_priority_ = frame.priority;
     return;
   }
-  complete_headers(frame.stream_id, payload.fragment,
-                   frame.has_flag(h2::flags::kEndStream), payload.priority);
+  complete_headers(frame.stream_id, frame.body,
+                   frame.has_flag(h2::flags::kEndStream), frame.priority);
 }
 
-void Http2Server::handle_continuation(Frame frame) {
+void Http2Server::handle_continuation(const h2::FrameView& frame) {
   if (!continuation_stream_ || *continuation_stream_ != frame.stream_id) {
     return connection_error(ErrorCode::kProtocolError,
                             "unexpected CONTINUATION");
   }
-  const auto& payload = frame.as<h2::ContinuationPayload>();
   continuation_fragment_.insert(continuation_fragment_.end(),
-                                payload.fragment.begin(),
-                                payload.fragment.end());
+                                frame.body.begin(), frame.body.end());
   if (!frame.has_flag(h2::flags::kEndHeaders)) return;
   const std::uint32_t id = *continuation_stream_;
   continuation_stream_.reset();
@@ -309,7 +350,8 @@ void Http2Server::handle_continuation(Frame frame) {
 }
 
 void Http2Server::complete_headers(std::uint32_t stream_id,
-                                   const Bytes& fragment, bool end_stream,
+                                   std::span<const std::uint8_t> fragment,
+                                   bool end_stream,
                                    std::optional<h2::PriorityInfo> priority) {
   auto decoded = decoder_.decode(fragment);  // churn traced on client's encoder
   if (!decoded.ok()) {
@@ -352,8 +394,8 @@ void Http2Server::complete_headers(std::uint32_t stream_id,
 
   // Enforce our advertised SETTINGS_MAX_CONCURRENT_STREAMS: the §V-A probe
   // sets it to 0 or 1 and expects RST_STREAM(REFUSED_STREAM) on overflow.
-  if (profile_.max_concurrent_streams &&
-      active_stream_count() >= *profile_.max_concurrent_streams) {
+  if (profile_->max_concurrent_streams &&
+      active_stream_count() >= *profile_->max_concurrent_streams) {
     Stream rejected(stream_id, 0, 0);
     (void)rejected.sm.on_recv_headers(end_stream);
     streams_.emplace(stream_id, std::move(rejected));
@@ -371,7 +413,7 @@ void Http2Server::complete_headers(std::uint32_t stream_id,
   // Request body still to come: make sure the client can actually send it.
   // Servers announcing window 0 (the Nginx idiom) re-open per-stream
   // windows on demand, exactly like they re-open the connection window.
-  if (!end_stream && profile_.window_update_after_settings &&
+  if (!end_stream && profile_->window_update_after_settings &&
       our_settings_.initial_window_size() == 0) {
     const std::uint32_t grant = h2::kDefaultInitialWindowSize;
     (void)pos->second.recv_window.expand(grant);
@@ -381,7 +423,7 @@ void Http2Server::complete_headers(std::uint32_t stream_id,
   if (priority) {
     apply_priority_signal(stream_id, *priority, /*from_headers=*/true);
     if (dead_) return;
-  } else if (scheduler_uses_tree(profile_.scheduler)) {
+  } else if (scheduler_uses_tree(profile_->scheduler)) {
     (void)tree_.declare_default(stream_id);
   }
 
@@ -399,23 +441,22 @@ void Http2Server::apply_priority_signal(std::uint32_t stream_id,
   if (info.dependency == stream_id) {
     // Self-dependency: RFC says stream error; real servers disagree
     // (Table III row "Self-dependent Stream").
-    return react(profile_.self_dependency, stream_id, ErrorCode::kProtocolError,
+    return react(profile_->self_dependency, stream_id, ErrorCode::kProtocolError,
                  ErrorCode::kProtocolError, "stream cannot depend on itself");
   }
-  if (!scheduler_uses_tree(profile_.scheduler)) {
+  if (!scheduler_uses_tree(profile_->scheduler)) {
     return;  // priority is advisory; these servers simply ignore it
   }
   const Status applied = from_headers ? tree_.declare(stream_id, info)
                                       : tree_.reprioritize(stream_id, info);
   if (!applied.ok()) {
-    react(profile_.self_dependency, stream_id, ErrorCode::kProtocolError,
+    react(profile_->self_dependency, stream_id, ErrorCode::kProtocolError,
           ErrorCode::kProtocolError, applied.message());
   }
 }
 
-void Http2Server::handle_data(const Frame& frame) {
-  const auto& payload = frame.as<h2::DataPayload>();
-  const auto n = static_cast<std::int64_t>(payload.data.size());
+void Http2Server::handle_data(const h2::FrameView& frame) {
+  const auto n = static_cast<std::int64_t>(frame.body.size());
   const bool end_stream = frame.has_flag(h2::flags::kEndStream);
   if (!conn_recv_window_.consume(n).ok()) {
     return connection_error(ErrorCode::kFlowControlError,
@@ -432,7 +473,7 @@ void Http2Server::handle_data(const Frame& frame) {
   if (!stream.sm.on_recv_data(end_stream).ok()) {
     return stream_error(frame.stream_id, ErrorCode::kStreamClosed);
   }
-  stream.uploaded_bytes += payload.data.size();
+  stream.uploaded_bytes += frame.body.size();
   // Replenish both windows so well-behaved uploads never stall.
   if (n > 0) {
     send_frame(h2::make_window_update(0, static_cast<std::uint32_t>(n)));
@@ -450,15 +491,15 @@ void Http2Server::handle_data(const Frame& frame) {
   }
 }
 
-void Http2Server::handle_priority(const Frame& frame) {
+void Http2Server::handle_priority(const h2::FrameView& frame) {
   if (frame.stream_id == 0) {
     return connection_error(ErrorCode::kProtocolError, "PRIORITY on stream 0");
   }
-  apply_priority_signal(frame.stream_id, frame.as<h2::PriorityPayload>().info,
+  apply_priority_signal(frame.stream_id, *frame.priority,
                         /*from_headers=*/false);
 }
 
-void Http2Server::handle_rst_stream(const Frame& frame) {
+void Http2Server::handle_rst_stream(const h2::FrameView& frame) {
   if (frame.stream_id == 0) {
     return connection_error(ErrorCode::kProtocolError, "RST_STREAM on stream 0");
   }
@@ -471,11 +512,10 @@ void Http2Server::handle_rst_stream(const Frame& frame) {
   close_stream(frame.stream_id);
 }
 
-void Http2Server::handle_settings(const Frame& frame) {
+void Http2Server::handle_settings(const h2::FrameView& frame) {
   if (frame.has_flag(h2::flags::kAck)) return;
   const std::uint32_t old_iws = peer_settings_.initial_window_size();
-  const Status applied =
-      peer_settings_.apply_frame(frame.as<h2::SettingsPayload>());
+  const Status applied = peer_settings_.apply_frame(frame);
   if (!applied.ok()) {
     const auto code = applied.code() == StatusCode::kFlowControlError
                           ? ErrorCode::kFlowControlError
@@ -500,7 +540,8 @@ void Http2Server::handle_settings(const Frame& frame) {
     encoder_.set_table_capacity(table_cap);
   }
   if (recorder_ != nullptr) {
-    for (const auto& [id, value] : frame.as<h2::SettingsPayload>().entries) {
+    for (std::size_t i = 0; i < frame.settings_entry_count(); ++i) {
+      const auto [id, value] = frame.setting_at(i);
       trace::TraceEvent ev;
       ev.dir = trace::Direction::kClientToServer;
       ev.kind = trace::EventKind::kSettingsApplied;
@@ -512,23 +553,25 @@ void Http2Server::handle_settings(const Frame& frame) {
   send_frame(h2::make_settings_ack());
 }
 
-void Http2Server::handle_ping(const Frame& frame) {
+void Http2Server::handle_ping(const h2::FrameView& frame) {
   if (frame.stream_id != 0) {
     return connection_error(ErrorCode::kProtocolError, "PING on a stream");
   }
   if (frame.has_flag(h2::flags::kAck)) return;
   // §6.7: respond with an identical payload, ACK set, at high priority —
   // PINGs bypass the response scheduler entirely.
-  send_frame(h2::make_ping(frame.as<h2::PingPayload>().opaque, /*ack=*/true));
+  std::array<std::uint8_t, 8> opaque{};
+  std::copy_n(frame.body.begin(), 8, opaque.begin());
+  send_frame(h2::make_ping(opaque, /*ack=*/true));
 }
 
-void Http2Server::handle_goaway(const Frame& frame) {
+void Http2Server::handle_goaway(const h2::FrameView& frame) {
   (void)frame;
   client_goaway_ = true;
 }
 
-void Http2Server::handle_window_update(const Frame& frame) {
-  const std::uint32_t increment = frame.as<h2::WindowUpdatePayload>().increment;
+void Http2Server::handle_window_update(const h2::FrameView& frame) {
+  const std::uint32_t increment = frame.increment;
   const bool connection_scope = frame.stream_id == 0;
 
   if (increment == 0) {
@@ -536,11 +579,11 @@ void Http2Server::handle_window_update(const Frame& frame) {
     // stream scope, connection error on connection scope — but Table III
     // shows three distinct behaviours in the wild.
     if (connection_scope) {
-      return react(profile_.zero_window_update_connection, 0,
+      return react(profile_->zero_window_update_connection, 0,
                    ErrorCode::kProtocolError, ErrorCode::kProtocolError,
                    "window update shouldn't be zero");
     }
-    return react(profile_.zero_window_update_stream, frame.stream_id,
+    return react(profile_->zero_window_update_stream, frame.stream_id,
                  ErrorCode::kProtocolError, ErrorCode::kProtocolError,
                  "window update shouldn't be zero");
   }
@@ -548,11 +591,11 @@ void Http2Server::handle_window_update(const Frame& frame) {
   if (connection_scope) {
     if (!conn_send_window_.expand(increment).ok()) {
       // §6.9.1 overflow past 2^31-1 (§III-B4 probe).
-      if (profile_.large_window_update_connection == ErrorReaction::kIgnore) {
+      if (profile_->large_window_update_connection == ErrorReaction::kIgnore) {
         conn_send_window_.reset_to(h2::kMaxWindowSize);  // saturate silently
         return;
       }
-      return react(profile_.large_window_update_connection, 0,
+      return react(profile_->large_window_update_connection, 0,
                    ErrorCode::kFlowControlError, ErrorCode::kFlowControlError,
                    "connection flow-control window overflow");
     }
@@ -564,11 +607,11 @@ void Http2Server::handle_window_update(const Frame& frame) {
     return;  // WINDOW_UPDATE may race with stream close; ignore (§5.1)
   }
   if (!it->second.send_window.expand(increment).ok()) {
-    if (profile_.large_window_update_stream == ErrorReaction::kIgnore) {
+    if (profile_->large_window_update_stream == ErrorReaction::kIgnore) {
       it->second.send_window.reset_to(h2::kMaxWindowSize);
       return;
     }
-    return react(profile_.large_window_update_stream, frame.stream_id,
+    return react(profile_->large_window_update_stream, frame.stream_id,
                  ErrorCode::kFlowControlError, ErrorCode::kFlowControlError,
                  "stream flow-control window overflow");
   }
@@ -581,14 +624,15 @@ void Http2Server::start_response(Stream& stream) {
       hpack::find_header(stream.request_headers, ":path");
   const std::string_view method =
       hpack::find_header(stream.request_headers, ":method");
-  stream.resource = site_.find(std::string(path));
+  stream.resource = site_->find(path);
 
   hpack::HeaderList headers;
+  headers.reserve(8 + site_->extra_headers().size());
   if (method == "POST") {
     // Upload sink: acknowledge with a body sized like the upload, so tests
     // can verify the count end to end.
     headers.emplace_back(":status", "200");
-    headers.emplace_back("server", profile_.server_header);
+    headers.emplace_back("server", profile_->server_header);
     headers.emplace_back("date", kHttpDate);
     headers.emplace_back("content-type", "text/plain");
     headers.emplace_back("x-received-bytes",
@@ -607,17 +651,17 @@ void Http2Server::start_response(Stream& stream) {
     headers.emplace_back(":status", "404");
     stream.body_size = 180;  // synthetic error page
   }
-  headers.emplace_back("server", profile_.server_header);
+  headers.emplace_back("server", profile_->server_header);
   headers.emplace_back("date", kHttpDate);
   headers.emplace_back("content-type", stream.resource != nullptr
                                             ? stream.resource->content_type
                                             : "text/html");
   headers.emplace_back("content-length", std::to_string(stream.body_size));
-  for (const auto& extra : site_.extra_headers()) headers.push_back(extra);
+  for (const auto& extra : site_->extra_headers()) headers.push_back(extra);
   // Cookie churn (§V-G): *later* responses grow extra set-cookie headers
   // the first response lacked, making S1 < Si and pushing the measured
   // compression ratio above 1 (the sites the paper filters out of Figs 4/5).
-  if (site_.cookie_churn() && cookie_counter_++ > 0) {
+  if (site_->cookie_churn() && cookie_counter_++ > 0) {
     headers.emplace_back(
         "set-cookie", "session=" + std::to_string(cookie_counter_) +
                           "; Path=/; HttpOnly");
@@ -627,10 +671,10 @@ void Http2Server::start_response(Stream& stream) {
 }
 
 void Http2Server::maybe_push(Stream& parent) {
-  if (!profile_.supports_push || !peer_settings_.enable_push()) return;
+  if (!profile_->supports_push || !peer_settings_.enable_push()) return;
   if (parent.is_push) return;
   const std::string path{hpack::find_header(parent.request_headers, ":path")};
-  const auto* push_paths = site_.push_list(path);
+  const auto* push_paths = site_->push_list(path);
   if (push_paths == nullptr) return;
 
   for (const auto& push_path : *push_paths) {
@@ -643,7 +687,7 @@ void Http2Server::maybe_push(Stream& parent) {
       }
       if (pushes_active >= *cap) return;
     }
-    const Resource* resource = site_.find(push_path);
+    const Resource* resource = site_->find(push_path);
     if (resource == nullptr) continue;
 
     const std::uint32_t promised = next_push_stream_id_;
@@ -651,7 +695,7 @@ void Http2Server::maybe_push(Stream& parent) {
 
     hpack::HeaderList request = {{":method", "GET"},
                                  {":scheme", "https"},
-                                 {":authority", site_.host()},
+                                 {":authority", site_->host()},
                                  {":path", push_path}};
     send_frame(h2::make_push_promise(parent.sm.id(), promised,
                                      encode_block(request)));
@@ -662,7 +706,7 @@ void Http2Server::maybe_push(Stream& parent) {
     pushed.is_push = true;
     pushed.request_headers = std::move(request);
     streams_.emplace(promised, std::move(pushed));
-    if (scheduler_uses_tree(profile_.scheduler)) {
+    if (scheduler_uses_tree(profile_->scheduler)) {
       // Pushed responses default to dependents of their parent (§5.3.5).
       (void)tree_.declare(promised, {.dependency = parent.sm.id(),
                                      .weight_field = h2::kDefaultWeight - 1});
@@ -682,10 +726,10 @@ bool Http2Server::stream_eligible(const Stream& s) const {
   if (!s.sm.can_send_data() && !(s.is_push && !s.headers_sent)) return false;
 
   if (!s.headers_sent) {
-    if (profile_.flow_control_on_headers && s.send_window.available() <= 0) {
+    if (profile_->flow_control_on_headers && s.send_window.available() <= 0) {
       return false;  // the LiteSpeed HEADERS deviation (Table III)
     }
-    if (profile_.headers_blocked_by_conn_window &&
+    if (profile_->headers_blocked_by_conn_window &&
         conn_send_window_.available() <= 0) {
       return false;  // §V-D2 wild deviation
     }
@@ -695,7 +739,7 @@ bool Http2Server::stream_eligible(const Stream& s) const {
   const std::size_t remaining = s.body_size - s.body_offset;
   if (remaining == 0) return false;
   if (tiny_window_mode() &&
-      profile_.small_window_behavior == SmallWindowBehavior::kZeroLengthData) {
+      profile_->small_window_behavior == SmallWindowBehavior::kZeroLengthData) {
     return !s.zero_length_emitted;
   }
   return s.send_window.available() > 0 && conn_send_window_.available() > 0;
@@ -723,7 +767,7 @@ void Http2Server::pump() {
       auto it = streams_.find(sid);
       return it != streams_.end() && stream_eligible(it->second);
     };
-    switch (profile_.scheduler) {
+    switch (profile_->scheduler) {
       case SchedulerKind::kPriorityTree:
         id = tree_.next_stream(eligible);
         break;
@@ -768,7 +812,7 @@ void Http2Server::serve_one(std::uint32_t stream_id) {
     // Engage the stall deviation before anything is emitted: under a tiny
     // window LiteSpeed-profile servers go silent for the whole response.
     if (tiny_window_mode() &&
-        profile_.small_window_behavior == SmallWindowBehavior::kStall) {
+        profile_->small_window_behavior == SmallWindowBehavior::kStall) {
       s.stalled = true;
       return;
     }
@@ -783,7 +827,7 @@ void Http2Server::serve_one(std::uint32_t stream_id) {
   const std::size_t remaining = s.body_size - s.body_offset;
 
   if (tiny_window_mode() &&
-      profile_.small_window_behavior == SmallWindowBehavior::kZeroLengthData) {
+      profile_->small_window_behavior == SmallWindowBehavior::kZeroLengthData) {
     // Observed wild behaviour (§V-D1): a zero-length DATA frame ending the
     // stream instead of Sframe-sized chunks.
     send_frame(h2::make_data(stream_id, {}, /*end_stream=*/true));
@@ -803,23 +847,43 @@ void Http2Server::serve_one(std::uint32_t stream_id) {
                  std::max<std::int64_t>(0, conn_send_window_.available())));
   if (chunk == 0) return;  // raced with eligibility; nothing to do
 
-  Bytes body;
-  if (s.resource != nullptr) {
-    body = resource_body(*s.resource, s.body_offset, chunk);
-  } else {
-    body.assign(chunk, static_cast<std::uint8_t>('.'));
-  }
+  const std::size_t offset = s.body_offset;
   s.body_offset += chunk;
   (void)s.send_window.consume(static_cast<std::int64_t>(chunk));
   (void)conn_send_window_.consume(static_cast<std::int64_t>(chunk));
-  if (scheduler_uses_tree(profile_.scheduler)) {
+  if (scheduler_uses_tree(profile_->scheduler)) {
     tree_.account(stream_id, chunk);
   }
 
   const bool end_stream = s.body_offset == s.body_size;
-  send_frame(h2::make_data(stream_id, std::move(body), end_stream));
+  send_data_direct(stream_id, s.resource, offset, chunk, end_stream);
   (void)s.sm.on_send_data(end_stream);
   if (end_stream) close_stream(stream_id);
+}
+
+void Http2Server::send_data_direct(std::uint32_t stream_id,
+                                   const Resource* resource,
+                                   std::size_t offset, std::size_t chunk,
+                                   bool end_stream) {
+  const std::uint8_t flagbits = end_stream ? h2::flags::kEndStream : 0;
+  h2::write_frame_header(out_, chunk, FrameType::kData, flagbits, stream_id);
+  if (resource != nullptr) {
+    resource_body_into(out_, *resource, offset, chunk);
+  } else {
+    auto dst = out_.extend(chunk);
+    std::fill(dst.begin(), dst.end(), static_cast<std::uint8_t>('.'));
+  }
+  if (recorder_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.dir = trace::Direction::kServerToClient;
+    ev.kind = trace::EventKind::kFrame;
+    ev.stream_id = stream_id;
+    ev.frame_type = static_cast<std::uint8_t>(FrameType::kData);
+    ev.flags = flagbits;
+    ev.wire_length = static_cast<std::uint32_t>(h2::kFrameHeaderSize + chunk);
+    ev.detail_a = static_cast<std::uint32_t>(chunk);
+    recorder_->record(std::move(ev));
+  }
 }
 
 // ---------------------------------------------------------------- plumbing
@@ -897,9 +961,9 @@ void Http2Server::note_window_stalls() {
                 (s.send_window.available() <= 0 ||
                  conn_send_window_.available() <= 0);
     } else {
-      blocked = (profile_.flow_control_on_headers &&
+      blocked = (profile_->flow_control_on_headers &&
                  s.send_window.available() <= 0) ||
-                (profile_.headers_blocked_by_conn_window &&
+                (profile_->headers_blocked_by_conn_window &&
                  conn_send_window_.available() <= 0);
     }
     if (!blocked) continue;

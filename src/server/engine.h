@@ -49,6 +49,30 @@ class Http2Server {
               StartMode mode = StartMode::kTls,
               trace::Recorder* recorder = nullptr);
 
+  /// Shared-ownership variant: the engine aliases @p profile / @p site
+  /// instead of deep-copying them, so constructing a connection against an
+  /// already-materialized profile+site costs no per-connection heap churn.
+  /// Target caches shared copies and the scan reuses them across every
+  /// connection of a site.
+  Http2Server(std::shared_ptr<const ServerProfile> profile,
+              std::shared_ptr<const Site> site,
+              StartMode mode = StartMode::kTls,
+              trace::Recorder* recorder = nullptr);
+
+  /// Rewinds the engine to the just-constructed state of a fresh
+  /// connection — parser, HPACK tables, settings, windows, streams and
+  /// priority tree all reset; the profile, site and transport buffer pool
+  /// are kept. A reset engine is observably identical to a newly
+  /// constructed one, minus the allocations.
+  void reset();
+
+  /// Reset onto a different profile/site (the scan's per-worker engine slot
+  /// serves a different site each time).
+  void reset(std::shared_ptr<const ServerProfile> profile,
+             std::shared_ptr<const Site> site,
+             StartMode mode = StartMode::kTls,
+             trace::Recorder* recorder = nullptr);
+
   /// Feeds client bytes; all complete frames are processed immediately and
   /// any producible response bytes are queued for take_output().
   void receive(std::span<const std::uint8_t> bytes);
@@ -79,8 +103,8 @@ class Http2Server {
   /// be coherent.
   void on_transport_close(const Status& status);
 
-  [[nodiscard]] const ServerProfile& profile() const noexcept { return profile_; }
-  [[nodiscard]] const Site& site() const noexcept { return site_; }
+  [[nodiscard]] const ServerProfile& profile() const noexcept { return *profile_; }
+  [[nodiscard]] const Site& site() const noexcept { return *site_; }
 
   // ---- introspection for tests and ablations ---------------------------
   [[nodiscard]] std::size_t active_stream_count() const;
@@ -123,20 +147,21 @@ class Http2Server {
     bool stall_traced = false;  ///< open kWindowStall event for this stream
   };
 
-  // -- frame dispatch -----------------------------------------------------
-  void on_frame(h2::Frame frame);
-  void handle_headers(h2::Frame frame);
-  void complete_headers(std::uint32_t stream_id, const Bytes& fragment,
+  // -- frame dispatch (zero-copy: views alias the parser buffer) ----------
+  void on_frame(const h2::FrameView& frame);
+  void handle_headers(const h2::FrameView& frame);
+  void complete_headers(std::uint32_t stream_id,
+                        std::span<const std::uint8_t> fragment,
                         bool end_stream,
                         std::optional<h2::PriorityInfo> priority);
-  void handle_data(const h2::Frame& frame);
-  void handle_priority(const h2::Frame& frame);
-  void handle_rst_stream(const h2::Frame& frame);
-  void handle_settings(const h2::Frame& frame);
-  void handle_ping(const h2::Frame& frame);
-  void handle_goaway(const h2::Frame& frame);
-  void handle_window_update(const h2::Frame& frame);
-  void handle_continuation(h2::Frame frame);
+  void handle_data(const h2::FrameView& frame);
+  void handle_priority(const h2::FrameView& frame);
+  void handle_rst_stream(const h2::FrameView& frame);
+  void handle_settings(const h2::FrameView& frame);
+  void handle_ping(const h2::FrameView& frame);
+  void handle_goaway(const h2::FrameView& frame);
+  void handle_window_update(const h2::FrameView& frame);
+  void handle_continuation(const h2::FrameView& frame);
 
   // -- request/response ---------------------------------------------------
   void start_response(Stream& stream);
@@ -165,6 +190,10 @@ class Http2Server {
   void connection_error(h2::ErrorCode code, std::string debug);
   void close_stream(std::uint32_t stream_id);
   [[nodiscard]] bool tiny_window_mode() const;
+  /// DATA emission fast path: frame header + procedurally generated body
+  /// written straight into the output buffer — no Frame, no payload vector.
+  void send_data_direct(std::uint32_t stream_id, const Resource* resource,
+                        std::size_t offset, std::size_t chunk, bool end_stream);
 
   // -- wiretap ------------------------------------------------------------
   /// encoder_.encode with HPACK table-churn trace events (s2c blocks). Only
@@ -177,8 +206,8 @@ class Http2Server {
   void note_window_stalls();
   void note_window_resume(Stream& stream);
 
-  ServerProfile profile_;
-  Site site_;
+  std::shared_ptr<const ServerProfile> profile_;
+  std::shared_ptr<const Site> site_;
 
   h2::FrameParser parser_;
   hpack::Encoder encoder_;  ///< server->client header blocks

@@ -18,13 +18,13 @@ Site& Site::add_response_header(std::string name, std::string value) {
   return *this;
 }
 
-const Resource* Site::find(const std::string& path) const {
+const Resource* Site::find(std::string_view path) const {
   auto it = resources_.find(path);
   return it == resources_.end() ? nullptr : &it->second;
 }
 
 const std::vector<std::string>* Site::push_list(
-    const std::string& trigger_path) const {
+    std::string_view trigger_path) const {
   auto it = push_lists_.find(trigger_path);
   return it == push_lists_.end() ? nullptr : &it->second;
 }
@@ -58,21 +58,61 @@ Site Site::standard_testbed_site(std::string host) {
   return site;
 }
 
-Bytes resource_body(const Resource& resource, std::size_t offset,
-                    std::size_t len) {
-  // FNV-1a over the path seeds the pattern.
+namespace {
+
+/// Fills @p out with the body pattern octets for absolute byte indices
+/// [offset, offset+out.size()): (h >> (i % 8)) + i * 131, truncated to an
+/// octet. The i % 8 lane cycle and the +131 accumulator mod 256 make the
+/// sequence periodic every lcm(8, 256/gcd(131·8, 256)) = 256 octets, so
+/// large bodies are one 256-octet tile synthesized scalar and then
+/// replicated with doubling copies at memcpy speed — the scan delivers
+/// hundreds of kilobytes of procedural DATA per site, and the original
+/// octet-at-a-time loop dominated whole-scan wall time.
+void fill_body_pattern(std::uint64_t h, std::size_t offset,
+                       std::span<std::uint8_t> out) {
+  constexpr std::size_t kPeriod = 256;
+  const std::size_t head = std::min(out.size(), kPeriod);
+  std::uint8_t base[8];
+  for (int k = 0; k < 8; ++k) base[k] = static_cast<std::uint8_t>(h >> k);
+  std::uint8_t mul = static_cast<std::uint8_t>(offset * 131u);
+  std::size_t lane = offset % 8;
+  for (std::size_t j = 0; j < head; ++j) {
+    out[j] = static_cast<std::uint8_t>(base[lane] + mul);
+    mul = static_cast<std::uint8_t>(mul + 131u);
+    if (++lane == 8) lane = 0;
+  }
+  std::size_t filled = head;
+  while (filled < out.size()) {
+    const std::size_t n = std::min(filled, out.size() - filled);
+    std::copy_n(out.data(), n, out.data() + filled);
+    filled += n;
+  }
+}
+
+/// FNV-1a over the path seeds the pattern.
+std::uint64_t body_seed(const Resource& resource) {
   std::uint64_t h = 1469598103934665603ull;
   for (char c : resource.path) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
+  return h;
+}
+
+}  // namespace
+
+void resource_body_into(ByteWriter& out, const Resource& resource,
+                        std::size_t offset, std::size_t len) {
   const std::size_t end = std::min(offset + len, resource.size);
-  Bytes out;
-  out.reserve(end > offset ? end - offset : 0);
-  for (std::size_t i = offset; i < end; ++i) {
-    out.push_back(static_cast<std::uint8_t>((h >> (i % 8)) + i * 131));
-  }
-  return out;
+  if (end <= offset) return;
+  fill_body_pattern(body_seed(resource), offset, out.extend(end - offset));
+}
+
+Bytes resource_body(const Resource& resource, std::size_t offset,
+                    std::size_t len) {
+  ByteWriter w;
+  resource_body_into(w, resource, offset, len);
+  return w.take();
 }
 
 }  // namespace h2r::server

@@ -46,9 +46,9 @@ class Site {
   }
   [[nodiscard]] bool cookie_churn() const noexcept { return cookie_churn_; }
 
-  [[nodiscard]] const Resource* find(const std::string& path) const;
+  [[nodiscard]] const Resource* find(std::string_view path) const;
   [[nodiscard]] const std::vector<std::string>* push_list(
-      const std::string& trigger_path) const;
+      std::string_view trigger_path) const;
   [[nodiscard]] const hpack::HeaderList& extra_headers() const noexcept {
     return extra_headers_;
   }
@@ -62,8 +62,9 @@ class Site {
 
  private:
   std::string host_;
-  std::map<std::string, Resource> resources_;
-  std::map<std::string, std::vector<std::string>> push_lists_;
+  // std::less<> so lookups by string_view need no temporary std::string.
+  std::map<std::string, Resource, std::less<>> resources_;
+  std::map<std::string, std::vector<std::string>, std::less<>> push_lists_;
   hpack::HeaderList extra_headers_;
   bool cookie_churn_ = false;
 };
@@ -72,5 +73,11 @@ class Site {
 /// pattern derived from the path, stable across reads.
 Bytes resource_body(const Resource& resource, std::size_t offset,
                     std::size_t len);
+
+/// Same pattern, synthesized directly into @p out — the engine's DATA
+/// emission path appends body octets after the frame header it already
+/// wrote, with no intermediate buffer.
+void resource_body_into(ByteWriter& out, const Resource& resource,
+                        std::size_t offset, std::size_t len);
 
 }  // namespace h2r::server

@@ -50,6 +50,11 @@ class Recorder {
  protected:
   virtual void on_event(const TraceEvent& event) = 0;
 
+  /// Restarts event numbering from zero — for sinks that drop their
+  /// retained events and start a logically new trace (VectorRecorder::
+  /// clear), so a reused sink's output matches a freshly constructed one.
+  void restart_sequence() noexcept { next_seq_ = 0; }
+
  private:
   std::uint64_t next_seq_ = 0;
   const net::VirtualClock* clock_ = nullptr;
@@ -68,6 +73,14 @@ class VectorRecorder : public Recorder {
   }
   /// Mutable access for the violation annotator (tags are written in place).
   [[nodiscard]] std::vector<TraceEvent>& events() noexcept { return events_; }
+
+  /// Drops every retained event and restarts numbering: the scan's
+  /// per-worker scratch reuses one recorder across sites, and a cleared
+  /// recorder's trace is indistinguishable from a fresh one's.
+  void clear() noexcept {
+    events_.clear();
+    restart_sequence();
+  }
 
  protected:
   void on_event(const TraceEvent& event) override { events_.push_back(event); }

@@ -74,6 +74,16 @@ class ByteWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Appends @p n uninitialized octets and returns a writable span over
+  /// them, so generators can synthesize payloads in place instead of
+  /// building a temporary buffer and copying it in. The span is valid only
+  /// until the next write.
+  [[nodiscard]] std::span<std::uint8_t> extend(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    return {buf_.data() + at, n};
+  }
+
   /// Appends @p n zero octets (frame padding) in one grow.
   void write_zeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
 

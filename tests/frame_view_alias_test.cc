@@ -1,0 +1,178 @@
+// The zero-copy parse path: FrameParser::next_view() must validate frames
+// in place — its body span aliasing the reassembly buffer, no payload
+// copy — while materialize() reproduces, bit for bit, what next() has
+// always returned. Run under ASan (the asan-ubsan CI job runs the full
+// suite) this also proves the view's documented validity window is
+// honoured by the accessors themselves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "h2/constants.h"
+#include "h2/frame.h"
+#include "h2/frame_codec.h"
+#include "h2/frame_view.h"
+
+namespace h2r::h2 {
+namespace {
+
+Bytes pattern_bytes(std::size_t n, std::uint8_t start) {
+  Bytes out(n);
+  std::iota(out.begin(), out.end(), start);
+  return out;
+}
+
+std::vector<Frame> sample_frames() {
+  std::vector<Frame> frames;
+  frames.push_back(make_settings({{SettingId::kInitialWindowSize, 1u << 20},
+                                  {SettingId::kMaxConcurrentStreams, 128}}));
+  frames.push_back(make_settings_ack());
+  frames.push_back(make_headers(1, pattern_bytes(40, 3), /*end_stream=*/false,
+                                /*end_headers=*/false,
+                                PriorityInfo{.dependency = 0,
+                                             .weight_field = 201,
+                                             .exclusive = true}));
+  frames.push_back(make_continuation(1, pattern_bytes(17, 9), true));
+  frames.push_back(make_data(1, pattern_bytes(333, 0), /*end_stream=*/true));
+  frames.push_back(make_priority(3, {.dependency = 1, .weight_field = 15}));
+  frames.push_back(make_rst_stream(3, ErrorCode::kCancel));
+  frames.push_back(make_push_promise(1, 2, pattern_bytes(25, 40)));
+  frames.push_back(make_ping({1, 2, 3, 4, 5, 6, 7, 8}));
+  frames.push_back(make_window_update(0, 0x7FFF0000));
+  frames.push_back(make_goaway(5, ErrorCode::kEnhanceYourCalm, "debug-data"));
+  return frames;
+}
+
+// next_view() + materialize() and next() must yield identical frames —
+// compared on the wire, where every payload detail shows up — whether the
+// bytes arrive in one block or one octet at a time.
+TEST(FrameViewAlias, MaterializedViewsMatchOwningParsePath) {
+  const Bytes wire = serialize_frames(sample_frames());
+
+  FrameParser owning;
+  owning.feed(wire);
+  FrameParser viewing;
+  for (std::uint8_t b : wire) viewing.feed({&b, 1});  // worst-case trickle
+
+  std::size_t count = 0;
+  for (;;) {
+    auto classic = owning.next();
+    auto view = viewing.next_view();
+    ASSERT_EQ(classic.has_value(), view.has_value());
+    if (!classic) break;
+    ASSERT_TRUE(classic->ok());
+    ASSERT_TRUE(view->ok());
+    const Frame from_view = materialize(view->value());
+    EXPECT_EQ(serialize_frame(classic->value()), serialize_frame(from_view));
+    EXPECT_EQ(classic->value().flags, from_view.flags);
+    EXPECT_EQ(classic->value().stream_id, from_view.stream_id);
+    ++count;
+  }
+  EXPECT_EQ(count, sample_frames().size());
+  EXPECT_EQ(viewing.buffered_bytes(), owning.buffered_bytes());
+}
+
+// The body span of a view points into the parser's buffer: two frames fed
+// as one block yield views whose payloads sit exactly one frame header
+// apart in the same allocation. (Frame 2 dwarfs frame 1 so the lazy
+// compaction between the calls doesn't trigger and move the buffer.)
+TEST(FrameViewAlias, BodySpanAliasesReassemblyBuffer) {
+  const Bytes small = pattern_bytes(16, 1);
+  const Bytes big = pattern_bytes(4000, 7);
+  Bytes wire = serialize_frame(make_data(1, small, false));
+  const Bytes second = serialize_frame(make_data(1, big, true));
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  FrameParser parser;
+  parser.feed(wire);
+
+  auto first = parser.next_view();
+  ASSERT_TRUE(first && first->ok());
+  const auto p1 = reinterpret_cast<std::uintptr_t>(first->value().body.data());
+  ASSERT_EQ(first->value().body.size(), small.size());
+
+  auto next = parser.next_view();
+  ASSERT_TRUE(next && next->ok());
+  const FrameView& view = next->value();
+  const auto p2 = reinterpret_cast<std::uintptr_t>(view.body.data());
+  // payload2 starts (payload1 size + one 9-octet header) after payload1.
+  EXPECT_EQ(p2 - p1, small.size() + 9);
+
+  EXPECT_EQ(view.type(), FrameType::kData);
+  EXPECT_TRUE(view.has_flag(flags::kEndStream));
+  EXPECT_EQ(view.payload_wire_octets, big.size());
+  ASSERT_EQ(view.body.size(), big.size());
+  // Read every aliased octet while the view is valid — ASan checks this
+  // stays inside the live buffer.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    mismatches += (view.body[i] != big[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+// Padding is stripped from the aliased body but still counted by the
+// flow-control length, same as the owning path.
+TEST(FrameViewAlias, PaddedDataBodyIsUnpadded) {
+  const Bytes data = pattern_bytes(20, 60);
+  constexpr std::uint8_t kPad = 7;
+  ByteWriter out;
+  write_frame_header(out, 1 + data.size() + kPad, FrameType::kData,
+                     flags::kPadded | flags::kEndStream, 5);
+  out.write_u8(kPad);
+  out.write_bytes(data);
+  out.write_zeros(kPad);
+  const Bytes wire = out.take();
+
+  FrameParser parser;
+  parser.feed(wire);
+  auto view = parser.next_view();
+  ASSERT_TRUE(view && view->ok());
+  EXPECT_EQ(view->value().payload_wire_octets, 1 + data.size() + kPad);
+  ASSERT_EQ(view->value().body.size(), data.size());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), view->value().body.begin()));
+
+  const Frame frame = materialize(view->value());
+  ASSERT_TRUE(frame.is<DataPayload>());
+  EXPECT_EQ(frame.as<DataPayload>().data, data);
+}
+
+// Error semantics are shared: the same malformed input poisons a
+// next_view() parser with the same status and error context as next().
+TEST(FrameViewAlias, ViewPathPoisonsLikeOwningPath) {
+  ByteWriter out;
+  // RST_STREAM payload must be exactly 4 octets; send 3.
+  write_frame_header(out, 3, FrameType::kRstStream, 0, 1);
+  out.write_zeros(3);
+  const Bytes wire = out.take();
+
+  FrameParser owning;
+  owning.feed(wire);
+  FrameParser viewing;
+  viewing.feed(wire);
+
+  auto classic = owning.next();
+  auto view = viewing.next_view();
+  ASSERT_TRUE(classic && view);
+  ASSERT_FALSE(classic->ok());
+  ASSERT_FALSE(view->ok());
+  EXPECT_EQ(classic->status().message(), view->status().message());
+
+  ASSERT_TRUE(viewing.error_context().has_value());
+  ASSERT_TRUE(owning.error_context().has_value());
+  EXPECT_EQ(viewing.error_context()->frame_offset,
+            owning.error_context()->frame_offset);
+  EXPECT_EQ(viewing.error_context()->frame_type,
+            owning.error_context()->frame_type);
+
+  // Poison is sticky on both paths.
+  auto again = viewing.next_view();
+  ASSERT_TRUE(again);
+  EXPECT_FALSE(again->ok());
+}
+
+}  // namespace
+}  // namespace h2r::h2

@@ -1,18 +1,36 @@
 // Ablation: the DoS vectors the paper warns about (Section VI).
 //
-// Three attacks, each quantified against the engine:
+// Part 1 — the original three mechanics, staged directly:
 //   1. slow read / malicious receiver — tiny SETTINGS_INITIAL_WINDOW_SIZE
 //      pins whole responses in server memory (§V-D1, [20], [23]);
 //   2. priority churn — PRIORITY floods force continual dependency-tree
 //      reconstruction (algorithmic-complexity attack, [26]);
 //   3. header bomb — random never-repeating headers churn the HPACK
 //      dynamic table (the SETTINGS_HEADER_TABLE_SIZE concern of §VI).
+//
+// Part 2 — the attack × profile × mitigation matrix: every
+// attack::AttackScenario against every Table III testbed profile, with the
+// MitigationPolicy off and hardened, each cell watched live by the
+// trace::SequenceDetector. Emits BENCH_attack_matrix.json (override the
+// path with H2R_BENCH_JSON) with per-cell termination, resource peaks,
+// mitigation level and detector time-to-detect, plus a benign control: a
+// seeded FaultyTransport corpus scan run with detection on, whose expected
+// detection count is zero.
+//
+// H2R_SCALE divides the attack intensity (rounds / streams / flood width)
+// with floors that keep every scenario above its detector thresholds, so
+// the 1/1000 CI smoke still detects all five classes.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "attack/scenario.h"
+#include "bench_util.h"
 #include "core/probes.h"
 #include "net/transport.h"
+#include "trace/detector.h"
 
 namespace {
 
@@ -25,10 +43,7 @@ void print_slow_read() {
   for (int streams : {1, 8, 32, 64}) {
     core::Target t = core::Target::testbed(server::h2o_profile());
     auto server = t.make_server();
-    core::ClientOptions opts;
-    opts.settings = {{h2::SettingId::kInitialWindowSize, 1}};
-    opts.auto_stream_window_update = false;  // the attacker never reads
-    core::ClientConnection client(opts);
+    core::ClientConnection client(core::ClientOptions::slow_read_stance());
     std::size_t released = 0;
     for (int i = 0; i < streams; ++i) {
       client.send_request("/large/" + std::to_string(i % 8));
@@ -82,6 +97,195 @@ void print_header_bomb() {
       "keeping the default)\n");
 }
 
+// ------------------------------------------------- attack/mitigation matrix
+
+/// One matrix cell, fully evaluated.
+struct Cell {
+  std::string profile;
+  attack::ScenarioKind scenario = attack::ScenarioKind::kSlowRead;
+  bool mitigated = false;
+  attack::AttackResult result;
+  bool detected = false;     ///< detector flagged the expected class
+  double ttd_events = 0.0;   ///< mean events-to-detect for that class
+  double ttd_rounds = 0.0;
+  std::uint64_t extra_detections = 0;  ///< detections of *other* classes
+};
+
+attack::ScenarioConfig scaled_config(attack::ScenarioKind kind,
+                                     double scale) {
+  attack::ScenarioConfig cfg;
+  cfg.kind = kind;
+  cfg.seed = bench::seed_from_env();
+  // Floors keep every scenario above the detector thresholds (slow-read
+  // needs >= 8 streams over >= 12 rounds, slow-post >= 16 dribbles, the
+  // floods >= 128 frames), so the 1/1000 smoke still detects all classes.
+  cfg.rounds = std::max<std::uint32_t>(
+      24, static_cast<std::uint32_t>(256.0 / scale));
+  cfg.streams = std::max<std::uint32_t>(
+      8, static_cast<std::uint32_t>(32.0 / scale));
+  cfg.frames_per_round = std::max<std::uint32_t>(
+      16, static_cast<std::uint32_t>(32.0 / scale));
+  return cfg;
+}
+
+Cell run_cell(const server::ServerProfile& base, attack::ScenarioKind kind,
+              bool mitigated, double scale) {
+  server::ServerProfile profile = base;
+  if (mitigated) profile.mitigation = server::MitigationPolicy::hardened();
+  core::Target target = core::Target::testbed(profile);
+
+  trace::SequenceDetector detector;
+  target.recorder = &detector;
+
+  Cell cell;
+  cell.profile = base.key;
+  cell.scenario = kind;
+  cell.mitigated = mitigated;
+  cell.result = attack::AttackScenario(scaled_config(kind, scale)).run(target);
+
+  detector.finish();
+  const trace::DetectorReport& report = detector.report();
+  const trace::AttackClass expected = attack::expected_class(kind);
+  cell.detected = report.detections(expected) > 0;
+  cell.ttd_events = report.mean_events_to_detect(expected);
+  cell.ttd_rounds = report.mean_rounds_to_detect(expected);
+  cell.extra_detections =
+      report.total_detections() - report.detections(expected);
+  return cell;
+}
+
+/// Benign control: the full probe battery over a seeded lossy population
+/// with the detector attached to every connection. The expected detection
+/// count is zero — the detector's false-positive bar.
+corpus::ScanReport benign_control() {
+  corpus::ScanOptions opts = bench::scan_options();
+  opts.detect_attacks = true;
+  opts.fault_injection = true;
+  opts.fault_seed = bench::fault_seed_from_env();
+  const auto pop = bench::population_for(corpus::Epoch::kExp2);
+  return corpus::scan_population(pop, opts);
+}
+
+std::string cell_json(const Cell& c) {
+  // All emitted strings are enum names / profile keys: no escaping needed.
+  std::string out = "    {\"profile\":\"" + c.profile + "\"";
+  out += ",\"scenario\":\"" + std::string(to_string(c.scenario)) + "\"";
+  out += ",\"mitigated\":";
+  out += c.mitigated ? "true" : "false";
+  const attack::AttackResult& r = c.result;
+  out += ",\"termination\":\"" + std::string(to_string(r.termination)) + "\"";
+  out += ",\"bounded\":";
+  out += r.bounded() ? "true" : "false";
+  out += ",\"rounds_run\":" + std::to_string(r.rounds_run);
+  out += ",\"frames_sent\":" + std::to_string(r.frames_sent);
+  out += ",\"bytes_c2s\":" + std::to_string(r.bytes_c2s);
+  out += ",\"bytes_s2c\":" + std::to_string(r.bytes_s2c);
+  out += ",\"peak_pinned_octets\":" + std::to_string(r.peak_pinned_octets);
+  out += ",\"peak_active_streams\":" + std::to_string(r.peak_active_streams);
+  out += ",\"final_level\":\"" + std::string(to_string(r.final_level)) + "\"";
+  out += ",\"suspected\":\"" + std::string(to_string(r.suspected)) + "\"";
+  out += ",\"goaway\":\"" +
+         (r.goaway_received ? std::string(h2::to_string(r.goaway_code))
+                            : std::string("none")) +
+         "\"";
+  out += ",\"deadline_hit\":";
+  out += r.deadline_hit ? "true" : "false";
+  out += ",\"detected\":";
+  out += c.detected ? "true" : "false";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ",\"ttd_events\":%.1f", c.ttd_events);
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"ttd_rounds\":%.1f", c.ttd_rounds);
+  out += buf;
+  out += ",\"extra_detections\":" + std::to_string(c.extra_detections);
+  out += "}";
+  return out;
+}
+
+void print_attack_matrix() {
+  const double scale = bench::scale_from_env();
+  std::printf(
+      "\n=== DoS 4: attack x profile x mitigation matrix "
+      "(scale 1/%.0f) ===\n",
+      scale);
+  std::printf("%-10s %-15s %-4s %-19s %-14s %-14s %-9s %-8s\n", "profile",
+              "scenario", "mit", "termination", "level", "pinned-peak",
+              "detected", "ttd-rnd");
+
+  std::vector<Cell> cells;
+  bool all_bounded = true;
+  bool all_detected = true;
+  std::size_t mitigated_contained = 0;
+  for (const server::ServerProfile& profile : server::testbed_profiles()) {
+    for (attack::ScenarioKind kind : attack::all_scenarios()) {
+      for (bool mitigated : {false, true}) {
+        Cell cell = run_cell(profile, kind, mitigated, scale);
+        all_bounded = all_bounded && cell.result.bounded();
+        all_detected = all_detected && cell.detected;
+        if (mitigated &&
+            cell.result.final_level > server::MitigationLevel::kNone) {
+          ++mitigated_contained;
+        }
+        std::printf("%-10s %-15s %-4s %-19s %-14s %-14zu %-9s %-8.1f\n",
+                    cell.profile.c_str(),
+                    std::string(to_string(kind)).c_str(),
+                    mitigated ? "on" : "off",
+                    std::string(to_string(cell.result.termination)).c_str(),
+                    std::string(to_string(cell.result.final_level)).c_str(),
+                    cell.result.peak_pinned_octets,
+                    cell.detected ? "yes" : "NO", cell.ttd_rounds);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  std::printf("\n--- benign control (faulted probe battery, detector on) ---\n");
+  const corpus::ScanReport benign = benign_control();
+  const std::uint64_t benign_detections =
+      benign.attack_detections.total_detections();
+  std::printf(
+      "sites %zu  connections %llu  detections %llu  deadline-hits %llu\n",
+      benign.total_scanned,
+      static_cast<unsigned long long>(benign.attack_detections.connections),
+      static_cast<unsigned long long>(benign_detections),
+      static_cast<unsigned long long>(benign.fault_deadline_hits));
+
+  std::printf(
+      "summary: cells %zu  all-bounded %s  all-detected %s  "
+      "mitigated-contained %zu/%zu  benign-false-positives %llu\n",
+      cells.size(), all_bounded ? "yes" : "NO", all_detected ? "yes" : "NO",
+      mitigated_contained, cells.size() / 2,
+      static_cast<unsigned long long>(benign_detections));
+
+  // ---- JSON ------------------------------------------------------------
+  std::string json = "{\n";
+  char scale_buf[32];
+  std::snprintf(scale_buf, sizeof scale_buf, "%.0f", scale);
+  json += "  \"scale\": " + std::string(scale_buf) + ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    json += cell_json(cells[i]);
+    if (i + 1 < cells.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ],\n";
+  json += "  \"summary\": {\"cells\": " + std::to_string(cells.size()) +
+          ", \"all_bounded\": " + (all_bounded ? "true" : "false") +
+          ", \"all_detected\": " + (all_detected ? "true" : "false") +
+          ", \"mitigated_contained\": " + std::to_string(mitigated_contained) +
+          "},\n";
+  json += "  \"benign\": {\"sites\": " + std::to_string(benign.total_scanned) +
+          ", \"connections\": " +
+          std::to_string(benign.attack_detections.connections) +
+          ", \"detections\": " + std::to_string(benign_detections) +
+          ", \"deadline_hits\": " + std::to_string(benign.fault_deadline_hits) +
+          "}\n";
+  json += "}\n";
+  const char* path_env = std::getenv("H2R_BENCH_JSON");
+  bench::write_file_or_warn(
+      path_env != nullptr ? path_env : "BENCH_attack_matrix.json", json);
+}
+
 void BM_PriorityChurnFlood(benchmark::State& state) {
   // Attack 2: a PRIORITY flood across `n` idle streams; each frame forces a
   // detach/attach (and possibly a §5.3.3 subtree move) in the server tree.
@@ -116,10 +320,7 @@ void BM_SlowReadSetupCost(benchmark::State& state) {
   core::Target t = core::Target::testbed(server::h2o_profile());
   for (auto _ : state) {
     auto server = t.make_server();
-    core::ClientOptions opts;
-    opts.settings = {{h2::SettingId::kInitialWindowSize, 1}};
-    opts.auto_stream_window_update = false;
-    core::ClientConnection client(opts);
+    core::ClientConnection client(core::ClientOptions::slow_read_stance());
     for (int i = 0; i < streams; ++i) {
       client.send_request("/large/" + std::to_string(i % 8));
     }
@@ -136,6 +337,7 @@ BENCHMARK(BM_SlowReadSetupCost)->Arg(8)->Arg(64);
 int main(int argc, char** argv) {
   print_slow_read();
   print_header_bomb();
+  print_attack_matrix();
   std::printf("\n=== DoS 2: priority-churn flood (timed below) ===\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -23,10 +23,8 @@ server::Http2Server victim() {
 void slow_read_attack() {
   std::printf("== Attack 1: slow read (malicious receiver, §V-D1 / [20]) ==\n");
   auto server = victim();
-  core::ClientOptions opts;
-  opts.settings = {{h2::SettingId::kInitialWindowSize, 1}};
-  opts.auto_stream_window_update = false;  // never release anything
-  core::ClientConnection client(opts);
+  // Tiny INITIAL_WINDOW_SIZE, never release anything.
+  core::ClientConnection client(core::ClientOptions::slow_read_stance());
   for (int i = 0; i < 16; ++i) {
     client.send_request("/large/" + std::to_string(i % 8));
   }

@@ -1,0 +1,138 @@
+// The slow-HTTP/2 attack scenario pack (§VI of the paper, taxonomy from
+// "Delays have Dangerous Ends", PAPERS.md).
+//
+// Each scenario is a parameterized adversarial *client* built from the same
+// core::ClientConnection vocabulary the probes use, driven round-by-round
+// over the injectable net::Transport seam. A round injects one batch of
+// attack traffic, pumps the exchange to quiescence under a per-round
+// deadline, then samples the server's resource gauges — so the result
+// records not just *whether* the server survived but the peak state the
+// attack pinned (response octets, live streams, HPACK table occupancy) and
+// the exact frame-clocked point where mitigation engaged.
+//
+// Everything is deterministic: no wall clock, seeded Rng for the churn
+// scenarios, and the transport/mitigation/detector stack all age in rounds
+// or received frames. The same (config, target) pair reproduces the same
+// AttackResult byte-for-byte, which fingerprint() pins across H2R_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/probes.h"
+#include "net/transport.h"
+#include "server/mitigation.h"
+#include "trace/detector.h"
+
+namespace h2r::attack {
+
+/// The runnable scenarios. Two scenarios (PING and SETTINGS floods) map to
+/// one detector class (kControlFlood); the rest map 1:1.
+enum class ScenarioKind : std::uint8_t {
+  kSlowRead = 0,    ///< tiny stream windows, responses pinned forever
+  kSlowPost,        ///< open uploads dribbling 1-octet DATA frames
+  kRapidReset,      ///< request + immediate RST_STREAM churn
+  kPingFlood,       ///< non-ACK PING flood (ack amplification)
+  kSettingsFlood,   ///< empty SETTINGS flood (ack amplification)
+  kPriorityChurn,   ///< seeded PRIORITY flood rebuilding the §5.3 tree
+};
+inline constexpr std::size_t kScenarioCount = 6;
+
+std::string_view to_string(ScenarioKind kind) noexcept;
+
+/// All scenarios, in declaration order (the matrix row order).
+std::vector<ScenarioKind> all_scenarios();
+
+/// The detector/mitigation class this scenario should be classified as.
+trace::AttackClass expected_class(ScenarioKind kind) noexcept;
+
+/// How an attack run ended. Every scenario terminates in exactly one of
+/// these bounded states — there is no "still running" outcome.
+enum class Termination : std::uint8_t {
+  /// The attacker ran out of script (all rounds executed) with the
+  /// connection still up. The interesting fields are then the peaks and the
+  /// final mitigation level (throttle / rst-offenders contain the attack
+  /// without dropping the connection).
+  kAttackerExhausted = 0,
+  /// The server closed the connection with GOAWAY ENHANCE_YOUR_CALM — the
+  /// distinguishable mitigation terminal (server/mitigation.h).
+  kMitigatedGoaway,
+  /// The server closed with any other GOAWAY code (a protocol-error path
+  /// tripped before mitigation did).
+  kErrorGoaway,
+  /// The exchange died below HTTP/2: transport disconnect, per-round
+  /// deadline, or a client-side parse terminal.
+  kConnectionDead,
+};
+
+std::string_view to_string(Termination t) noexcept;
+
+/// Scenario parameters. Defaults are the full-scale bench shape; the CI
+/// smoke divides by H2R_SCALE with floors that keep every scenario above
+/// its detector thresholds (see bench/bench_attack_matrix note).
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kSlowRead;
+  std::uint64_t seed = 1;       ///< churn randomness (PRIORITY deps, PING ids)
+  std::uint32_t rounds = 256;   ///< attack rounds (inject + pump each)
+  std::uint32_t streams = 32;   ///< victim streams (slow-read / slow-post)
+  std::uint32_t tiny_window = 1;     ///< slow-read SETTINGS_INITIAL_WINDOW_SIZE
+  std::uint32_t dribble_bytes = 1;   ///< slow-post DATA chunk octets
+  std::uint32_t frames_per_round = 32;  ///< flood intensity (reset/ping/...)
+  /// Per-round pump deadline — a single round can never hang the harness.
+  net::ExchangeLimits round_limits{.max_rounds = 64,
+                                   .max_bytes = 32ull * 1024 * 1024};
+};
+
+/// What one attack run did and how it was stopped.
+struct AttackResult {
+  ScenarioKind kind = ScenarioKind::kSlowRead;
+  Termination termination = Termination::kAttackerExhausted;
+  std::uint32_t rounds_run = 0;     ///< attack rounds actually executed
+  std::uint64_t frames_sent = 0;    ///< attack frames the client injected
+  std::uint64_t bytes_c2s = 0;
+  std::uint64_t bytes_s2c = 0;
+  /// Server resource peaks over the whole run (gauge high-water marks).
+  std::size_t peak_pinned_octets = 0;
+  std::size_t peak_active_streams = 0;
+  std::size_t peak_decoder_table = 0;
+  /// Where the server's escalation ladder ended (kNone = never engaged).
+  server::MitigationLevel final_level = server::MitigationLevel::kNone;
+  /// The server's own classification of the attack (kNone = unclassified).
+  trace::AttackClass suspected = trace::AttackClass::kNone;
+  /// GOAWAY error code the client received, if any.
+  bool goaway_received = false;
+  h2::ErrorCode goaway_code = h2::ErrorCode::kNoError;
+  bool deadline_hit = false;  ///< some round tripped its pump deadline
+
+  /// True whenever the run ended in a classified, bounded state — the
+  /// acceptance property the matrix asserts for every cell.
+  [[nodiscard]] bool bounded() const noexcept {
+    return termination != Termination::kConnectionDead || !deadline_hit;
+  }
+
+  /// Stable one-line digest of every field above; byte-identical results
+  /// have byte-identical fingerprints (the H2R_THREADS determinism pin).
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Runs one scenario against one target. Stateless apart from the config:
+/// run() builds a fresh server/client/transport triple from the target each
+/// call, so one scenario object can sweep a whole profile matrix.
+class AttackScenario {
+ public:
+  explicit AttackScenario(ScenarioConfig config) : config_(config) {}
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Executes the attack to one of the four bounded terminals.
+  [[nodiscard]] AttackResult run(const core::Target& target) const;
+
+ private:
+  ScenarioConfig config_;
+};
+
+}  // namespace h2r::attack

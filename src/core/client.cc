@@ -22,6 +22,24 @@ std::string_view to_string(ClientTerminal t) noexcept {
   return "unknown";
 }
 
+ClientOptions& ClientOptions::with_initial_window(std::uint32_t window) {
+  for (auto& [id, value] : settings) {
+    if (id == h2::SettingId::kInitialWindowSize) {
+      value = window;
+      return *this;
+    }
+  }
+  settings.emplace_back(h2::SettingId::kInitialWindowSize, window);
+  return *this;
+}
+
+ClientOptions ClientOptions::slow_read_stance(std::uint32_t window) {
+  ClientOptions opts;
+  opts.with_initial_window(window);
+  opts.auto_stream_window_update = false;
+  return opts;
+}
+
 ClientConnection::ClientConnection(ClientOptions options)
     : options_(std::move(options)),
       parser_(h2::kMaxAllowedFrameSize),  // accept whatever the server sends

@@ -81,6 +81,18 @@ struct ClientOptions {
   /// recorded. The server side shares the same sink (see core::Target), so
   /// the recorder sees the full duplex conversation in causal order.
   trace::Recorder* recorder = nullptr;
+
+  /// Replaces (or plants) the SETTINGS_INITIAL_WINDOW_SIZE entry announced
+  /// in the preface. Returns *this for chaining.
+  ClientOptions& with_initial_window(std::uint32_t window);
+
+  /// The slow-read attacker stance (§VI / attack::AttackScenario), promoted
+  /// from the ad-hoc idiom in bench_ablation_dos: announce a tiny per-stream
+  /// window and never replenish stream windows — the client "never reads".
+  /// Connection-window replenishment stays on: the per-stream window is
+  /// already the binding constraint, and starving the connection window too
+  /// would throttle the keep-alive traffic the scenario needs.
+  static ClientOptions slow_read_stance(std::uint32_t window = 1);
 };
 
 class ClientConnection {

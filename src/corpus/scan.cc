@@ -90,7 +90,24 @@ struct Partial {
     trace::VectorRecorder& recorder = ctx.recorder;
     if (wiretap) target.recorder = &recorder;
 
+    // Sequence detection: live when it can be the sink itself, replayed
+    // from the retained trace when the wiretap already owns the sink. The
+    // two paths produce identical reports (tests/detector_test.cc pins
+    // replay == live). Either way detection rides a per-connection sink,
+    // which — like the wiretap — keeps the scan on the sequential path.
+    std::optional<trace::SequenceDetector> detector;
+    if (opts.detect_attacks) {
+      detector.emplace(opts.detector_thresholds);
+      if (!wiretap) target.recorder = &*detector;
+    }
+
     run_probes(target, spec, opts, ctx);
+
+    if (detector) {
+      if (wiretap) detector->observe_all(recorder.events());
+      detector->finish();
+      r.attack_detections.merge(detector->report());
+    }
 
     // Exactly one outcome class per site (precedence: a deadline outranks a
     // disconnect outranks a truncation; anything clean that needed retries
@@ -353,6 +370,7 @@ void ScanReport::merge(const ScanReport& other) {
   for (const auto& [family, metrics] : other.wire_metrics_by_family) {
     wire_metrics_by_family[family].merge(metrics);
   }
+  attack_detections.merge(other.attack_detections);
   // Each site appears exactly once across all workers, so inserting the
   // per-site traces into the ordered map reassembles the same final
   // contents for any H2R_THREADS.

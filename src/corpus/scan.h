@@ -11,6 +11,7 @@
 
 #include "core/probes.h"
 #include "corpus/population.h"
+#include "trace/detector.h"
 #include "trace/metrics.h"
 #include "util/stats.h"
 
@@ -54,6 +55,14 @@ struct ScanOptions {
   double fault_floor = 0.2;
   /// Fresh-connection retry for faulted probes.
   core::RetryPolicy retry;
+  /// Run the trace::SequenceDetector over every probe connection and fold
+  /// the per-site reports into ScanReport::attack_detections. On a benign
+  /// scan (this whole probe battery) the expected detection count is zero —
+  /// the detector's false-positive bar, pinned by tests/detector_test.cc.
+  /// Like the wiretap, detection is per *connection*, so enabling it keeps
+  /// the scan on the sequential (non-coalesced) path.
+  bool detect_attacks = false;
+  trace::DetectorThresholds detector_thresholds;
 };
 
 /// Everything a full scan learns, pre-aggregated.
@@ -116,6 +125,10 @@ struct ScanReport {
   std::map<std::string, trace::MetricsRegistry> wire_metrics_by_family;
   /// host -> annotated JSONL trace (when ScanOptions::wiretap_traces).
   std::map<std::string, std::string> site_traces;
+
+  /// Sequence-detector aggregate over every probe connection (populated
+  /// when ScanOptions::detect_attacks; all-zero flags on a benign scan).
+  trace::DetectorReport attack_detections;
 
   // Per-site scan outcome, from the final (post-retry) attempt of each
   // site's probe sequence. Every site lands in exactly one class, so the

@@ -77,6 +77,18 @@ void Http2Server::reset(std::shared_ptr<const ServerProfile> profile,
   last_round_robin_ = 0;
   cookie_counter_ = 0;
   frames_received_ = 0;
+  pinned_octets_ = 0;
+  peak_pinned_octets_ = 0;
+  last_progress_frame_ = 0;
+  mitigation_level_ = MitigationLevel::kNone;
+  suspected_attack_ = trace::AttackClass::kNone;
+  level_started_frame_ = 0;
+  last_violation_frame_ = 0;
+  window_started_frame_ = 0;
+  resets_in_window_ = 0;
+  control_in_window_ = 0;
+  priority_in_window_ = 0;
+  slow_post_suspect_ = false;
   continuation_stream_.reset();
   continuation_fragment_.clear();
   continuation_end_stream_ = false;
@@ -162,6 +174,9 @@ void Http2Server::on_transport_close(const Status& status) {
   assert(!continuation_stream_.has_value() ||
          *continuation_stream_ <= last_client_stream_id_ ||
          *continuation_stream_ >= 2);
+  // The incremental pinned-octet counter must agree with the O(streams)
+  // recomputation no matter where the fault cut the connection.
+  assert(pinned_octets_ == pending_response_octets());
   dead_ = true;
 }
 
@@ -248,7 +263,10 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
       return;
     }
     ++frames_received_;
+    if (profile_->mitigation.enabled) mitigation_on_frame(next->value());
     on_frame(next->value());
+    if (dead_) return;
+    if (profile_->mitigation.enabled) mitigation_check();
     if (dead_) return;
   }
   pump();
@@ -392,6 +410,17 @@ void Http2Server::complete_headers(std::uint32_t stream_id,
     return stream_error(stream_id, ErrorCode::kRefusedStream);
   }
 
+  if (throttled()) {
+    // Mitigation throttle: the same refusal surface as draining, but coded
+    // ENHANCE_YOUR_CALM so clients (and the trace annotator) can tell
+    // mitigation from protocol errors. Amplification stops — one cheap RST
+    // per attacker HEADERS, no stream state, no response pinned.
+    Stream refused(stream_id, 0, 0);
+    (void)refused.sm.on_recv_headers(end_stream);
+    streams_.emplace(stream_id, std::move(refused));
+    return stream_error(stream_id, ErrorCode::kEnhanceYourCalm);
+  }
+
   // Enforce our advertised SETTINGS_MAX_CONCURRENT_STREAMS: the §V-A probe
   // sets it to 0 or 1 and expects RST_STREAM(REFUSED_STREAM) on overflow.
   if (profile_->max_concurrent_streams &&
@@ -408,6 +437,7 @@ void Http2Server::complete_headers(std::uint32_t stream_id,
     return connection_error(ErrorCode::kProtocolError, "bad HEADERS state");
   }
   stream.request_headers = std::move(decoded).value();
+  stream.opened_at_frame = frames_received_;
   auto [pos, inserted] = streams_.emplace(stream_id, std::move(stream));
 
   // Request body still to come: make sure the client can actually send it.
@@ -495,6 +525,9 @@ void Http2Server::handle_priority(const h2::FrameView& frame) {
   if (frame.stream_id == 0) {
     return connection_error(ErrorCode::kProtocolError, "PRIORITY on stream 0");
   }
+  // Under mitigation throttle PRIORITY is advisory noise: tree operations
+  // (the CPU the churn attack burns) are suppressed.
+  if (throttled()) return;
   apply_priority_signal(frame.stream_id, *frame.priority,
                         /*from_headers=*/false);
 }
@@ -550,6 +583,10 @@ void Http2Server::handle_settings(const h2::FrameView& frame) {
       recorder_->record(std::move(ev));
     }
   }
+  // Settings are always *applied* (ignoring them would desynchronize flow
+  // control), but under throttle the ACK — the flood's amplification — is
+  // withheld.
+  if (throttled()) return;
   send_frame(h2::make_settings_ack());
 }
 
@@ -558,6 +595,9 @@ void Http2Server::handle_ping(const h2::FrameView& frame) {
     return connection_error(ErrorCode::kProtocolError, "PING on a stream");
   }
   if (frame.has_flag(h2::flags::kAck)) return;
+  // Under mitigation throttle PING replies are dropped: the reflection is
+  // exactly what a control-frame flood amplifies.
+  if (throttled()) return;
   // §6.7: respond with an identical payload, ACK set, at high priority —
   // PINGs bypass the response scheduler entirely.
   std::array<std::uint8_t, 8> opaque{};
@@ -642,6 +682,7 @@ void Http2Server::start_response(Stream& stream) {
     stream.resource = nullptr;
     stream.response_headers = std::move(headers);
     stream.response_ready = true;
+    pin_octets(stream.body_size);
     return;
   }
   if (stream.resource != nullptr) {
@@ -668,6 +709,7 @@ void Http2Server::start_response(Stream& stream) {
   }
   stream.response_headers = std::move(headers);
   stream.response_ready = true;
+  pin_octets(stream.body_size);
 }
 
 void Http2Server::maybe_push(Stream& parent) {
@@ -849,6 +891,8 @@ void Http2Server::serve_one(std::uint32_t stream_id) {
 
   const std::size_t offset = s.body_offset;
   s.body_offset += chunk;
+  unpin_octets(chunk);
+  last_progress_frame_ = frames_received_;  // delivery = slow-read progress
   (void)s.send_window.consume(static_cast<std::int64_t>(chunk));
   (void)conn_send_window_.consume(static_cast<std::int64_t>(chunk));
   if (scheduler_uses_tree(profile_->scheduler)) {
@@ -1017,11 +1061,174 @@ void Http2Server::connection_error(ErrorCode code, std::string debug) {
 void Http2Server::close_stream(std::uint32_t stream_id) {
   auto it = streams_.find(stream_id);
   if (it != streams_.end()) {
+    if (it->second.response_ready) {
+      unpin_octets(it->second.body_size - it->second.body_offset);
+    }
     it->second.response_ready = false;
     it->second.body_offset = it->second.body_size;
   }
   tree_.remove(stream_id);
   if (draining_ && active_stream_count() == 0) dead_ = true;
+}
+
+// -------------------------------------------------------------- mitigation
+
+void Http2Server::pin_octets(std::size_t n) {
+  pinned_octets_ += n;
+  if (pinned_octets_ > peak_pinned_octets_) peak_pinned_octets_ = pinned_octets_;
+}
+
+void Http2Server::unpin_octets(std::size_t n) {
+  assert(n <= pinned_octets_);
+  pinned_octets_ -= n;
+}
+
+void Http2Server::mitigation_on_frame(const h2::FrameView& frame) {
+  const MitigationPolicy& pol = profile_->mitigation;
+  if (frames_received_ - window_started_frame_ >= pol.window_frames) {
+    window_started_frame_ = frames_received_;
+    resets_in_window_ = 0;
+    control_in_window_ = 0;
+    priority_in_window_ = 0;
+  }
+  switch (frame.type()) {
+    case FrameType::kRstStream:
+      ++resets_in_window_;
+      break;
+    case FrameType::kPing:
+    case FrameType::kSettings:
+      if (!frame.has_flag(h2::flags::kAck)) ++control_in_window_;
+      break;
+    case FrameType::kPriority:
+      ++priority_in_window_;
+      break;
+    default:
+      break;
+  }
+  // The one O(streams) check, amortized to every 32nd frame: an upload
+  // stream older than the age budget that delivered almost nothing is a
+  // slow-POST dribble. Ages are in received frames, so transport stalls
+  // (which deliver no frames) age nothing.
+  if (pol.slow_post_age_frames != 0 && (frames_received_ & 31u) == 0) {
+    slow_post_suspect_ = false;
+    for (const auto& [id, s] : streams_) {
+      if (s.sm.closed() || s.response_ready || s.is_push) continue;
+      if (frames_received_ - s.opened_at_frame > pol.slow_post_age_frames &&
+          s.uploaded_bytes < pol.slow_post_min_bytes) {
+        slow_post_suspect_ = true;
+        break;
+      }
+    }
+  }
+}
+
+trace::AttackClass Http2Server::mitigation_violation() const {
+  const MitigationPolicy& pol = profile_->mitigation;
+  // Pinned octets alone are not a violation — benign bulk transfers pin
+  // megabytes transiently. The slow-read signature is pinned octets *and*
+  // no delivery progress for a sustained stretch of received frames.
+  if (pol.max_pinned_octets != 0 && pinned_octets_ > pol.max_pinned_octets &&
+      frames_received_ - last_progress_frame_ > pol.slow_read_stall_frames) {
+    return trace::AttackClass::kSlowRead;
+  }
+  if (slow_post_suspect_) return trace::AttackClass::kSlowPost;
+  if (pol.max_resets_per_window != 0 &&
+      resets_in_window_ > pol.max_resets_per_window) {
+    return trace::AttackClass::kRapidReset;
+  }
+  if (pol.max_control_per_window != 0 &&
+      control_in_window_ > pol.max_control_per_window) {
+    return trace::AttackClass::kControlFlood;
+  }
+  if (pol.max_priority_per_window != 0 &&
+      priority_in_window_ > pol.max_priority_per_window) {
+    return trace::AttackClass::kPriorityChurn;
+  }
+  return trace::AttackClass::kNone;
+}
+
+void Http2Server::mitigation_check() {
+  const MitigationPolicy& pol = profile_->mitigation;
+  const trace::AttackClass cls = mitigation_violation();
+  if (cls == trace::AttackClass::kNone) {
+    // Graceful release — from throttle only, and only after the violation
+    // has stayed clear for two full rate windows (the per-window counters
+    // read as clear right after every window roll; a shorter quiet bar
+    // would flap mid-attack and never escalate).
+    if (mitigation_level_ == MitigationLevel::kThrottle &&
+        frames_received_ - last_violation_frame_ >= 2 * pol.window_frames) {
+      mitigation_level_ = MitigationLevel::kNone;
+      note_mitigation(MitigationLevel::kNone, suspected_attack_);
+      suspected_attack_ = trace::AttackClass::kNone;
+    }
+    return;
+  }
+  last_violation_frame_ = frames_received_;
+  switch (mitigation_level_) {
+    case MitigationLevel::kNone:
+      mitigation_level_ = MitigationLevel::kThrottle;
+      suspected_attack_ = cls;
+      level_started_frame_ = frames_received_;
+      note_mitigation(MitigationLevel::kThrottle, cls);
+      return;
+    case MitigationLevel::kThrottle:
+      if (frames_received_ - level_started_frame_ < pol.escalation_patience) {
+        return;
+      }
+      mitigation_level_ = MitigationLevel::kRstOffenders;
+      level_started_frame_ = frames_received_;
+      note_mitigation(MitigationLevel::kRstOffenders, cls);
+      rst_offenders(cls);
+      return;
+    case MitigationLevel::kRstOffenders:
+      if (frames_received_ - level_started_frame_ < pol.escalation_patience) {
+        return;
+      }
+      mitigation_level_ = MitigationLevel::kGoaway;
+      note_mitigation(MitigationLevel::kGoaway, suspected_attack_);
+      connection_error(
+          ErrorCode::kEnhanceYourCalm,
+          "mitigation=" + std::string(trace::to_string(suspected_attack_)));
+      return;
+    case MitigationLevel::kGoaway:
+      return;
+  }
+}
+
+void Http2Server::rst_offenders(trace::AttackClass cls) {
+  const MitigationPolicy& pol = profile_->mitigation;
+  std::vector<std::uint32_t> victims;
+  for (const auto& [id, s] : streams_) {
+    if (s.sm.closed()) continue;
+    if (cls == trace::AttackClass::kSlowRead) {
+      // Streams holding undeliverable response octets — resetting them
+      // releases exactly what the attacker pinned.
+      if (s.response_ready && s.body_offset < s.body_size) victims.push_back(id);
+    } else if (cls == trace::AttackClass::kSlowPost) {
+      if (!s.response_ready && !s.is_push &&
+          frames_received_ - s.opened_at_frame > pol.slow_post_age_frames &&
+          s.uploaded_bytes < pol.slow_post_min_bytes) {
+        victims.push_back(id);
+      }
+    }
+    // Flood classes have no stream-scoped offenders; this stage is a
+    // patience interval before GOAWAY.
+  }
+  for (const std::uint32_t id : victims) {
+    stream_error(id, ErrorCode::kEnhanceYourCalm);
+  }
+}
+
+void Http2Server::note_mitigation(MitigationLevel level,
+                                  trace::AttackClass cls) {
+  if (recorder_ == nullptr) return;
+  trace::TraceEvent ev;
+  ev.dir = trace::Direction::kServerToClient;
+  ev.kind = trace::EventKind::kMitigation;
+  ev.detail_a = static_cast<std::uint32_t>(level);
+  ev.detail_b = static_cast<std::uint32_t>(cls);
+  ev.note = trace::to_string(cls);
+  recorder_->record(std::move(ev));
 }
 
 }  // namespace h2r::server

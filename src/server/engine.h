@@ -25,6 +25,7 @@
 #include "h2/stream.h"
 #include "hpack/decoder.h"
 #include "hpack/encoder.h"
+#include "server/mitigation.h"
 #include "server/profile.h"
 #include "net/upgrade.h"
 #include "server/site.h"
@@ -125,6 +126,24 @@ class Http2Server {
     return decoder_.table().size_octets();
   }
 
+  // ---- mitigation introspection -----------------------------------------
+  /// O(1) incremental twin of pending_response_octets() (asserted equal on
+  /// the transport-close path) — what the mitigation slow-read budget reads
+  /// after every frame — plus its connection-lifetime high-water mark.
+  [[nodiscard]] std::size_t pinned_response_octets() const noexcept {
+    return pinned_octets_;
+  }
+  [[nodiscard]] std::size_t peak_pinned_octets() const noexcept {
+    return peak_pinned_octets_;
+  }
+  [[nodiscard]] MitigationLevel mitigation_level() const noexcept {
+    return mitigation_level_;
+  }
+  /// Attack class that first engaged mitigation (kNone when it never did).
+  [[nodiscard]] trace::AttackClass suspected_attack() const noexcept {
+    return suspected_attack_;
+  }
+
  private:
   struct Stream {
     Stream(std::uint32_t id, std::int64_t send_window, std::int64_t recv_window)
@@ -145,6 +164,7 @@ class Http2Server {
     bool zero_length_emitted = false;
     bool stalled = false;  ///< SmallWindowBehavior::kStall engaged
     bool stall_traced = false;  ///< open kWindowStall event for this stream
+    std::size_t opened_at_frame = 0;  ///< frames_received_ at creation
   };
 
   // -- frame dispatch (zero-copy: views alias the parser buffer) ----------
@@ -195,6 +215,22 @@ class Http2Server {
   void send_data_direct(std::uint32_t stream_id, const Resource* resource,
                         std::size_t offset, std::size_t chunk, bool end_stream);
 
+  // -- mitigation ---------------------------------------------------------
+  void pin_octets(std::size_t n);
+  void unpin_octets(std::size_t n);
+  [[nodiscard]] bool throttled() const noexcept {
+    return mitigation_level_ >= MitigationLevel::kThrottle;
+  }
+  /// Pre-dispatch per-frame accounting: rolls the rate window, bumps the
+  /// per-axis counters, refreshes the amortized slow-POST scan.
+  void mitigation_on_frame(const h2::FrameView& frame);
+  /// Post-dispatch budget check + escalation / release state machine.
+  void mitigation_check();
+  [[nodiscard]] trace::AttackClass mitigation_violation() const;
+  /// Level-2 response: reset the streams pinning resources for @p cls.
+  void rst_offenders(trace::AttackClass cls);
+  void note_mitigation(MitigationLevel level, trace::AttackClass cls);
+
   // -- wiretap ------------------------------------------------------------
   /// encoder_.encode with HPACK table-churn trace events (s2c blocks). Only
   /// the encoding endpoint records churn; the peer's decoder replays the
@@ -227,6 +263,22 @@ class Http2Server {
   std::uint32_t last_round_robin_ = 0;
   std::uint64_t cookie_counter_ = 0;
   std::size_t frames_received_ = 0;
+
+  // Mitigation state (see server/mitigation.h). The pinned-octet pair is
+  // maintained unconditionally (two adds per response lifecycle); the rest
+  // only moves when profile_->mitigation.enabled.
+  std::size_t pinned_octets_ = 0;
+  std::size_t peak_pinned_octets_ = 0;
+  std::size_t last_progress_frame_ = 0;  ///< frames_received_ at last delivery
+  MitigationLevel mitigation_level_ = MitigationLevel::kNone;
+  trace::AttackClass suspected_attack_ = trace::AttackClass::kNone;
+  std::size_t level_started_frame_ = 0;
+  std::size_t last_violation_frame_ = 0;
+  std::size_t window_started_frame_ = 0;
+  std::uint32_t resets_in_window_ = 0;
+  std::uint32_t control_in_window_ = 0;
+  std::uint32_t priority_in_window_ = 0;
+  bool slow_post_suspect_ = false;  ///< amortized O(streams) scan result
 
   // CONTINUATION reassembly state.
   std::optional<std::uint32_t> continuation_stream_;

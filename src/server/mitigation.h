@@ -1,0 +1,104 @@
+// Server-side slow-HTTP/2 mitigation policy.
+//
+// §VI of the paper warns that flow-control windows, PRIORITY trees and
+// HPACK tables are DoS amplifiers; a server that implements them naively
+// pins memory (response octets accepted but undeliverable) or burns CPU
+// (control-frame and reset churn) linearly in attacker effort. The
+// MitigationPolicy gives server::Http2Server per-connection budgets over
+// exactly those axes and a graceful escalation ladder:
+//
+//   kThrottle      new streams refused (REFUSED_STREAM), PING replies and
+//                  PRIORITY tree operations suppressed — attack amplification
+//                  stops but the connection and its in-flight work survive.
+//   kRstOffenders  the streams pinning resources are reset with
+//                  ENHANCE_YOUR_CALM, releasing the pinned octets.
+//   kGoaway        the connection is closed with GOAWAY ENHANCE_YOUR_CALM
+//                  and debug data naming the suspected attack class.
+//
+// ENHANCE_YOUR_CALM (0xb) is used for every mitigation frame so clients —
+// and the trace annotator (trace/annotate.h) — can distinguish mitigation
+// from protocol-error reactions; Table III quirk derivation skips these
+// frames entirely. Escalation is clocked in *received frames*, never wall
+// time, so mitigation behaviour is deterministic and unaffected by
+// transport stalls (a FaultyTransport stall delivers no frames, so it ages
+// nothing).
+//
+// The policy is disabled by default: every existing profile behaves exactly
+// as before unless a caller opts in (profile.mitigation = hardened()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "trace/detector.h"  // trace::AttackClass — shared taxonomy
+
+namespace h2r::server {
+
+/// Escalation ladder, in order. Numeric values appear in kMitigation trace
+/// events (detail_a) and in bench output.
+enum class MitigationLevel : std::uint8_t {
+  kNone = 0,
+  kThrottle = 1,
+  kRstOffenders = 2,
+  kGoaway = 3,
+};
+
+inline std::string_view to_string(MitigationLevel level) noexcept {
+  switch (level) {
+    case MitigationLevel::kNone:
+      return "none";
+    case MitigationLevel::kThrottle:
+      return "throttle";
+    case MitigationLevel::kRstOffenders:
+      return "rst-offenders";
+    case MitigationLevel::kGoaway:
+      return "goaway";
+  }
+  return "?";
+}
+
+/// Per-connection resource budgets. A budget of 0 disables that axis.
+/// Defaults are calibrated against the benign probe battery: normal scans
+/// never trip any of them (pinned by tests/attack_test.cc), while each
+/// attack scenario trips its axis within a bounded number of frames.
+struct MitigationPolicy {
+  bool enabled = false;
+
+  /// Received-frame window over which the rate budgets below apply; the
+  /// per-window counters reset every window_frames frames.
+  std::uint32_t window_frames = 1024;
+  /// Frames a violating connection is given at each escalation level before
+  /// the next one engages (and before a throttle is released once the
+  /// violation subsides).
+  std::uint32_t escalation_patience = 48;
+
+  /// Slow-read axis: response octets accepted-but-undeliverable. The budget
+  /// trips only when the connection has also made *no* delivery progress
+  /// for slow_read_stall_frames received frames — benign bulk transfers pin
+  /// megabytes transiently but progress every round.
+  std::size_t max_pinned_octets = 256 * 1024;
+  std::uint32_t slow_read_stall_frames = 48;
+
+  /// Rapid-reset axis: client RST_STREAMs per window.
+  std::uint32_t max_resets_per_window = 128;
+  /// Control-flood axis: non-ACK PING + SETTINGS per window.
+  std::uint32_t max_control_per_window = 256;
+  /// Priority-churn axis: PRIORITY frames per window.
+  std::uint32_t max_priority_per_window = 256;
+
+  /// Slow-POST axis: an upload stream older than this many received frames
+  /// that has delivered fewer than slow_post_min_bytes is a dribble.
+  /// (Scanned every 32 frames — the one O(streams) check.)
+  std::uint32_t slow_post_age_frames = 512;
+  std::size_t slow_post_min_bytes = 4096;
+
+  /// Enabled policy with the default budgets.
+  static MitigationPolicy hardened() {
+    MitigationPolicy p;
+    p.enabled = true;
+    return p;
+  }
+};
+
+}  // namespace h2r::server

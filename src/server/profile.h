@@ -14,6 +14,7 @@
 
 #include "hpack/encoder.h"
 #include "net/alpn.h"
+#include "server/mitigation.h"
 
 namespace h2r::server {
 
@@ -98,6 +99,11 @@ struct ServerProfile {
   // ---- HPACK ------------------------------------------------------------
   hpack::IndexingPolicy response_indexing = hpack::IndexingPolicy::kAggressive;
   bool use_huffman = true;
+
+  // ---- DoS mitigation ---------------------------------------------------
+  /// Disabled by default: the Table III testbed profiles reproduce the
+  /// paper's (unhardened) servers. The attack matrix enables it per copy.
+  MitigationPolicy mitigation;
 };
 
 /// The six testbed profiles of Table III, version-matched to the paper.

@@ -31,6 +31,17 @@ bool goaway_has_debug(const TraceEvent& ev) {
   return ev.note.find(':') != std::string::npos;
 }
 
+// Mitigation reactions (server::MitigationPolicy) are coded
+// ENHANCE_YOUR_CALM so the quirk passes can tell them apart from genuine
+// protocol reactions and leave the Table III derivation untouched.
+bool is_mitigation_frame(const TraceEvent& ev) {
+  return ev.kind == EventKind::kFrame &&
+         ev.dir == Direction::kServerToClient &&
+         (ev.frame_type == static_cast<std::uint8_t>(FrameType::kRstStream) ||
+          ev.frame_type == static_cast<std::uint8_t>(FrameType::kGoaway)) &&
+         ev.detail_a == static_cast<std::uint32_t>(h2::ErrorCode::kEnhanceYourCalm);
+}
+
 /// How the server reacted to a client-side protocol trigger.
 enum class Reaction { kNone, kRst, kGoaway, kGoawayDebug };
 
@@ -48,6 +59,7 @@ class SegmentAnnotator {
     annotate_data_budget();
     annotate_priority_order();
     annotate_hpack_indexing();
+    annotate_mitigation();
   }
 
  private:
@@ -57,10 +69,12 @@ class SegmentAnnotator {
   }
 
   /// First server reaction recorded after @p trigger: an RST_STREAM on
-  /// @p stream (when stream-scoped) or any GOAWAY.
+  /// @p stream (when stream-scoped) or any GOAWAY. ENHANCE_YOUR_CALM frames
+  /// are mitigation, not a reaction to the probe trigger, and are skipped.
   Reaction reaction_after(std::size_t trigger, std::uint32_t stream) const {
     for (std::size_t i = trigger + 1; i < end_; ++i) {
       const TraceEvent& ev = events_[i];
+      if (is_mitigation_frame(ev)) continue;
       if (stream != 0 &&
           is_frame(ev, Direction::kServerToClient, FrameType::kRstStream) &&
           ev.stream_id == stream) {
@@ -184,7 +198,8 @@ class SegmentAnnotator {
     if (!zero_window && !tiny_window) return;
     bool any_goaway = false;
     for (std::size_t i = begin_; i < end_; ++i) {
-      if (is_frame(events_[i], Direction::kServerToClient, FrameType::kGoaway)) {
+      if (is_frame(events_[i], Direction::kServerToClient, FrameType::kGoaway) &&
+          !is_mitigation_frame(events_[i])) {
         any_goaway = true;
       }
     }
@@ -214,7 +229,8 @@ class SegmentAnnotator {
       if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kHeaders)) {
         st.response_headers = true;
       }
-      if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kRstStream)) {
+      if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kRstStream) &&
+          !is_mitigation_frame(ev)) {
         st.reset = true;
       }
       if (tiny_window &&
@@ -328,7 +344,10 @@ class SegmentAnnotator {
         closed.insert(ev.stream_id);
         continue;
       }
-      if (type == FrameType::kGoaway) break;
+      if (type == FrameType::kGoaway) {
+        if (is_mitigation_frame(ev)) continue;
+        break;
+      }
       const bool ends_stream = (type == FrameType::kData ||
                                 type == FrameType::kHeaders) &&
                                (ev.flags & h2::flags::kEndStream) != 0;
@@ -372,6 +391,35 @@ class SegmentAnnotator {
     }
     if (response_blocks >= 2 && inserts == 0) {
       tag(events_[last_headers], tags::kHpackNoDynamicIndexing);
+    }
+  }
+
+  // Mitigation annotation class: ENHANCE_YOUR_CALM frames and kMitigation
+  // escalation events get their own tags (never the quirk tags above).
+  void annotate_mitigation() {
+    for (std::size_t i = begin_; i < end_; ++i) {
+      TraceEvent& ev = events_[i];
+      if (ev.kind == EventKind::kMitigation) {
+        switch (ev.detail_a) {
+          case 0:
+            tag(ev, tags::kMitigationRelease);
+            break;
+          case 1:
+            tag(ev, tags::kMitigationThrottle);
+            break;
+          case 2:
+            tag(ev, tags::kMitigationRst);
+            break;
+          default:
+            tag(ev, tags::kMitigationGoaway);
+            break;
+        }
+        continue;
+      }
+      if (!is_mitigation_frame(ev)) continue;
+      tag(ev, ev.frame_type == static_cast<std::uint8_t>(FrameType::kGoaway)
+                  ? tags::kMitigationGoaway
+                  : tags::kMitigationRst);
     }
   }
 

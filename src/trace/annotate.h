@@ -81,6 +81,15 @@ inline constexpr const char* kPriorityInversion = "priority-inversion";
 inline constexpr const char* kHpackNoDynamicIndexing =
     "hpack-no-dynamic-indexing";
 
+// Mitigation annotation class: server::MitigationPolicy reactions, carried
+// on ENHANCE_YOUR_CALM-coded frames and kMitigation escalation events. The
+// quirk passes above skip these frames entirely so a mitigation-enabled
+// profile derives the same Table III row as its unmitigated twin.
+inline constexpr const char* kMitigationThrottle = "mitigation-throttle";
+inline constexpr const char* kMitigationRst = "mitigation-rst";
+inline constexpr const char* kMitigationGoaway = "mitigation-goaway";
+inline constexpr const char* kMitigationRelease = "mitigation-release";
+
 }  // namespace tags
 
 /// Scans @p events connection by connection, appends violation tags to the

@@ -1,0 +1,236 @@
+#include "trace/detector.h"
+
+#include <cstdio>
+
+#include "h2/constants.h"
+
+namespace h2r::trace {
+namespace {
+
+using h2::FrameType;
+
+// Settings identifier for SETTINGS_INITIAL_WINDOW_SIZE (RFC 7540 §6.5.2).
+constexpr std::uint32_t kInitialWindowSizeId = 4;
+
+constexpr AttackClass kReportedClasses[] = {
+    AttackClass::kSlowRead,    AttackClass::kSlowPost,
+    AttackClass::kRapidReset,  AttackClass::kControlFlood,
+    AttackClass::kPriorityChurn,
+};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_ttd(std::string& out, const char* name, const Histogram& hist) {
+  out += '"';
+  out += name;
+  out += "\":{\"count\":";
+  append_u64(out, hist.count());
+  out += ",\"sum\":";
+  append_u64(out, hist.sum());
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ",\"mean\":%.3f}", hist.mean());
+  out += buf;
+}
+
+}  // namespace
+
+std::string_view to_string(AttackClass cls) noexcept {
+  switch (cls) {
+    case AttackClass::kNone:
+      return "none";
+    case AttackClass::kSlowRead:
+      return "slow-read";
+    case AttackClass::kSlowPost:
+      return "slow-post";
+    case AttackClass::kRapidReset:
+      return "rapid-reset";
+    case AttackClass::kControlFlood:
+      return "control-flood";
+    case AttackClass::kPriorityChurn:
+      return "priority-churn";
+  }
+  return "?";
+}
+
+void DetectorReport::merge(const DetectorReport& other) {
+  connections += other.connections;
+  for (std::size_t i = 0; i < kAttackClassCount; ++i) {
+    flagged[i] += other.flagged[i];
+    events_to_detect[i].merge(other.events_to_detect[i]);
+    rounds_to_detect[i].merge(other.rounds_to_detect[i]);
+  }
+}
+
+std::uint64_t DetectorReport::total_detections() const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t i = 1; i < kAttackClassCount; ++i) n += flagged[i];
+  return n;
+}
+
+std::string DetectorReport::to_json() const {
+  std::string out;
+  out.reserve(512);
+  out += "{\"connections\":";
+  append_u64(out, connections);
+  out += ",\"total_detections\":";
+  append_u64(out, total_detections());
+  out += ",\"classes\":{";
+  bool first = true;
+  for (const AttackClass cls : kReportedClasses) {
+    const auto i = static_cast<std::size_t>(cls);
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += to_string(cls);
+    out += "\":{\"flagged\":";
+    append_u64(out, flagged[i]);
+    out += ',';
+    append_ttd(out, "events_to_detect", events_to_detect[i]);
+    out += ',';
+    append_ttd(out, "rounds_to_detect", rounds_to_detect[i]);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void SequenceDetector::observe(const TraceEvent& ev) {
+  if (ev.kind == EventKind::kConnectionStart) {
+    fold_connection();
+    saw_connection_ = true;
+    return;
+  }
+  saw_connection_ = true;
+  ++conn_events_;
+
+  switch (ev.kind) {
+    case EventKind::kRoundMark:
+      ++rounds_;
+      // Slow-read is the one rule whose clock is rounds, not frames: many
+      // tiny-window request streams held open with stream replenishment
+      // withheld. Evaluated on round boundaries.
+      if (!fired_[static_cast<std::size_t>(AttackClass::kSlowRead)] &&
+          any_request_ && client_iws_ < thresholds_.tiny_window &&
+          request_streams_ >= thresholds_.slow_read_min_streams &&
+          stream_window_updates_ == 0 &&
+          rounds_ - first_request_round_ >= thresholds_.slow_read_min_rounds) {
+        flag(AttackClass::kSlowRead);
+      }
+      return;
+    case EventKind::kSettingsApplied:
+      if (ev.dir == Direction::kClientToServer &&
+          ev.detail_a == kInitialWindowSizeId) {
+        client_iws_ = ev.detail_b;
+      }
+      return;
+    case EventKind::kFrame:
+      break;
+    default:
+      return;
+  }
+  if (ev.dir != Direction::kClientToServer) return;
+
+  switch (static_cast<FrameType>(ev.frame_type)) {
+    case FrameType::kHeaders: {
+      ++request_streams_;
+      if (!any_request_) {
+        any_request_ = true;
+        first_request_round_ = rounds_;
+      }
+      if ((ev.flags & h2::flags::kEndStream) == 0) {
+        uploads_.try_emplace(ev.stream_id,
+                             UploadState{rounds_, rounds_, 0, false});
+      }
+      break;
+    }
+    case FrameType::kData: {
+      auto it = uploads_.find(ev.stream_id);
+      if (it == uploads_.end()) break;
+      if ((ev.flags & h2::flags::kEndStream) != 0) {
+        uploads_.erase(it);  // upload completed normally
+        break;
+      }
+      UploadState& up = it->second;
+      up.last_round = rounds_;
+      if (ev.detail_a <= thresholds_.slow_post_max_chunk) {
+        ++up.dribble_frames;
+      } else {
+        up.oversized = true;
+      }
+      if (!fired_[static_cast<std::size_t>(AttackClass::kSlowPost)] &&
+          !up.oversized &&
+          up.dribble_frames >= thresholds_.slow_post_min_frames &&
+          up.last_round - up.first_round >= thresholds_.slow_post_min_rounds) {
+        flag(AttackClass::kSlowPost);
+      }
+      break;
+    }
+    case FrameType::kRstStream:
+      ++client_resets_;
+      uploads_.erase(ev.stream_id);
+      if (!fired_[static_cast<std::size_t>(AttackClass::kRapidReset)] &&
+          client_resets_ >= thresholds_.rapid_reset_min) {
+        flag(AttackClass::kRapidReset);
+      }
+      break;
+    case FrameType::kPing:
+    case FrameType::kSettings:
+      if ((ev.flags & h2::flags::kAck) != 0) break;
+      ++control_frames_;
+      if (!fired_[static_cast<std::size_t>(AttackClass::kControlFlood)] &&
+          control_frames_ >= thresholds_.control_flood_min) {
+        flag(AttackClass::kControlFlood);
+      }
+      break;
+    case FrameType::kPriority:
+      ++priority_frames_;
+      if (!fired_[static_cast<std::size_t>(AttackClass::kPriorityChurn)] &&
+          priority_frames_ >= thresholds_.priority_churn_min) {
+        flag(AttackClass::kPriorityChurn);
+      }
+      break;
+    case FrameType::kWindowUpdate:
+      if (ev.stream_id != 0) ++stream_window_updates_;
+      break;
+    default:
+      break;
+  }
+}
+
+void SequenceDetector::flag(AttackClass cls) {
+  fired_[static_cast<std::size_t>(cls)] = true;
+  live_.push_back(Detection{cls, conn_events_, rounds_});
+}
+
+void SequenceDetector::fold_connection() {
+  if (!saw_connection_) return;
+  ++report_.connections;
+  for (const Detection& d : live_) {
+    const auto i = static_cast<std::size_t>(d.cls);
+    ++report_.flagged[i];
+    report_.events_to_detect[i].add(d.events_to_detect);
+    report_.rounds_to_detect[i].add(d.rounds_to_detect);
+  }
+  live_.clear();
+  saw_connection_ = false;
+  conn_events_ = 0;
+  rounds_ = 0;
+  client_iws_ = 65535;
+  request_streams_ = 0;
+  first_request_round_ = 0;
+  any_request_ = false;
+  stream_window_updates_ = 0;
+  client_resets_ = 0;
+  control_frames_ = 0;
+  priority_frames_ = 0;
+  uploads_.clear();
+  fired_ = {};
+}
+
+void SequenceDetector::finish() { fold_connection(); }
+
+}  // namespace h2r::trace

@@ -65,6 +65,8 @@ std::string_view to_string(EventKind k) noexcept {
       return "hpack-evict";
     case EventKind::kFault:
       return "fault";
+    case EventKind::kMitigation:
+      return "mitigation";
   }
   return "?";
 }

@@ -40,6 +40,8 @@ enum class EventKind : std::uint8_t {
   kHpackEvict,       ///< dynamic-table evictions while coding a block (a = n)
   kFault,            ///< transport injected a delivery fault (`note` = kind,
                      ///< a = octet offset, b = per-kind detail)
+  kMitigation,       ///< server mitigation escalation step (a = level,
+                     ///< b = suspected attack class, `note` = class name)
 };
 
 std::string_view to_string(Direction d) noexcept;

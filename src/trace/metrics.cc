@@ -98,6 +98,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   window_stalls += other.window_stalls;
   parse_errors += other.parse_errors;
   faults_injected += other.faults_injected;
+  mitigation_events += other.mitigation_events;
   for (const auto& [tag, n] : other.violation_tags) violation_tags[tag] += n;
   frame_size.merge(other.frame_size);
   stream_wire_bytes.merge(other.stream_wire_bytes);
@@ -153,6 +154,10 @@ std::string MetricsRegistry::to_json() const {
   if (faults_injected != 0) {
     out += ",\"faults_injected\":";
     append_u64(out, faults_injected);
+  }
+  if (mitigation_events != 0) {
+    out += ",\"mitigation_events\":";
+    append_u64(out, mitigation_events);
   }
   out += ",\"violations\":{";
   bool first = true;
@@ -211,6 +216,11 @@ std::string MetricsRegistry::to_text() const {
                   static_cast<unsigned long long>(faults_injected));
     out += buf;
   }
+  if (mitigation_events != 0) {
+    std::snprintf(buf, sizeof buf, "  mitigation escalations %llu\n",
+                  static_cast<unsigned long long>(mitigation_events));
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf,
                 "  frame size mean %.1fB; stream wire bytes mean %.1fB; "
                 "compression ratio mean %.2f (%llu conns); stall span mean "
@@ -255,6 +265,9 @@ void MetricsRecorder::on_event(const TraceEvent& ev) {
       return;
     case EventKind::kFault:
       ++registry_.faults_injected;
+      return;
+    case EventKind::kMitigation:
+      ++registry_.mitigation_events;
       return;
     case EventKind::kWindowStall:
       ++registry_.window_stalls;

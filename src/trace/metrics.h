@@ -68,6 +68,7 @@ struct MetricsRegistry {
   std::uint64_t window_stalls = 0;
   std::uint64_t parse_errors = 0;
   std::uint64_t faults_injected = 0;  ///< transport faults (EventKind::kFault)
+  std::uint64_t mitigation_events = 0;  ///< escalations (EventKind::kMitigation)
   /// Violation-annotator tag counts (tag -> occurrences).
   std::map<std::string, std::uint64_t> violation_tags;
 

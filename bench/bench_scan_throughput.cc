@@ -13,7 +13,10 @@
 // BENCH_scan_throughput.json in the working directory; override with
 // H2R_BENCH_JSON. H2R_SCALE / H2R_SEED / H2R_THREADS apply as in every
 // other bench; H2R_COALESCE=0 pins the scan_epoch2_coalesced row (and any
-// other coalesce-capable scan) sequential. H2R_TRACE_OUT=<path>
+// other coalesce-capable scan) sequential, H2R_EVENT_LOOP=0 pins the
+// scan_epoch2_faulted_async row on the historical one-site-per-worker
+// driver (the other scan rows are pinned sequential in code so their
+// trajectories keep measuring the same work). H2R_TRACE_OUT=<path>
 // additionally dumps the traced scan's H2Wiretap JSONL to <path> and its
 // metrics snapshot to <path>.metrics.json. H2R_FAULT_SEED reseeds the
 // scan_epoch2_faulted chaos row's fault schedules.
@@ -345,15 +348,22 @@ void bench_scan(std::uint64_t seed) {
   corpus::ScanOptions opts = bench::scan_options();
   opts.seed = seed;
   // The historical row stays pinned sequential (a fresh connection per
-  // probe) so its trajectory — and the CI guard's ratio against the
-  // committed baseline — keeps measuring the same work across PRs.
+  // probe, one blocking site per worker) so its trajectory — and the CI
+  // guard's ratio against the committed baseline — keeps measuring the
+  // same work across PRs. The event-loop driver gets its own row below.
   opts.coalesce = false;
+  opts.event_loop = false;
   const auto pop = bench::population_for(corpus::Epoch::kExp2);
+  const double sites = static_cast<double>(pop.sites.size());
+  const auto scan_allocs = [&sites](std::uint64_t allocs) {
+    return static_cast<double>(allocs) / sites;
+  };
+  std::uint64_t allocs0 = bench::heap_allocations();
   const auto start = Clock::now();
   const auto report = corpus::scan_population(pop, opts);
   const double wall = ms_since(start);
-  const double sites = static_cast<double>(pop.sites.size());
-  record("scan_epoch2", wall, sites, sites / (wall / 1000.0));
+  record("scan_epoch2", wall, sites, sites / (wall / 1000.0),
+         scan_allocs(bench::heap_allocations() - allocs0));
   std::printf("  (%zu sites scanned, %zu responding, threads=%d)\n",
               pop.sites.size(), report.responding_sites, opts.threads);
 
@@ -362,10 +372,13 @@ void bench_scan(std::uint64_t seed) {
   // The report is asserted bitwise identical to the sequential row's.
   corpus::ScanOptions copts = bench::scan_options();
   copts.seed = seed;
+  copts.event_loop = false;  // vs scan_epoch2: isolate the coalescing win
+  allocs0 = bench::heap_allocations();
   const auto cstart = Clock::now();
   const auto coalesced = corpus::scan_population(pop, copts);
   const double cwall = ms_since(cstart);
-  record("scan_epoch2_coalesced", cwall, sites, sites / (cwall / 1000.0));
+  record("scan_epoch2_coalesced", cwall, sites, sites / (cwall / 1000.0),
+         scan_allocs(bench::heap_allocations() - allocs0));
   if (coalesced.responding_sites != report.responding_sites) {
     std::fprintf(stderr, "!! coalesced scan disagrees with sequential scan "
                          "(responding %zu vs %zu)\n",
@@ -380,10 +393,12 @@ void bench_scan(std::uint64_t seed) {
   corpus::ScanOptions topts = opts;
   topts.wiretap_metrics = true;
   topts.wiretap_traces = !trace_out.empty();
+  allocs0 = bench::heap_allocations();
   const auto tstart = Clock::now();
   const auto traced = corpus::scan_population(pop, topts);
   const double twall = ms_since(tstart);
-  record("scan_epoch2_traced", twall, sites, sites / (twall / 1000.0));
+  record("scan_epoch2_traced", twall, sites, sites / (twall / 1000.0),
+         scan_allocs(bench::heap_allocations() - allocs0));
   std::printf("  (wiretap: %llu frames, %llu violations across %llu "
               "connections)\n",
               static_cast<unsigned long long>(traced.wire_metrics.total_frames()),
@@ -405,10 +420,12 @@ void bench_scan(std::uint64_t seed) {
   corpus::ScanOptions fopts = opts;
   fopts.fault_injection = true;
   fopts.fault_seed = bench::fault_seed_from_env();
+  allocs0 = bench::heap_allocations();
   const auto fstart = Clock::now();
   const auto faulted = corpus::scan_population(pop, fopts);
   const double fwall = ms_since(fstart);
-  record("scan_epoch2_faulted", fwall, sites, sites / (fwall / 1000.0));
+  record("scan_epoch2_faulted", fwall, sites, sites / (fwall / 1000.0),
+         scan_allocs(bench::heap_allocations() - allocs0));
   std::printf("  (outcomes: ok=%zu retried_ok=%zu truncated=%zu "
               "disconnected=%zu timed_out=%zu)\n",
               faulted.sites_ok, faulted.sites_retried_ok,
@@ -423,6 +440,42 @@ void bench_scan(std::uint64_t seed) {
   if (faulted.fault_deadline_hits != 0) {
     std::fprintf(stderr, "!! faulted scan hit an exchange deadline — the "
                          "chaos loop is supposed to make that impossible\n");
+  }
+
+  // The same chaos scan on the shard-reactor event loop: stalled
+  // connections and retry backoffs park on the timer wheel while other
+  // sites run, so this row is the one that kills the faulted-scan cliff.
+  // The row honours H2R_EVENT_LOOP so a =0 run shows the two chaos rows
+  // converging. The report is asserted bitwise identical to the
+  // sequential chaos row's (tests/scan_reactor_test.cc pins the guarantee;
+  // the cross-check here is a cheap standing tripwire).
+  corpus::ScanOptions aopts = fopts;
+  aopts.event_loop = bench::event_loop_from_env();
+  allocs0 = bench::heap_allocations();
+  const auto astart = Clock::now();
+  const auto async_scan = corpus::scan_population(pop, aopts);
+  const double awall = ms_since(astart);
+  record("scan_epoch2_faulted_async", awall, sites, sites / (awall / 1000.0),
+         scan_allocs(bench::heap_allocations() - allocs0));
+  std::printf("  (reactor: %llu parks over %llu rounds, peak in-flight "
+              "%llu, deadline_hits=%llu)\n",
+              static_cast<unsigned long long>(
+                  async_scan.wire_metrics.reactor_parks),
+              static_cast<unsigned long long>(
+                  async_scan.wire_metrics.reactor_parked_rounds),
+              static_cast<unsigned long long>(
+                  async_scan.wire_metrics.reactor_peak_in_flight),
+              static_cast<unsigned long long>(
+                  async_scan.fault_deadline_hits));
+  if (async_scan.sites_ok != faulted.sites_ok ||
+      async_scan.fault_injected != faulted.fault_injected ||
+      async_scan.fault_retries != faulted.fault_retries) {
+    std::fprintf(stderr, "!! event-loop chaos scan disagrees with the "
+                         "sequential chaos scan\n");
+  }
+  if (async_scan.fault_deadline_hits != 0) {
+    std::fprintf(stderr, "!! event-loop faulted scan hit an exchange "
+                         "deadline\n");
   }
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "core/client.h"
+#include "core/task.h"
 #include "h2/constants.h"
 #include "net/alpn.h"
 #include "net/path.h"
@@ -159,6 +160,31 @@ auto probe_with_retry(const Target& target, const RetryPolicy& policy,
   }
 }
 
+/// probe_with_retry for coroutine probes: @p make_task builds a fresh
+/// Task<R> per attempt. Identical bookkeeping to the sync wrapper, plus the
+/// backoff *parks* the task (ParkFor) so an event loop can run other sites
+/// while this one backs off — under run_sync the park is free, so the two
+/// wrappers stay result- and ledger-identical.
+template <typename Fn>
+auto probe_with_retry_task(const Target& target, RetryPolicy policy,
+                           Fn make_task)
+    -> Task<typename std::invoke_result_t<Fn&>::value_type> {
+  net::ExchangeLedger* ledger = target.ledger;
+  double backoff = policy.backoff_base_ms;
+  for (int attempt = 1;; ++attempt) {
+    if (ledger != nullptr) ledger->begin_attempt();
+    auto result = co_await make_task();
+    if (ledger == nullptr || !ledger->attempt_faulted() ||
+        attempt >= policy.max_attempts) {
+      if (ledger != nullptr) ledger->settle_attempt();
+      co_return result;
+    }
+    ledger->note_retry(backoff);
+    co_await ParkFor{static_cast<int>(backoff)};
+    backoff *= policy.backoff_multiplier;
+  }
+}
+
 // ------------------------------------------------------------ negotiation
 
 /// Section IV-A: can an HTTP/2 connection be established, and via which
@@ -197,6 +223,15 @@ struct SettingsProbeResult {
 };
 
 SettingsProbeResult probe_settings(const Target& target);
+
+/// Every probe the scan runs per site also exists as a *_task coroutine:
+/// the same body with each Transport::run rewritten as co_await
+/// AwaitExchange, so a faulted transport's stall parks the whole probe
+/// sequence instead of spinning its pump. The sync function is
+/// run_sync(*_task(...)) — one implementation, two drivers. Probes the
+/// scan doesn't multiplex (multiplexing, concurrency, ping, h2c) keep
+/// plain sync bodies; Transport::run services parks inline for them.
+Task<SettingsProbeResult> probe_settings_task(const Target& target);
 
 // ------------------------------------------------------------ multiplexing
 
@@ -241,6 +276,8 @@ struct DataFrameControlResult {
 
 DataFrameControlResult probe_data_frame_control(const Target& target,
                                                 std::uint32_t sframe = 1);
+Task<DataFrameControlResult> probe_data_frame_control_task(
+    const Target& target, std::uint32_t sframe = 1);
 
 /// Section III-B2: with SETTINGS_INITIAL_WINDOW_SIZE = 0 the server must
 /// still send HEADERS (flow control governs DATA only).
@@ -250,6 +287,8 @@ struct ZeroWindowHeadersResult {
 };
 
 ZeroWindowHeadersResult probe_zero_window_headers(const Target& target);
+Task<ZeroWindowHeadersResult> probe_zero_window_headers_task(
+    const Target& target);
 
 /// Sections III-B3/III-B4: how the server reacts to a zero or overflowing
 /// WINDOW_UPDATE, on stream and connection scope.
@@ -279,6 +318,8 @@ struct WindowUpdateProbeResult {
 };
 
 WindowUpdateProbeResult probe_window_update_reactions(const Target& target);
+Task<WindowUpdateProbeResult> probe_window_update_reactions_task(
+    const Target& target);
 
 // ---------------------------------------------------------------- priority
 
@@ -298,6 +339,7 @@ struct PriorityProbeResult {
 };
 
 PriorityProbeResult probe_priority_mechanism(const Target& target);
+Task<PriorityProbeResult> probe_priority_mechanism_task(const Target& target);
 
 /// Algorithm 1's body, from the drain step on. Assumes @p client already
 /// has huge (2^31-1) stream windows planted, both automatic window updates
@@ -309,6 +351,9 @@ PriorityProbeResult run_priority_rounds(ClientConnection& client,
                                         server::Http2Server& server,
                                         net::Transport& transport,
                                         const net::ExchangeLimits& limits);
+Task<PriorityProbeResult> run_priority_rounds_task(
+    ClientConnection& client, server::Http2Server& server,
+    net::Transport& transport, net::ExchangeLimits limits);
 
 /// Section III-C2: PRIORITY frame making a stream depend on itself.
 struct SelfDependencyProbeResult {
@@ -316,6 +361,8 @@ struct SelfDependencyProbeResult {
 };
 
 SelfDependencyProbeResult probe_self_dependency(const Target& target);
+Task<SelfDependencyProbeResult> probe_self_dependency_task(
+    const Target& target);
 
 // ------------------------------------------------------------------ push
 
@@ -329,6 +376,8 @@ struct PushProbeResult {
 
 PushProbeResult probe_server_push(const Target& target,
                                   const std::string& page = "/");
+Task<PushProbeResult> probe_server_push_task(const Target& target,
+                                             std::string page = "/");
 
 // ------------------------------------------------------------------ hpack
 
@@ -341,6 +390,8 @@ struct HpackProbeResult {
 
 HpackProbeResult probe_hpack_ratio(const Target& target, int h = 8,
                                    const std::string& path = "/");
+Task<HpackProbeResult> probe_hpack_ratio_task(const Target& target, int h = 8,
+                                              std::string path = "/");
 
 // ------------------------------------------------------------------- ping
 

@@ -1,0 +1,77 @@
+#include "corpus/reactor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace h2r::corpus {
+
+Reactor::Reactor(std::span<const SiteSpec> sites, const ScanOptions& opts,
+                 ScanReport& report)
+    : sites_(sites),
+      opts_(opts),
+      report_(report),
+      cap_(opts.max_in_flight > 0
+               ? static_cast<std::size_t>(opts.max_in_flight)
+               : 1) {}
+
+Reactor::InFlight Reactor::admit(std::size_t site) {
+  std::unique_ptr<SiteScratch> scratch;
+  if (!free_scratch_.empty()) {
+    scratch = std::move(free_scratch_.back());
+    free_scratch_.pop_back();
+  } else {
+    scratch = std::make_unique<SiteScratch>();
+  }
+  auto task =
+      std::make_unique<SiteTask>(sites_[site], opts_, report_, *scratch);
+  return InFlight{site, std::move(task), std::move(scratch)};
+}
+
+void Reactor::retire(InFlight flight) {
+  flight.task.reset();  // before its scratch goes back in the pool
+  free_scratch_.push_back(std::move(flight.scratch));
+}
+
+void Reactor::run() {
+  std::vector<InFlight> ready;
+  std::size_t next = 0;
+  while (next < sites_.size() || live_ > 0) {
+    // Admission: fill free capacity in site order. Freshly admitted sites
+    // form this tick's ready batch; parked sites keep sleeping.
+    while (live_ < cap_ && next < sites_.size()) {
+      ready.push_back(admit(next++));
+      ++live_;
+    }
+    peak_ = std::max(peak_, live_);
+
+    if (ready.empty()) {
+      // Everyone is parked: jump the clock to the next occupied instant.
+      auto due = wheel_.begin();
+      tick_ = due->first;
+      ready = std::move(due->second);
+      wheel_.erase(due);
+    }
+
+    // Drain the batch in ascending site index — with the tick-ordered
+    // wheel this is the deterministic (wakeup-tick, site-index) order.
+    std::sort(ready.begin(), ready.end(),
+              [](const InFlight& a, const InFlight& b) {
+                return a.site < b.site;
+              });
+    for (auto& flight : ready) {
+      if (flight.task->advance()) {
+        retire(std::move(flight));
+        --live_;
+      } else {
+        // park_rounds >= 1 by construction; clamp anyway so a degenerate
+        // park can never wedge the clock.
+        const std::uint64_t sleep =
+            std::max(1, flight.task->park_rounds());
+        wheel_[tick_ + sleep].push_back(std::move(flight));
+      }
+    }
+    ready.clear();
+  }
+}
+
+}  // namespace h2r::corpus

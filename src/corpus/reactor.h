@@ -1,0 +1,70 @@
+// Shard reactor: the scan's event-loop core. One reactor per worker shard
+// (own sites, own scratch pool, no cross-shard sharing — the Seastar-style
+// shard-per-core model) multiplexes up to ScanOptions::max_in_flight
+// resumable SiteTasks over a virtual clock. A task that parks — a stalled
+// faulted transport or retry backoff — sleeps on the timer wheel for its
+// park stretch while other sites run; nothing ever busy-spins a pump.
+//
+// Determinism: admission happens in site order, the clock only ever jumps
+// to the next occupied wheel instant, and each ready batch drains in
+// ascending site index — so the schedule is a pure function of (sites,
+// options), independent of wall time. Combined with interleaving-
+// independent report aggregates this makes the reactor's ScanReport
+// bitwise identical to the sequential driver's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "corpus/scan.h"
+#include "corpus/site_task.h"
+
+namespace h2r::corpus {
+
+class Reactor {
+ public:
+  /// Prepares to drive @p sites (one shard's contiguous block) into
+  /// @p report. Runs nothing until run().
+  Reactor(std::span<const SiteSpec> sites, const ScanOptions& opts,
+          ScanReport& report);
+
+  /// Drives every site to completion.
+  void run();
+
+  /// Most sites ever simultaneously in flight (the in-flight gauge).
+  [[nodiscard]] std::size_t peak_in_flight() const noexcept { return peak_; }
+  /// Final virtual-clock reading: total ticks the shard slept across.
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return tick_; }
+
+ private:
+  struct InFlight {
+    std::size_t site;  ///< index into sites_, the deterministic drain key
+    std::unique_ptr<SiteTask> task;
+    std::unique_ptr<SiteScratch> scratch;
+  };
+
+  InFlight admit(std::size_t site);
+  void retire(InFlight flight);
+
+  std::span<const SiteSpec> sites_;
+  const ScanOptions& opts_;
+  ScanReport& report_;
+  std::size_t cap_;
+
+  /// Timer wheel: wake tick -> tasks sleeping until then, drained in site
+  /// order. An ordered map keeps "jump to the next occupied instant" one
+  /// lookup regardless of how sparse the parked stretches are.
+  std::map<std::uint64_t, std::vector<InFlight>> wheel_;
+  /// Scratch slots recycled between sites; at most cap_ ever exist.
+  std::vector<std::unique_ptr<SiteScratch>> free_scratch_;
+
+  std::uint64_t tick_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace h2r::corpus

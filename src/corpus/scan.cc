@@ -2,308 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <string_view>
 #include <thread>
 
-#include "core/session.h"
-#include "net/transport.h"
-#include "trace/annotate.h"
-#include "trace/event.h"
-#include "trace/recorder.h"
-#include "util/rng.h"
+#include "corpus/reactor.h"
+#include "corpus/site_task.h"
 
 namespace h2r::corpus {
-namespace {
-
-using core::ProbeKind;
-using core::SmallWindowOutcome;
-using core::Target;
-using core::UpdateReaction;
-
-// The coalesced scheduler below substitutes ProbeSession for exactly the
-// probes the trait marks shareable; everything else stays on fresh
-// connections. Keep the two in sync.
-static_assert(!core::needs_fresh_connection(ProbeKind::kSettings));
-static_assert(!core::needs_fresh_connection(ProbeKind::kPriority));
-static_assert(!core::needs_fresh_connection(ProbeKind::kSelfDependency));
-static_assert(!core::needs_fresh_connection(ProbeKind::kPush));
-static_assert(!core::needs_fresh_connection(ProbeKind::kHpackRatio));
-static_assert(core::needs_fresh_connection(ProbeKind::kNegotiation));
-static_assert(core::needs_fresh_connection(ProbeKind::kDataFrameControl));
-static_assert(core::needs_fresh_connection(ProbeKind::kZeroWindowHeaders));
-static_assert(core::needs_fresh_connection(ProbeKind::kWindowUpdateReactions));
-
-/// Per-worker reusable scratch: one wiretap buffer and one client/engine
-/// pair serve every site the worker scans, rewound between sites instead
-/// of reallocated.
-struct WorkerContext {
-  trace::VectorRecorder recorder;
-  core::SessionScratch session;
-
-  void reset() { recorder.clear(); }
-};
-
-/// FNV-1a 64. Hashing the host (instead of the scan index) makes a site's
-/// fault stream a pure function of (fault_seed, host) — independent of
-/// H2R_THREADS, scan order, and the subsample scale.
-std::uint64_t fnv1a64(std::string_view s) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-/// Families whose HPACK ratio CDFs the paper plots (Figures 4 and 5).
-bool hpack_family_of_interest(const std::string& family) {
-  return family == "gse" || family == "nginx" || family == "tengine" ||
-         family == "litespeed" || family == "ideawebserver" ||
-         family == "tengine-aserver";
-}
-
-/// Per-worker accumulator, merged under a single lock at the end.
-struct Partial {
-  ScanReport r;
-
-  void observe(const SiteSpec& spec, const ScanOptions& opts,
-               WorkerContext& ctx) {
-    ctx.reset();
-    Target target = spec.to_target();
-
-    // One ledger per site: every connection any probe opens against this
-    // target folds its outcome here, and the final-attempt flags classify
-    // the site below.
-    net::ExchangeLedger ledger;
-    if (opts.fault_injection) {
-      std::uint64_t mix = opts.fault_seed ^ fnv1a64(spec.host);
-      target.faults.enabled = true;
-      target.faults.seed = splitmix64(mix);
-      target.faults.probability =
-          net::fault_probability(target.path.loss_rate, opts.fault_floor);
-      target.ledger = &ledger;
-    }
-
-    // The probe sequence bails out early on dead or non-h2 sites, so the
-    // wiretap wraps it: record, run, then always annotate + fold.
-    const bool wiretap = opts.wiretap_metrics || opts.wiretap_traces;
-    trace::VectorRecorder& recorder = ctx.recorder;
-    if (wiretap) target.recorder = &recorder;
-
-    // Sequence detection: live when it can be the sink itself, replayed
-    // from the retained trace when the wiretap already owns the sink. The
-    // two paths produce identical reports (tests/detector_test.cc pins
-    // replay == live). Either way detection rides a per-connection sink,
-    // which — like the wiretap — keeps the scan on the sequential path.
-    std::optional<trace::SequenceDetector> detector;
-    if (opts.detect_attacks) {
-      detector.emplace(opts.detector_thresholds);
-      if (!wiretap) target.recorder = &*detector;
-    }
-
-    run_probes(target, spec, opts, ctx);
-
-    if (detector) {
-      if (wiretap) detector->observe_all(recorder.events());
-      detector->finish();
-      r.attack_detections.merge(detector->report());
-    }
-
-    // Exactly one outcome class per site (precedence: a deadline outranks a
-    // disconnect outranks a truncation; anything clean that needed retries
-    // is retried_ok). A lockstep scan books every site as sites_ok.
-    if (ledger.final_deadline) {
-      ++r.sites_timed_out;
-    } else if (ledger.final_disconnect) {
-      ++r.sites_disconnected;
-    } else if (ledger.final_truncated) {
-      ++r.sites_truncated;
-    } else if (ledger.retries > 0) {
-      ++r.sites_retried_ok;
-    } else {
-      ++r.sites_ok;
-    }
-    r.fault_exchanges += ledger.exchanges;
-    r.fault_injected += ledger.faults_injected;
-    r.fault_retries += ledger.retries;
-    r.fault_deadline_hits += ledger.deadline_hits;
-    r.fault_backoff_ms += ledger.backoff_ms;
-
-    if (wiretap) {
-      trace::annotate_violations(recorder.events());
-      trace::consume(r.wire_metrics, recorder.events());
-      trace::consume(r.wire_metrics_by_family[spec.family], recorder.events());
-      if (opts.wiretap_traces) {
-        r.site_traces[spec.host] = trace::to_jsonl(recorder.events(), spec.host);
-      }
-    }
-  }
-
-  void run_probes(const Target& target, const SiteSpec& spec,
-                  const ScanOptions& opts, WorkerContext& ctx) {
-    // Faulted probes are re-run on fresh connections (bounded by
-    // opts.retry); with no ledger the wrapper collapses to one plain call,
-    // so the lockstep path is untouched.
-    auto retried = [&](auto probe) {
-      return core::probe_with_retry(target, opts.retry, probe);
-    };
-
-    const auto negotiation = core::probe_negotiation(target);
-    if (negotiation.npn_h2) ++r.npn_sites;
-    if (negotiation.alpn_h2) ++r.alpn_sites;
-    if (!negotiation.h2_established) return;
-
-    // Coalesced scheduling: the shareable probes run as streams of one
-    // connection (core::ProbeSession). Fault injection keeps the
-    // sequential path — its retry semantics are per fresh connection — as
-    // does the wiretap, whose frame record legitimately depends on the
-    // connection layout. Report-identity between the two paths is asserted
-    // by tests/scan_coalesce_test.cc.
-    std::optional<core::ProbeSession> session;
-    if (opts.coalesce && !target.faults.enabled &&
-        target.recorder == nullptr) {
-      const core::ProbeSession::Options session_opts{
-          .hpack_h = opts.hpack_h,
-          .expect_hpack =
-              opts.probe_hpack && hpack_family_of_interest(spec.family)};
-      session.emplace(target, session_opts, &ctx.session);
-    }
-
-    const auto settings = session
-                              ? session->settings()
-                              : retried([&] { return core::probe_settings(target); });
-    if (!settings.headers_received) return;
-    ++r.responding_sites;
-    ++r.server_counts[settings.server_header];
-
-    if (opts.probe_settings) {
-      if (settings.settings_entry_count == 0) {
-        r.initial_window_size.add(kNullValue);
-        r.max_frame_size.add(kNullValue);
-        r.max_header_list_size.add(kNullValue);
-        r.max_concurrent_streams.add(kNullValue);
-      } else {
-        r.initial_window_size.add(
-            settings.initial_window_size
-                ? static_cast<std::int64_t>(*settings.initial_window_size)
-                : kUnlimitedValue);
-        r.max_frame_size.add(
-            settings.max_frame_size
-                ? static_cast<std::int64_t>(*settings.max_frame_size)
-                : kUnlimitedValue);
-        r.max_header_list_size.add(
-            settings.max_header_list_size
-                ? static_cast<std::int64_t>(*settings.max_header_list_size)
-                : kUnlimitedValue);
-        r.max_concurrent_streams.add(
-            settings.max_concurrent_streams
-                ? static_cast<std::int64_t>(*settings.max_concurrent_streams)
-                : kUnlimitedValue);
-      }
-    }
-
-    if (opts.probe_flow_control) {
-      const auto sframe =
-          retried([&] { return core::probe_data_frame_control(target); });
-      switch (sframe.outcome) {
-        case SmallWindowOutcome::kRespectsWindow:
-          ++r.sframe_respecting;
-          break;
-        case SmallWindowOutcome::kZeroLengthData:
-          ++r.sframe_zero_length;
-          break;
-        case SmallWindowOutcome::kNoResponse:
-          ++r.sframe_no_response;
-          if (spec.family == "litespeed") ++r.sframe_no_response_litespeed;
-          break;
-        case SmallWindowOutcome::kOversized:
-          break;
-      }
-      if (retried([&] { return core::probe_zero_window_headers(target); })
-              .headers_received) {
-        ++r.zero_window_headers_ok;
-      }
-      const auto wu =
-          retried([&] { return core::probe_window_update_reactions(target); });
-      switch (wu.zero_on_stream) {
-        case UpdateReaction::kRstStream:
-          ++r.zero_wu_rst;
-          break;
-        case UpdateReaction::kIgnored:
-          ++r.zero_wu_ignore;
-          break;
-        case UpdateReaction::kGoaway:
-          ++r.zero_wu_goaway;
-          break;
-        case UpdateReaction::kGoawayWithDebug:
-          ++r.zero_wu_goaway_debug;
-          break;
-      }
-      if (wu.zero_on_connection != UpdateReaction::kIgnored) {
-        ++r.zero_wu_conn_error;
-      }
-      if (wu.large_on_connection == UpdateReaction::kGoaway) {
-        ++r.large_wu_conn_goaway;
-      }
-      if (wu.large_on_stream == UpdateReaction::kRstStream) {
-        ++r.large_wu_stream_rst;
-      } else {
-        ++r.large_wu_stream_ignore;
-      }
-    }
-
-    if (opts.probe_priority) {
-      const auto prio =
-          session ? session->priority()
-                  : retried([&] { return core::probe_priority_mechanism(target); });
-      if (prio.ran) {
-        if (prio.pass_by_last_data) ++r.priority_pass_last;
-        if (prio.pass_by_first_data) ++r.priority_pass_first;
-        if (prio.pass_by_both) ++r.priority_pass_both;
-      }
-      const auto self_dep =
-          session ? session->self_dependency()
-                  : retried([&] { return core::probe_self_dependency(target); });
-      switch (self_dep.reaction) {
-        case UpdateReaction::kRstStream:
-          ++r.self_dep_rst;
-          break;
-        case UpdateReaction::kGoaway:
-        case UpdateReaction::kGoawayWithDebug:
-          ++r.self_dep_goaway;
-          break;
-        case UpdateReaction::kIgnored:
-          ++r.self_dep_ignore;
-          break;
-      }
-    }
-
-    if (opts.probe_push) {
-      const auto push =
-          session ? session->push()
-                  : retried([&] { return core::probe_server_push(target); });
-      if (push.push_received) {
-        r.push_hosts.push_back(spec.host);
-      }
-    }
-
-    if (opts.probe_hpack && hpack_family_of_interest(spec.family)) {
-      const auto hpack =
-          session ? session->hpack_ratio()
-                  : retried([&] { return core::probe_hpack_ratio(target, opts.hpack_h); });
-      if (hpack.ran) {
-        if (hpack.ratio > 1.0) {
-          ++r.hpack_filtered_out;  // the paper drops r > 1 (§V-G)
-        } else {
-          r.hpack_ratio_by_family[spec.family].push_back(hpack.ratio);
-        }
-      }
-    }
-  }
-
-};
-
-}  // namespace
 
 std::size_t ScanReport::hpack_sample_size() const {
   std::size_t n = 0;
@@ -390,29 +94,67 @@ ScanReport scan_population(const Population& population,
       static_cast<std::size_t>(threads),
       std::max<std::size_t>(1, population.sites.size())));
 
-  std::vector<Partial> partials(static_cast<std::size_t>(threads));
-  std::atomic<std::size_t> cursor{0};
+  const std::size_t n = population.sites.size();
+  std::vector<ScanReport> partials(static_cast<std::size_t>(threads));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      // Like the paper's scanner: each worker pulls the next unscanned
-      // site, reusing its own scratch endpoints site after site.
-      WorkerContext ctx;
-      for (;;) {
-        const std::size_t i = cursor.fetch_add(1);
-        if (i >= population.sites.size()) return;
-        partials[static_cast<std::size_t>(t)].observe(population.sites[i],
-                                                      options, ctx);
-      }
-    });
+  std::atomic<std::size_t> cursor{0};
+
+  if (options.event_loop) {
+    // Shard-per-worker: each worker owns one contiguous block of the site
+    // list and a reactor multiplexing its in-flight SiteTasks. No state is
+    // shared across shards, so the merge below is the only join point.
+    const std::size_t per =
+        (n + static_cast<std::size_t>(threads) - 1) /
+        static_cast<std::size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin =
+          std::min(n, static_cast<std::size_t>(t) * per);
+      const std::size_t end = std::min(n, begin + per);
+      pool.emplace_back([&, t, begin, end] {
+        Reactor reactor(
+            std::span<const SiteSpec>(population.sites.data() + begin,
+                                      end - begin),
+            options, partials[static_cast<std::size_t>(t)]);
+        reactor.run();
+        auto& gauge =
+            partials[static_cast<std::size_t>(t)].wire_metrics
+                .reactor_peak_in_flight;
+        gauge = std::max<std::uint64_t>(gauge, reactor.peak_in_flight());
+      });
+    }
+  } else {
+    // The historical sequential driver: each worker pulls the next
+    // unscanned site and drives its SiteTask to completion, servicing
+    // every park immediately (simulated time is free to a blocking
+    // worker). Same SiteTask, same probe coroutines — only the
+    // scheduling differs.
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        SiteScratch scratch;
+        ScanReport& r = partials[static_cast<std::size_t>(t)];
+        bool scanned = false;
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1);
+          if (i >= n) break;
+          scanned = true;
+          SiteTask task(population.sites[i], options, r, scratch);
+          while (!task.advance()) {
+          }
+        }
+        if (scanned) {
+          r.wire_metrics.reactor_peak_in_flight = std::max<std::uint64_t>(
+              r.wire_metrics.reactor_peak_in_flight, 1);
+        }
+      });
+    }
   }
   for (auto& th : pool) th.join();
 
   ScanReport total;
   total.epoch = population.epoch;
   total.total_scanned = population.total_scanned;
-  for (const auto& p : partials) total.merge(p.r);
+  for (const auto& p : partials) total.merge(p);
   total.distinct_server_kinds = total.server_counts.size();
   std::sort(total.push_hosts.begin(), total.push_hosts.end());
   // Which worker saw which site depends on scheduling; sorting the ratio

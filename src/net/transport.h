@@ -23,10 +23,12 @@
 // the cause next to its protocol-level effect.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "trace/event.h"
 #include "trace/recorder.h"
@@ -35,6 +37,8 @@
 #include "util/status.h"
 
 namespace h2r::net {
+
+class ExchangeDriver;
 
 // --------------------------------------------------------------- endpoints
 
@@ -138,6 +142,14 @@ struct FaultPlan {
   /// Segmentation: chunks drawn uniformly in [1, max_chunk] octets;
   /// 0 = deliver each round's bytes whole (no re-segmentation).
   std::uint32_t max_chunk = 0;
+  /// Deliver in wire-frame-aligned spans (at most one completed HTTP/2
+  /// frame per receive call) instead of rng-sized chunks. Scan-generated
+  /// plans use this: it keeps the frame-interleaving semantics of chunked
+  /// delivery — the receiver still reacts to every frame before seeing the
+  /// next — at a per-frame instead of per-chunk delivery cost. When set,
+  /// max_chunk is not consulted. Explicit dribble plans (tests) leave it
+  /// off and keep exact rng segmentation.
+  bool frame_aligned = false;
   /// The (at most one) delivery fault this connection suffers.
   FaultKind kind = FaultKind::kNone;
   trace::Direction dir = trace::Direction::kClientToServer;
@@ -176,6 +188,20 @@ struct ExchangeLedger {
   std::uint64_t retries = 0;
   std::uint64_t deadline_hits = 0;
   double backoff_ms = 0.0;  ///< simulated retry backoff, accumulated
+
+  // Parking (ExchangeDriver): a stall held delivery, so the driver skipped
+  // the dead rounds in one step instead of spinning the pump through them.
+  // Booked identically by the sequential and event-loop scan drivers — the
+  // park points are a property of the exchange, not of who resumes it.
+  std::uint64_t parks = 0;          ///< park events on this site's exchanges
+  std::uint64_t parked_rounds = 0;  ///< rounds skipped while parked
+  std::vector<int> park_durations;  ///< per-park skipped rounds, in order
+
+  void note_park(int rounds) {
+    ++parks;
+    parked_rounds += static_cast<std::uint64_t>(rounds);
+    park_durations.push_back(rounds);
+  }
 
   bool attempt_deadline = false;
   bool attempt_disconnect = false;
@@ -223,8 +249,11 @@ class Transport {
 
   /// Pumps bytes both ways until quiescent, a fault ends the connection, or
   /// a deadline trips. Never hangs: every exit path is bounded by @p limits.
-  virtual ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
-                                       const ExchangeLimits& limits = {}) = 0;
+  /// Implemented on the resumable ExchangeDriver with parked stretches
+  /// skipped inline, so it stays bit-identical to driving the exchange from
+  /// an event loop.
+  ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
+                               const ExchangeLimits& limits = {});
 
   /// Convenience: adapts concrete endpoint types (ClientConnection,
   /// Http2Server) in place.
@@ -240,6 +269,33 @@ class Transport {
   [[nodiscard]] ExchangeLedger* ledger() const noexcept { return ledger_; }
 
  protected:
+  friend class ExchangeDriver;
+
+  /// What one round of byte shuttling did, as the driver needs to see it.
+  struct RoundOutcome {
+    bool progressed = false;  ///< octets moved, a stall ticked, a fault fired
+    bool terminal = false;    ///< the exchange is over now (disconnect)
+    /// When the round would do nothing but tick stall countdowns, the
+    /// number of such dead rounds ahead — the driver parks instead of
+    /// spinning. 0 on any round with real work.
+    int parkable = 0;
+  };
+
+  /// Runs one lockstep round: pull fresh endpoint output, deliver what the
+  /// policy allows, fold byte counts into @p result. Terminal rounds set
+  /// result.outcome themselves.
+  virtual RoundOutcome round_once(Endpoint& client, Endpoint& server,
+                                  ExchangeResult& result) = 0;
+  /// The connection died in an earlier run on this transport. Implementations
+  /// set the outcome on @p result and return true to skip the round loop.
+  virtual bool exchange_dead(ExchangeResult& result) {
+    (void)result;
+    return false;
+  }
+  /// The driver skipped @p rounds parked rounds in one step; advance any
+  /// per-round timers (stall countdowns) by the same amount.
+  virtual void on_parked_rounds(int rounds) { (void)rounds; }
+
   /// Ledger fold + kRoundMark bookkeeping shared by implementations.
   void finish(ExchangeResult& result) {
     if (ledger_ != nullptr) ledger_->note(result);
@@ -256,6 +312,54 @@ class Transport {
   ExchangeLedger* ledger_;
 };
 
+/// One connection's exchange broken into resumable steps, so an event loop
+/// can multiplex thousands of in-flight exchanges and park the stalled ones
+/// instead of spinning their pumps. Transport::run_endpoints is a driver
+/// run to completion with parks skipped inline — by construction the two
+/// ways of driving an exchange are bit-identical (rounds, byte counts,
+/// trace events, ledger accounting).
+///
+/// Lifecycle: pump() advances rounds until the exchange parks or finishes.
+/// While kParked, park_rounds() says how many virtual rounds the exchange
+/// sleeps; unpark() books them (round marks, stall countdowns, ledger) and
+/// re-arms pump(). result() is valid once kDone.
+class ExchangeDriver {
+ public:
+  enum class State : std::uint8_t { kRunning, kParked, kDone };
+
+  ExchangeDriver(Transport& transport, Endpoint& client, Endpoint& server,
+                 const ExchangeLimits& limits = {})
+      : t_(transport), client_(client), server_(server), limits_(limits) {}
+
+  /// Advances until the exchange parks or completes. Never hangs: bounded
+  /// by the limits like the one-shot pump.
+  State pump();
+  /// Applies the parked stretch (rounds elapse, stalls tick down) and
+  /// returns the driver to kRunning. No-op unless kParked.
+  void unpark();
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  /// Rounds this exchange sleeps for; valid while kParked.
+  [[nodiscard]] int park_rounds() const noexcept { return park_; }
+  /// The finished exchange's result; valid once kDone.
+  [[nodiscard]] const ExchangeResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  void complete();
+
+  Transport& t_;
+  Endpoint& client_;
+  Endpoint& server_;
+  ExchangeLimits limits_;
+  ExchangeResult result_;
+  int rounds_ = 0;
+  int park_ = 0;
+  State state_ = State::kRunning;
+  bool started_ = false;
+};
+
 /// The historical perfect pump: each round ships all pending client bytes,
 /// then all pending server bytes, whole. Bit-for-bit compatible with the
 /// pre-seam core::run_exchange (byte stream, round-mark events, recycling).
@@ -263,11 +367,55 @@ class LockstepTransport final : public Transport {
  public:
   using Transport::Transport;
 
-  ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
-                               const ExchangeLimits& limits = {}) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "lockstep";
   }
+
+ protected:
+  RoundOutcome round_once(Endpoint& client, Endpoint& server,
+                          ExchangeResult& result) override;
+};
+
+/// Incremental wire-format scanner FaultyTransport uses to end delivery
+/// spans at HTTP/2 frame boundaries. It understands just enough of the
+/// stream to find them: the 24-octet client connection preface, HTTP/1.1
+/// text up to its blank line (the h2c upgrade exchange), and the 9-octet
+/// frame header's length field. Corruption is not special-cased: the
+/// scanner reads the same post-fault octets the endpoint will parse, so
+/// the two views of frame boundaries cannot diverge.
+class WireCursor {
+ public:
+  /// @p client_to_server selects which leading literal to expect: the h2
+  /// client preface (c2s) or an "HTTP/" status line (s2c, h2c upgrades).
+  explicit WireCursor(bool client_to_server) noexcept
+      : c2s_(client_to_server) {}
+
+  /// Length of the next delivery span within @p avail: up to and including
+  /// the earliest boundary, or all of @p avail when none falls inside.
+  /// Never 0 for non-empty input. Does not advance the cursor.
+  [[nodiscard]] std::size_t preview(
+      std::span<const std::uint8_t> avail) const {
+    WireCursor probe = *this;
+    return probe.scan(avail, /*stop_at_boundary=*/true);
+  }
+
+  /// Advances the cursor over octets actually delivered.
+  void advance(std::span<const std::uint8_t> delivered) {
+    (void)scan(delivered, /*stop_at_boundary=*/false);
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kProbe, kText, kHeader, kPayload };
+
+  std::size_t scan(std::span<const std::uint8_t> s, bool stop_at_boundary);
+
+  bool c2s_;
+  Phase phase_ = Phase::kProbe;
+  std::uint8_t probe_pos_ = 0;  ///< literal octets matched so far
+  std::uint8_t crlf_ = 0;       ///< octets of "\r\n\r\n" matched (kText)
+  std::uint8_t header_have_ = 0;
+  std::array<std::uint8_t, 9> header_{};
+  std::uint32_t payload_left_ = 0;
 };
 
 /// Adversarial delivery driven by a FaultPlan. Deterministic: the same plan
@@ -278,8 +426,6 @@ class FaultyTransport final : public Transport {
                            trace::Recorder* recorder = nullptr,
                            ExchangeLedger* ledger = nullptr);
 
-  ExchangeResult run_endpoints(Endpoint& client, Endpoint& server,
-                               const ExchangeLimits& limits = {}) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "faulty";
   }
@@ -288,14 +434,22 @@ class FaultyTransport final : public Transport {
   /// True once an injected fault has fired on this connection.
   [[nodiscard]] bool fault_fired() const noexcept { return fault_fired_; }
 
+ protected:
+  RoundOutcome round_once(Endpoint& client, Endpoint& server,
+                          ExchangeResult& result) override;
+  bool exchange_dead(ExchangeResult& result) override;
+  void on_parked_rounds(int rounds) override;
+
  private:
   /// One direction's delivery state, persistent across run() calls.
   struct DirState {
+    explicit DirState(bool client_to_server) : cursor(client_to_server) {}
     Bytes pending;          ///< taken from the source, not yet delivered
     std::size_t pos = 0;    ///< consumed prefix of `pending`
     std::uint64_t offset = 0;  ///< cumulative octets delivered in this dir
     int stall_left = 0;     ///< rounds left holding delivery
     bool cut = false;       ///< truncated: drop everything from now on
+    WireCursor cursor;      ///< frame-boundary tracker (frame_aligned plans)
   };
 
   /// Delivers as much of @p d's pending bytes as the plan allows this
@@ -308,8 +462,8 @@ class FaultyTransport final : public Transport {
 
   FaultPlan plan_;
   Rng chunk_rng_;
-  DirState c2s_;
-  DirState s2c_;
+  DirState c2s_{true};
+  DirState s2c_{false};
   bool fault_armed_;
   bool fault_fired_ = false;
   bool disconnected_ = false;

@@ -100,10 +100,19 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   faults_injected += other.faults_injected;
   mitigation_events += other.mitigation_events;
   for (const auto& [tag, n] : other.violation_tags) violation_tags[tag] += n;
+  reactor_parks += other.reactor_parks;
+  reactor_parked_rounds += other.reactor_parked_rounds;
+  // A gauge, not a counter: the fleet-wide peak is the max over shards.
+  reactor_peak_in_flight =
+      reactor_peak_in_flight > other.reactor_peak_in_flight
+          ? reactor_peak_in_flight
+          : other.reactor_peak_in_flight;
   frame_size.merge(other.frame_size);
   stream_wire_bytes.merge(other.stream_wire_bytes);
   stall_span_events.merge(other.stall_span_events);
   compression_ratio_pct.merge(other.compression_ratio_pct);
+  park_duration_rounds.merge(other.park_duration_rounds);
+  wakeups_per_site.merge(other.wakeups_per_site);
 }
 
 std::uint64_t MetricsRegistry::total_frames() const noexcept {
@@ -158,6 +167,21 @@ std::string MetricsRegistry::to_json() const {
   if (mitigation_events != 0) {
     out += ",\"mitigation_events\":";
     append_u64(out, mitigation_events);
+  }
+  // Park bookkeeping comes from the site ledgers, so it is identical for
+  // every driver and thread count — safe to emit. The in-flight peak is
+  // not (it depends on shard sizes), so it stays out of the JSON snapshot
+  // entirely; to_text() reports it.
+  if (reactor_parks != 0 || wakeups_per_site.count() != 0) {
+    out += ",\"reactor\":{\"parks\":";
+    append_u64(out, reactor_parks);
+    out += ",\"parked_rounds\":";
+    append_u64(out, reactor_parked_rounds);
+    out += ',';
+    append_histogram(out, "park_duration_rounds", park_duration_rounds);
+    out += ',';
+    append_histogram(out, "wakeups_per_site", wakeups_per_site);
+    out += '}';
   }
   out += ",\"violations\":{";
   bool first = true;
@@ -219,6 +243,16 @@ std::string MetricsRegistry::to_text() const {
   if (mitigation_events != 0) {
     std::snprintf(buf, sizeof buf, "  mitigation escalations %llu\n",
                   static_cast<unsigned long long>(mitigation_events));
+    out += buf;
+  }
+  if (reactor_parks != 0 || reactor_peak_in_flight != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  reactor: %llu parks over %llu rounds (mean park %.1f, "
+                  "mean wakeups/site %.1f), peak in-flight %llu\n",
+                  static_cast<unsigned long long>(reactor_parks),
+                  static_cast<unsigned long long>(reactor_parked_rounds),
+                  park_duration_rounds.mean(), wakeups_per_site.mean(),
+                  static_cast<unsigned long long>(reactor_peak_in_flight));
     out += buf;
   }
   std::snprintf(buf, sizeof buf,

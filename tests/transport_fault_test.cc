@@ -234,5 +234,79 @@ TEST(FaultyTransport, FaultsAreRecordedAsTraceEvents) {
   EXPECT_EQ(fault->note, "truncate");
 }
 
+TEST(ExchangeDriver, HugeStallParksInsteadOfSpinning) {
+  // A stall holding delivery for thousands of rounds must cost the driver a
+  // handful of pump() calls, not thousands: pump() reports kParked with the
+  // whole dead stretch, unpark() skips it in one step.
+  auto s1 = make_server();
+  ClientConnection c1;
+  net::LockstepTransport lockstep;
+  const auto sid1 = c1.send_request("/small");
+  lockstep.run(c1, s1);
+
+  auto s2 = make_server();
+  ClientConnection c2;
+  net::FaultyTransport stalled({.seed = 8,
+                                .max_chunk = 0,
+                                .kind = net::FaultKind::kStall,
+                                .dir = trace::Direction::kServerToClient,
+                                .at_byte = 30,
+                                .stall_rounds = 2000});
+  const auto sid2 = c2.send_request("/small");
+
+  net::EndpointRef<ClientConnection> client_ep(c2);
+  net::EndpointRef<Http2Server> server_ep(s2);
+  net::ExchangeDriver driver(stalled, client_ep, server_ep,
+                             {.max_rounds = 4096});
+  int pumps = 0;
+  int parked_rounds = 0;
+  while (driver.pump() == net::ExchangeDriver::State::kParked) {
+    ++pumps;
+    ASSERT_LT(pumps, 32) << "driver spun instead of parking the stall";
+    EXPECT_GT(driver.park_rounds(), 0);
+    parked_rounds += driver.park_rounds();
+    driver.unpark();
+  }
+  ASSERT_EQ(driver.state(), net::ExchangeDriver::State::kDone);
+
+  const auto& result = driver.result();
+  EXPECT_EQ(result.outcome, net::ExchangeOutcome::kQuiescent);
+  EXPECT_GE(parked_rounds, 2000 - 32);  // the stall was parked, not pumped
+  EXPECT_GT(result.rounds, 2000);       // ...but the rounds still elapsed
+  // Parking loses nothing: the conversation ends as the clean one did.
+  EXPECT_EQ(c1.data_received(sid1), c2.data_received(sid2));
+  EXPECT_EQ(c2.terminal().state, ClientTerminal::kQuiescent);
+}
+
+TEST(ExchangeDriver, ParksAreBookedOnTheLedger) {
+  auto server = make_server();
+  ClientConnection client;
+  net::ExchangeLedger ledger;
+  net::FaultyTransport stalled({.seed = 8,
+                                .max_chunk = 0,
+                                .kind = net::FaultKind::kStall,
+                                .dir = trace::Direction::kServerToClient,
+                                .at_byte = 30,
+                                .stall_rounds = 64},
+                               nullptr, &ledger);
+  ledger.begin_attempt();
+  client.send_request("/small");
+  // run() services parks inline; the ledger must still see them — park
+  // accounting is a property of the exchange, not of who resumes it.
+  const auto result = stalled.run(client, server, {.max_rounds = 4096});
+  ledger.settle_attempt();
+
+  EXPECT_EQ(result.outcome, net::ExchangeOutcome::kQuiescent);
+  EXPECT_GT(ledger.parks, 0u);
+  EXPECT_GE(ledger.parked_rounds, 64u);
+  ASSERT_EQ(ledger.park_durations.size(), ledger.parks);
+  std::uint64_t total = 0;
+  for (const int d : ledger.park_durations) {
+    EXPECT_GT(d, 0);
+    total += static_cast<std::uint64_t>(d);
+  }
+  EXPECT_EQ(total, ledger.parked_rounds);
+}
+
 }  // namespace
 }  // namespace h2r

@@ -1,0 +1,134 @@
+// h2load-mini — seawreck-style load generator for the h2serve listener.
+//
+// Opens --con TCP connections, keeps --streams GETs multiplexed on each,
+// and spreads a total budget of --req requests across them; reports RPS,
+// the per-request latency distribution, and the error taxonomy:
+//
+//   h2load-mini --port 3000 --con 8 --req 2000 --streams 4
+//
+// Exit status: 0 when every budgeted request completed with zero transport
+// errors, 1 otherwise — so CI smoke jobs can assert on it directly.
+//
+// Flags (strict parsing: trailing garbage rejects the value):
+//   --host A        server address               [127.0.0.1]
+//   --port N        server port   [env H2R_LISTEN_PORT; required]
+//   --con N         concurrent connections       [4]
+//   --req M         total requests               [100]
+//   --streams K     in-flight streams/connection [1]
+//   --path P        resource to GET              [/]
+//   --timeout-ms N  whole-run deadline           [60000]
+//   --json          print the JSON report only
+#include <cstdio>
+#include <string>
+
+#include "netio/load.h"
+#include "util/parse.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host A] [--con N] [--req M] "
+               "[--streams K] [--path P] [--timeout-ms N] [--json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace h2r;
+
+  netio::LoadOptions opts;
+  long port = -1;
+  bool json_only = false;
+
+  if (const char* env = std::getenv("H2R_LISTEN_PORT")) {
+    const auto v = strict_long_in(env, 1, 65535);
+    if (!v.has_value()) {
+      std::fprintf(stderr,
+                   "h2load-mini: H2R_LISTEN_PORT=\"%s\" is not a port\n", env);
+      return 2;
+    }
+    port = *v;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const auto v = strict_long_in(value(), 1, 65535);
+      if (!v.has_value()) return usage(argv[0]);
+      port = *v;
+    } else if (arg == "--host") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.host = v;
+    } else if (arg == "--con") {
+      const auto v = strict_long_in(value(), 1, 10'000);
+      if (!v.has_value()) return usage(argv[0]);
+      opts.connections = static_cast<int>(*v);
+    } else if (arg == "--req") {
+      const auto v = strict_long_in(value(), 1, 100'000'000);
+      if (!v.has_value()) return usage(argv[0]);
+      opts.requests = static_cast<int>(*v);
+    } else if (arg == "--streams") {
+      const auto v = strict_long_in(value(), 1, 10'000);
+      if (!v.has_value()) return usage(argv[0]);
+      opts.streams = static_cast<int>(*v);
+    } else if (arg == "--path") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.path = v;
+    } else if (arg == "--timeout-ms") {
+      const auto v = strict_long_in(value(), 1, 3'600'000);
+      if (!v.has_value()) return usage(argv[0]);
+      opts.run_timeout_ms = static_cast<int>(*v);
+    } else if (arg == "--json") {
+      json_only = true;
+    } else {
+      std::fprintf(stderr, "h2load-mini: unknown flag \"%s\"\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (port < 0) {
+    std::fprintf(stderr, "h2load-mini: --port (or H2R_LISTEN_PORT) is "
+                 "required\n");
+    return usage(argv[0]);
+  }
+  opts.port = static_cast<std::uint16_t>(port);
+
+  if (!json_only) {
+    std::printf("h2load-mini: %s:%u con=%d req=%d streams=%d path=%s\n",
+                opts.host.c_str(), opts.port, opts.connections, opts.requests,
+                opts.streams, opts.path.c_str());
+    std::fflush(stdout);
+  }
+
+  const netio::LoadReport report = netio::run_load(opts);
+
+  if (!json_only) {
+    std::printf("completed %llu/%d in %.1f ms  (%.1f req/s)\n",
+                static_cast<unsigned long long>(report.completed),
+                opts.requests, report.wall_ms, report.rps);
+    if (!report.latency_ms.empty()) {
+      std::printf("latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f "
+                  "max=%.3f\n",
+                  report.latency_ms.mean(), report.latency_ms.quantile(0.50),
+                  report.latency_ms.quantile(0.90),
+                  report.latency_ms.quantile(0.99), report.latency_ms.max());
+    }
+    for (const auto& [key, count] : report.errors) {
+      std::printf("error %-16s %llu\n", key.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+  std::printf("%s\n", report.json().c_str());
+
+  const bool ok = report.total_errors() == 0 && report.failed == 0 &&
+                  report.completed ==
+                      static_cast<std::uint64_t>(opts.requests);
+  return ok ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 #include "corpus/marginals.h"
 #include "corpus/population.h"
 #include "corpus/scan.h"
+#include "util/parse.h"
 #include "util/stats.h"
 
 // ------------------------------------------------------- allocation counter
@@ -63,24 +64,22 @@ namespace h2r::bench {
 /// "2x10" as 2 and "abc" as 0 — a typo'd env var must not quietly reshape
 /// a bench run.
 inline bool parse_env_double(const char* name, const char* s, double& out) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0') {
+  const auto v = strict_double(s);
+  if (!v.has_value()) {
     std::fprintf(stderr, "!! %s=\"%s\" is not a number; ignoring\n", name, s);
     return false;
   }
-  out = v;
+  out = *v;
   return true;
 }
 
 inline bool parse_env_long(const char* name, const char* s, long& out) {
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0') {
+  const auto v = strict_long(s);
+  if (!v.has_value()) {
     std::fprintf(stderr, "!! %s=\"%s\" is not an integer; ignoring\n", name, s);
     return false;
   }
-  out = v;
+  out = *v;
   return true;
 }
 

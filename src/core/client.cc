@@ -261,6 +261,16 @@ void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
   }
 }
 
+void ClientConnection::close(h2::ErrorCode code) {
+  if (dead_) return;
+  // Last peer-initiated stream we processed: the highest PUSH_PROMISE id
+  // seen, or 0 when the server never pushed (RFC 7540 §6.8).
+  const std::uint32_t last_push =
+      pushed_.empty() ? 0u : pushed_.rbegin()->first;
+  send_frame(h2::make_goaway(last_push, code, ""));
+  dead_ = true;
+}
+
 void ClientConnection::on_transport_close(const Status& status) {
   // A protocol-level cause already recorded on this connection (parse
   // error, GOAWAY) outranks the transport dying afterwards.

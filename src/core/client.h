@@ -133,6 +133,12 @@ class ClientConnection {
   /// kTransportError terminal; a GOAWAY or parse error seen earlier wins.
   void on_transport_close(const Status& status);
 
+  /// Client-initiated clean close (§6.8): queues GOAWAY with @p code and
+  /// marks the connection done. The terminal stays kQuiescent — this is
+  /// the load generator's "I have no more requests" path, not an error.
+  /// The GOAWAY still has to be drained via take_output() and shipped.
+  void close(h2::ErrorCode code = h2::ErrorCode::kNoError);
+
   // ---- actions ----------------------------------------------------------
   /// Opens a stream with a GET for @p path; returns the stream id.
   std::uint32_t send_request(const std::string& path,

@@ -46,10 +46,9 @@ void Reactor::run() {
 
     if (ready.empty()) {
       // Everyone is parked: jump the clock to the next occupied instant.
-      auto due = wheel_.begin();
-      tick_ = due->first;
-      ready = std::move(due->second);
-      wheel_.erase(due);
+      auto due = wheel_.pop_next();
+      tick_ = due.first;
+      ready = std::move(due.second);
     }
 
     // Drain the batch in ascending site index — with the tick-ordered
@@ -67,7 +66,7 @@ void Reactor::run() {
         // park can never wedge the clock.
         const std::uint64_t sleep =
             std::max(1, flight.task->park_rounds());
-        wheel_[tick_ + sleep].push_back(std::move(flight));
+        wheel_.park(tick_ + sleep, std::move(flight));
       }
     }
     ready.clear();

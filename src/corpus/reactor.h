@@ -15,13 +15,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "corpus/scan.h"
 #include "corpus/site_task.h"
+#include "net/readiness.h"
 
 namespace h2r::corpus {
 
@@ -55,10 +55,10 @@ class Reactor {
   ScanReport& report_;
   std::size_t cap_;
 
-  /// Timer wheel: wake tick -> tasks sleeping until then, drained in site
-  /// order. An ordered map keeps "jump to the next occupied instant" one
-  /// lookup regardless of how sparse the parked stretches are.
-  std::map<std::uint64_t, std::vector<InFlight>> wheel_;
+  /// Timer wheel (net::TimerWheel — the readiness source shared with the
+  /// epoll serving loop's deadline sweeps): wake tick -> tasks sleeping
+  /// until then, drained in site order.
+  net::TimerWheel<InFlight> wheel_;
   /// Scratch slots recycled between sites; at most cap_ ever exist.
   std::vector<std::unique_ptr<SiteScratch>> free_scratch_;
 

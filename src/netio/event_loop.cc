@@ -1,0 +1,93 @@
+#include "netio/event_loop.h"
+
+#include <array>
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace h2r::netio {
+
+EpollLoop::EpollLoop() {
+  epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    status_ = errno_status(errno, "epoll_create1");
+    return;
+  }
+  wake_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_.valid()) {
+    status_ = errno_status(errno, "eventfd");
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) < 0) {
+    status_ = errno_status(errno, "epoll_ctl(wake)");
+  }
+}
+
+Status EpollLoop::add(int fd, IoHandler* handler, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return errno_status(errno, "epoll_ctl(add)");
+  }
+  handlers_[fd] = handler;
+  return OkStatus();
+}
+
+Status EpollLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return errno_status(errno, "epoll_ctl(mod)");
+  }
+  return OkStatus();
+}
+
+void EpollLoop::remove(int fd) {
+  // Ignore ctl errors: the fd may already be closed, which deregisters it
+  // from epoll implicitly.
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+Result<int> EpollLoop::poll(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return errno_status(errno, "epoll_wait");
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_.get()) {
+      std::uint64_t drain = 0;
+      while (::read(wake_.get(), &drain, sizeof(drain)) > 0) {
+      }
+      shutdown_requested_ = true;
+      continue;
+    }
+    // Look the handler up per event: an earlier handler in this batch may
+    // have removed this fd.
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    it->second->on_ready(events[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EpollLoop::request_shutdown() noexcept {
+  // write(2) on an eventfd is async-signal-safe — this is the SIGINT path.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_.get(), &one, sizeof(one));
+}
+
+}  // namespace h2r::netio

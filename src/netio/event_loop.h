@@ -1,0 +1,77 @@
+// A small level-triggered epoll reactor.
+//
+// Both netio binaries — the h2c listener and the load generator — run every
+// socket on one of these. Level-triggered because the transport layer may
+// deliberately leave kernel buffers partially drained (per-round intake
+// caps); edge-triggered epoll would require exhaustive drain loops in every
+// handler to avoid lost wakeups. An eventfd wired into the interest set
+// makes request_shutdown() safe from signal handlers and other threads —
+// that is how SIGINT turns into a graceful GOAWAY drain.
+//
+// Handlers are looked up by fd at dispatch time, so a handler may remove
+// any fd (including its own) mid-dispatch; stale events for removed fds in
+// the same batch are skipped rather than dispatched into freed memory.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "netio/socket.h"
+#include "util/status.h"
+
+namespace h2r::netio {
+
+/// Receives readiness callbacks from EpollLoop.
+class IoHandler {
+ public:
+  virtual ~IoHandler() = default;
+  /// @p events is the raw epoll mask (EPOLLIN | EPOLLOUT | EPOLLERR | ...).
+  virtual void on_ready(std::uint32_t events) = 0;
+};
+
+class EpollLoop {
+ public:
+  EpollLoop();
+  ~EpollLoop() = default;
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Construction result: epoll_create1 / eventfd can fail under fd
+  /// pressure, and callers must find out before polling.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Registers @p fd with interest @p events, dispatching to @p handler.
+  /// The handler must outlive the registration.
+  [[nodiscard]] Status add(int fd, IoHandler* handler, std::uint32_t events);
+  /// Re-arms @p fd with a new interest mask.
+  [[nodiscard]] Status modify(int fd, std::uint32_t events);
+  /// Deregisters @p fd. Safe mid-dispatch; pending events for it are
+  /// dropped. The caller closes the fd itself.
+  void remove(int fd);
+
+  /// One epoll_wait + dispatch pass. @p timeout_ms: -1 blocks, 0 polls.
+  /// Returns the number of fds dispatched (0 on timeout).
+  [[nodiscard]] Result<int> poll(int timeout_ms);
+
+  /// Async-signal-safe shutdown request: pokes the eventfd so a blocked
+  /// poll() wakes immediately. shutdown_requested() turns true on the next
+  /// dispatch pass.
+  void request_shutdown() noexcept;
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_requested_;
+  }
+
+  [[nodiscard]] std::size_t watched() const noexcept {
+    return handlers_.size();
+  }
+
+ private:
+  Fd epoll_;
+  Fd wake_;  ///< eventfd; readable ⇒ shutdown requested
+  Status status_;
+  std::unordered_map<int, IoHandler*> handlers_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace h2r::netio

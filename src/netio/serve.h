@@ -1,0 +1,138 @@
+// The h2c listener: profile-driven Http2Server engines behind real sockets.
+//
+// ServeLoop binds a loopback TCP listener, accepts connections onto the
+// epoll reactor, and runs one SocketTransport + ExchangeDriver + Http2Server
+// triple per connection — the deviation engine the corpus scan probes,
+// now answerable by curl. First bytes on every accepted socket are sniffed
+// against the h2 client preface to pick the engine's start mode: a full
+// preface match is a prior-knowledge client (StartMode::kTls — the TLS/ALPN
+// step happened "outside" or is assumed), anything else is HTTP/1.1 text
+// headed for the §3.2 Upgrade: h2c handshake (StartMode::kH2c). The sniffed
+// octets re-enter the stream through the transport so the engine sees them
+// unbroken.
+//
+// Shutdown is graceful by construction: request_shutdown() (async-signal-
+// safe; h2serve wires SIGINT/SIGTERM to it) stops the accept path, sends
+// GOAWAY on every live engine, and drains in-flight streams under a bounded
+// deadline kept on the same net::TimerWheel the scan reactor uses. Sockets
+// that outlive the deadline are force-closed and counted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/readiness.h"
+#include "netio/event_loop.h"
+#include "netio/socket.h"
+#include "server/engine.h"
+#include "trace/recorder.h"
+#include "util/status.h"
+
+namespace h2r::netio {
+
+struct ServeOptions {
+  /// ServerProfile key (server/profiles.h registry): "nginx", "h2o", ...
+  std::string profile_key = "h2o";
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (read back via port()).
+  std::uint16_t port = 0;
+  int backlog = 128;
+  /// Opt the profile into MitigationPolicy::hardened().
+  bool hardened = false;
+  /// Graceful-shutdown drain budget: connections still open this many ms
+  /// after request_shutdown() are force-closed.
+  int drain_ms = 2000;
+  /// Accepts beyond this many live connections are refused (closed
+  /// immediately and counted as overload in the error taxonomy).
+  std::size_t max_connections = 1024;
+  /// Optional wiretap sink. Null = off. Each connection records onto a
+  /// private tape (engine c2s+s2c frames, transport rounds) that is
+  /// flushed into this sink whole when the connection retires, so the
+  /// exported trace stays contiguous per connection segment however many
+  /// sockets interleave on the reactor.
+  trace::Recorder* recorder = nullptr;
+};
+
+/// What the listener did, exportable as JSON after run() returns.
+struct ServeStats {
+  std::uint64_t accepted = 0;
+  /// Exchanges that ended cleanly: engine-side close, or peer GOAWAY +
+  /// close with no streams in flight (the load generator's normal exit).
+  std::uint64_t served_clean = 0;
+  /// Peer vanished mid-exchange (reset, abort, EOF with streams open).
+  std::uint64_t disconnected = 0;
+  /// HTTP/1.1 clients whose upgrade offer the profile declined (or that
+  /// never offered one); answered with HTTP/1.1 and closed.
+  std::uint64_t declined_h1 = 0;
+  /// Accepts refused: EMFILE-class errno or the max_connections gate.
+  std::uint64_t accept_refused = 0;
+  /// Connections force-closed when the drain deadline expired.
+  std::uint64_t drain_expired = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Terminal error taxonomy: errno_key / classifier → count.
+  std::map<std::string, std::uint64_t> errors;
+
+  [[nodiscard]] std::string json() const;
+};
+
+class ServeLoop {
+ public:
+  /// Binds and registers the listener. Fails on bad profile key, bind
+  /// errors, or reactor construction failure.
+  static Result<std::unique_ptr<ServeLoop>> create(const ServeOptions& opts);
+  ~ServeLoop();
+
+  /// The port actually bound (resolves opts.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until request_shutdown() and the drain completes (or its
+  /// deadline force-closes stragglers). Only returns early on reactor
+  /// errors.
+  Status run();
+
+  /// Async-signal-safe: wakes the reactor and begins the graceful drain.
+  void request_shutdown() noexcept { loop_.request_shutdown(); }
+
+  [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t open_connections() const noexcept {
+    return conns_.size();
+  }
+
+ private:
+  struct Conn;
+  class AcceptHandler;
+
+  explicit ServeLoop(const ServeOptions& opts);
+
+  void on_accept_ready();
+  void adopt(Fd fd);
+  void drive(Conn& conn);
+  void settle(Conn& conn);
+  void flush_tape(Conn& conn);
+  void update_interest(Conn& conn);
+  void begin_drain();
+  void retire_pending();
+  [[nodiscard]] std::uint64_t now_ms() const;
+
+  ServeOptions opts_;
+  EpollLoop loop_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::shared_ptr<const server::ServerProfile> profile_;
+  std::shared_ptr<const server::Site> site_;
+  std::unique_ptr<AcceptHandler> accept_handler_;
+  std::map<int, std::unique_ptr<Conn>> conns_;  ///< keyed by fd
+  std::vector<int> retired_;  ///< fds to reap after the dispatch pass
+  ServeStats stats_;
+  bool draining_ = false;
+  /// Drain deadline, on the same timer wheel the scan reactor sleeps on
+  /// (ticks are milliseconds here instead of virtual rounds).
+  net::TimerWheel<int> deadlines_;
+  std::uint64_t drain_deadline_ms_ = 0;
+  std::uint64_t t0_ = 0;  ///< steady-clock epoch for now_ms()
+};
+
+}  // namespace h2r::netio

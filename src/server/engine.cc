@@ -263,6 +263,11 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
       return;
     }
     ++frames_received_;
+    if (record_received_ && recorder_ != nullptr) {
+      recorder_->record(trace::frame_event(
+          trace::Direction::kClientToServer, h2::materialize(next->value()),
+          h2::kFrameHeaderSize + next->value().payload_wire_octets));
+    }
     if (profile_->mitigation.enabled) mitigation_on_frame(next->value());
     on_frame(next->value());
     if (dead_) return;

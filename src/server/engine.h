@@ -86,6 +86,27 @@ class Http2Server {
   /// True once the h2c upgrade completed (kH2c mode only).
   [[nodiscard]] bool upgraded() const noexcept { return upgraded_; }
 
+  /// True once the client announced a clean close with GOAWAY. The serving
+  /// loop uses this to tell a polite EOF (peer said goodbye, then closed)
+  /// from an abrupt connection loss when it classifies terminal states.
+  [[nodiscard]] bool client_goaway() const noexcept { return client_goaway_; }
+
+  /// Highest client-initiated stream id accepted on this connection —
+  /// streams served so far = (id + 1) / 2. Serving-loop bookkeeping.
+  [[nodiscard]] std::uint32_t last_client_stream_id() const noexcept {
+    return last_client_stream_id_;
+  }
+
+  /// True while a graceful shutdown() is draining in-flight streams.
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+
+  /// Opts into recording received frames as c2s wiretap events. In-process
+  /// exchanges leave this off — the ClientConnection sharing the recorder
+  /// already records its own sends — but when the peer is a real remote
+  /// client (the serving loop), the engine is the only party that can put
+  /// the client's frames on the tape.
+  void record_received_frames(bool on) noexcept { record_received_ = on; }
+
   /// Drains queued server->client bytes.
   [[nodiscard]] Bytes take_output();
 
@@ -291,6 +312,7 @@ class Http2Server {
   bool dead_ = false;
   bool client_goaway_ = false;
   bool draining_ = false;  ///< graceful shutdown in progress
+  bool record_received_ = false;  ///< tape c2s frames (real-socket serving)
 
   // h2c bootstrap state (StartMode::kH2c).
   StartMode start_mode_;

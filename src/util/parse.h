@@ -1,0 +1,42 @@
+// Strict numeric parsing for CLI flags and environment knobs.
+//
+// atoi/atof would silently read "2x10" as 2 and "abc" as 0; a typo'd knob
+// must not quietly reshape a bench run or bind a server to port 0. These
+// helpers accept a value only when the *entire* string parses, and return
+// nothing otherwise — the caller decides between warn-and-default (env
+// vars, see bench/bench_util.h) and reject-and-exit (argv, see apps/).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+
+namespace h2r {
+
+/// The whole of @p s as a base-10 long, or nothing. Leading whitespace and
+/// a sign are accepted (strtol's contract); trailing garbage is not.
+[[nodiscard]] inline std::optional<long> strict_long(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// The whole of @p s as a double, or nothing.
+[[nodiscard]] inline std::optional<double> strict_double(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// strict_long constrained to [lo, hi] — ports, counts, millisecond knobs.
+[[nodiscard]] inline std::optional<long> strict_long_in(const char* s, long lo,
+                                                        long hi) {
+  const auto v = strict_long(s);
+  if (!v.has_value() || *v < lo || *v > hi) return std::nullopt;
+  return v;
+}
+
+}  // namespace h2r

@@ -1,0 +1,192 @@
+// netio unit + integration tests: the shared timer wheel, strict CLI/env
+// parsing, the errno → terminal-taxonomy mapping, and the load-bearing
+// property of the whole subsystem — that a real-socket exchange is
+// observably identical to the lockstep transport for the same profile.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <thread>
+
+#include "core/client.h"
+#include "net/readiness.h"
+#include "net/transport.h"
+#include "netio/load.h"
+#include "netio/serve.h"
+#include "netio/socket.h"
+#include "server/engine.h"
+#include "server/profile.h"
+#include "server/site.h"
+#include "util/parse.h"
+
+namespace h2r {
+namespace {
+
+// ----------------------------------------------------------- timer wheel
+
+TEST(TimerWheel, DrainsInTickOrderThenInsertionOrder) {
+  net::TimerWheel<int> wheel;
+  wheel.park(30, 1);
+  wheel.park(10, 2);
+  wheel.park(30, 3);
+  wheel.park(20, 4);
+  EXPECT_EQ(wheel.parked(), 4u);
+  EXPECT_EQ(wheel.next_tick(), 10u);
+
+  auto first = wheel.pop_next();
+  EXPECT_EQ(first.first, 10u);
+  EXPECT_EQ(first.second, std::vector<int>{2});
+
+  auto second = wheel.pop_next();
+  EXPECT_EQ(second.first, 20u);
+  EXPECT_EQ(second.second, std::vector<int>{4});
+
+  // Same tick drains in insertion order.
+  auto third = wheel.pop_next();
+  EXPECT_EQ(third.first, 30u);
+  EXPECT_EQ(third.second, (std::vector<int>{1, 3}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, PopDueSweepsEverythingAtOrBeforeTheTick) {
+  net::TimerWheel<int> wheel;
+  wheel.park(5, 1);
+  wheel.park(7, 2);
+  wheel.park(9, 3);
+  EXPECT_TRUE(wheel.pop_due(4).empty());
+  EXPECT_EQ(wheel.pop_due(7), (std::vector<int>{1, 2}));
+  EXPECT_EQ(wheel.parked(), 1u);
+  EXPECT_EQ(wheel.pop_due(100), std::vector<int>{3});
+  EXPECT_TRUE(wheel.empty());
+}
+
+// ---------------------------------------------------------- strict parse
+
+TEST(StrictParse, AcceptsWholeStringsOnly) {
+  EXPECT_EQ(strict_long("42"), 42);
+  EXPECT_EQ(strict_long("-7"), -7);
+  EXPECT_EQ(strict_long(" 8"), 8);  // strtol skips leading whitespace
+  EXPECT_FALSE(strict_long("2x10").has_value());
+  EXPECT_FALSE(strict_long("42 ").has_value());
+  EXPECT_FALSE(strict_long("").has_value());
+  EXPECT_FALSE(strict_long(nullptr).has_value());
+
+  EXPECT_EQ(strict_double("1.5"), 1.5);
+  EXPECT_FALSE(strict_double("1.5abc").has_value());
+  EXPECT_FALSE(strict_double("abc").has_value());
+}
+
+TEST(StrictParse, RangeCheckRejectsOutOfBounds) {
+  EXPECT_EQ(strict_long_in("3000", 0, 65535), 3000);
+  EXPECT_FALSE(strict_long_in("65536", 0, 65535).has_value());
+  EXPECT_FALSE(strict_long_in("-1", 0, 65535).has_value());
+  EXPECT_FALSE(strict_long_in("80x", 0, 65535).has_value());
+}
+
+// ---------------------------------------------------------- errno mapping
+
+TEST(ErrnoTaxonomy, ConnectionLossMapsToUnavailable) {
+  for (const int err : {ECONNRESET, EPIPE, ECONNREFUSED, ECONNABORTED,
+                        ETIMEDOUT, EHOSTUNREACH, ENETUNREACH}) {
+    const Status s = netio::errno_status(err, "test");
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable) << netio::errno_key(err);
+  }
+}
+
+TEST(ErrnoTaxonomy, ResourceExhaustionMapsToRefused) {
+  for (const int err : {EMFILE, ENFILE, ENOBUFS, ENOMEM}) {
+    const Status s = netio::errno_status(err, "test");
+    EXPECT_EQ(s.code(), StatusCode::kRefused) << netio::errno_key(err);
+  }
+}
+
+TEST(ErrnoTaxonomy, KeysAreStableNames) {
+  EXPECT_EQ(netio::errno_key(ECONNRESET), "ECONNRESET");
+  EXPECT_EQ(netio::errno_key(EPIPE), "EPIPE");
+  EXPECT_EQ(netio::errno_key(EMFILE), "EMFILE");
+  // Unnamed errnos still get a stable, greppable key.
+  EXPECT_EQ(netio::errno_key(9999), "errno-9999");
+}
+
+// ------------------------------------------------- lockstep vs real socket
+
+/// Everything a client can observe about a conversation, flattened into a
+/// comparable string: frame types, stream ids, flags, parsed payload sizes
+/// and decoded header lists, in arrival order.
+std::string fingerprint(const core::ClientConnection& client) {
+  std::string out;
+  for (const auto& received : client.events()) {
+    out += std::to_string(static_cast<int>(received.frame.type()));
+    out += ":" + std::to_string(received.frame.stream_id);
+    out += ":" + std::to_string(static_cast<int>(received.frame.flags));
+    out += ":" + std::to_string(received.header_block_size);
+    if (received.headers.has_value()) {
+      for (const auto& header : *received.headers) {
+        out += "|" + header.name + "=" + header.value;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// The lockstep reference: one GET served entirely in-process.
+std::string lockstep_fingerprint(const std::string& profile_key) {
+  server::Http2Server server(server::profile_by_key(profile_key),
+                             server::Site::standard_testbed_site());
+  core::ClientConnection client;
+  client.send_request("/");
+  net::LockstepTransport().run(client, server);
+  return fingerprint(client);
+}
+
+/// The same GET through a real listener on an ephemeral loopback port.
+std::string socket_fingerprint(const std::string& profile_key) {
+  netio::ServeOptions opts;
+  opts.profile_key = profile_key;
+  auto serve = netio::ServeLoop::create(opts);
+  EXPECT_TRUE(serve.ok()) << serve.status().message();
+  std::thread server_thread([&] { EXPECT_TRUE(serve.value()->run().ok()); });
+
+  std::string print;
+  {
+    auto sock =
+        netio::SocketClient::connect("127.0.0.1", serve.value()->port());
+    EXPECT_TRUE(sock.ok()) << sock.status().message();
+    auto& client = sock.value()->client();
+    const std::uint32_t sid = client.send_request("/");
+    const Status pumped = sock.value()->pump_until(
+        [sid](core::ClientConnection& c) {
+          if (!c.stream_complete(sid)) return false;
+          // Wait out promised push streams too: the lockstep run drains
+          // them, so the socket run must observe the same tail.
+          for (const auto& [pushed_id, headers] : c.pushes()) {
+            (void)headers;
+            if (!c.stream_complete(pushed_id)) return false;
+          }
+          return true;
+        });
+    EXPECT_TRUE(pumped.ok()) << pumped.message();
+    EXPECT_TRUE(sock.value()->finish().ok());
+    print = fingerprint(client);
+  }
+  serve.value()->request_shutdown();
+  server_thread.join();
+  EXPECT_EQ(serve.value()->stats().served_clean, 1u);
+  return print;
+}
+
+TEST(SocketFingerprint, H2oMatchesLockstep) {
+  const std::string lockstep = lockstep_fingerprint("h2o");
+  ASSERT_FALSE(lockstep.empty());
+  EXPECT_EQ(socket_fingerprint("h2o"), lockstep);
+}
+
+TEST(SocketFingerprint, NginxMatchesLockstep) {
+  const std::string lockstep = lockstep_fingerprint("nginx");
+  ASSERT_FALSE(lockstep.empty());
+  EXPECT_EQ(socket_fingerprint("nginx"), lockstep);
+}
+
+}  // namespace
+}  // namespace h2r

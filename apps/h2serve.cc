@@ -11,7 +11,15 @@
 // are both handled; which path a connection took is visible in the stats.
 // SIGINT/SIGTERM shut down gracefully: GOAWAY on every live connection, a
 // bounded drain (--drain-ms), then the serve stats — and, with --trace-out,
-// the H2Wiretap JSONL + metrics snapshot — are flushed in one piece.
+// the H2Wiretap trace + metrics snapshot — are flushed in one piece.
+//
+// The wiretap is always on: every connection records onto a bounded binary
+// tape (32 bytes/record, see ServeOptions::tape_capacity) replayed into a
+// process-wide ring on retirement. Without --trace-out that ring keeps only
+// the newest records under a fixed memory budget; with --trace-out it
+// retains everything and exports on exit, either as the legacy JSONL or as
+// the raw "H2WT" binary dump (--trace-format=bin, decode offline with
+// h2trace-decode).
 //
 // Flags (strict parsing: trailing garbage rejects the value):
 //   --port N        listen port, 0 = ephemeral  [env H2R_LISTEN_PORT; 3000]
@@ -19,13 +27,15 @@
 //   --hardened      enable MitigationPolicy::hardened()
 //   --drain-ms N    graceful-shutdown drain budget [2000]
 //   --max-conns N   concurrent-connection cap       [1024]
-//   --trace-out P   H2Wiretap JSONL path (+ P.metrics.json) [env H2R_TRACE_OUT]
+//   --trace-out P   H2Wiretap trace path (+ P.metrics.json) [env H2R_TRACE_OUT]
+//   --trace-format F  trace-out encoding: "jsonl" or "bin"  [jsonl]
 //   --json          print stats as JSON only (no banner)
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "netio/serve.h"
 #include "trace/annotate.h"
@@ -42,10 +52,16 @@ void on_signal(int) {
   if (auto* serve = g_serve.load()) serve->request_shutdown();
 }
 
+/// Process-wide ring bound when the trace is not being exported: always-on
+/// tracing keeps the newest ~2 MiB of records instead of growing with
+/// uptime. --trace-out switches to the unbounded retaining mode.
+constexpr std::size_t kIdleTapeRecords = 65536;
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--profile KEY] [--hardened] "
-               "[--drain-ms N] [--max-conns N] [--trace-out PATH] [--json]\n",
+               "[--drain-ms N] [--max-conns N] [--trace-out PATH] "
+               "[--trace-format jsonl|bin] [--json]\n",
                argv0);
   return 2;
 }
@@ -68,6 +84,7 @@ int main(int argc, char** argv) {
   long port = 3000;
   bool json_only = false;
   std::string trace_out;
+  bool trace_bin = false;
 
   if (const char* env = std::getenv("H2R_SERVE_PROFILE")) {
     opts.profile_key = env;
@@ -110,6 +127,22 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       trace_out = v;
+    } else if (arg == "--trace-format") {
+      // Strict like the numeric flags: only the two exact tokens parse, so
+      // "binx" or "jsonl " fail loudly instead of silently picking a mode.
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "bin") == 0) {
+        trace_bin = true;
+      } else if (std::strcmp(v, "jsonl") == 0) {
+        trace_bin = false;
+      } else {
+        std::fprintf(stderr,
+                     "h2serve: --trace-format \"%s\" is neither \"jsonl\" "
+                     "nor \"bin\"\n",
+                     v);
+        return usage(argv[0]);
+      }
     } else if (arg == "--json") {
       json_only = true;
     } else {
@@ -119,8 +152,12 @@ int main(int argc, char** argv) {
   }
   opts.port = static_cast<std::uint16_t>(port);
 
-  trace::VectorRecorder recorder;
-  if (!trace_out.empty()) opts.recorder = &recorder;
+  // Always-on wiretap: the sink is a binary ring in both modes. Exporting
+  // runs it unbounded so the dump is whole; otherwise it is a fixed-budget
+  // ring — recording costs the same either way (the bench's traced rows),
+  // only retention differs.
+  trace::RingRecorder recorder(trace_out.empty() ? kIdleTapeRecords : 0);
+  opts.recorder = &recorder;
 
   auto serve = netio::ServeLoop::create(opts);
   if (!serve.ok()) {
@@ -154,19 +191,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Exports happen after the loop has fully drained, so the JSONL and the
+  // Exports happen after the loop has fully drained, so the trace and the
   // metrics snapshot are written exactly once, whole — never torn by a
-  // signal landing mid-write.
+  // signal landing mid-write. The binary dump carries no annotator tags
+  // (tags are offline-derived); h2trace-decode --annotate reproduces the
+  // JSONL this process would have written, byte for byte.
   if (!trace_out.empty()) {
-    const auto tags = trace::annotate_violations(recorder.events());
-    if (!write_whole_file(trace_out, trace::to_jsonl(recorder.events()))) {
+    if (trace_bin) {
+      std::string bytes;
+      recorder.serialize(bytes);
+      if (!write_whole_file(trace_out, bytes)) {
+        std::fprintf(stderr, "h2serve: could not write %s\n",
+                     trace_out.c_str());
+      }
+    }
+    std::vector<trace::TraceEvent> events = recorder.decode();
+    const auto tags = trace::annotate_violations(events);
+    if (!trace_bin && !write_whole_file(trace_out, trace::to_jsonl(events))) {
       std::fprintf(stderr, "h2serve: could not write %s\n", trace_out.c_str());
     }
     trace::MetricsRegistry registry;
-    {
-      trace::MetricsRecorder metrics(registry);
-      for (const auto& event : recorder.events()) metrics.replay(event);
-    }
+    trace::consume(registry, events);
+    registry.trace_drops =
+        serve.value()->stats().trace_drops + recorder.drops();
     if (!write_whole_file(trace_out + ".metrics.json",
                           registry.to_json() + "\n")) {
       std::fprintf(stderr, "h2serve: could not write %s.metrics.json\n",

@@ -102,8 +102,8 @@ Bytes ClientConnection::take_output() {
 void ClientConnection::send_frame(const Frame& frame) {
   const std::size_t wire = h2::serialize_frame_into(out_, frame);
   if (options_.recorder != nullptr) {
-    options_.recorder->record(
-        trace::frame_event(trace::Direction::kClientToServer, frame, wire));
+    options_.recorder->record_frame(trace::Direction::kClientToServer, frame,
+                                    wire);
   }
 }
 
@@ -122,18 +122,16 @@ void ClientConnection::note_hpack_delta(trace::Direction dir,
                                         std::uint64_t evictions) {
   if (options_.recorder == nullptr) return;
   if (inserts != 0) {
-    trace::TraceEvent ev;
-    ev.dir = dir;
-    ev.kind = trace::EventKind::kHpackInsert;
-    ev.detail_a = static_cast<std::uint32_t>(inserts);
-    options_.recorder->record(std::move(ev));
+    options_.recorder->record(
+        {.dir = dir,
+         .kind = trace::EventKind::kHpackInsert,
+         .detail_a = static_cast<std::uint32_t>(inserts)});
   }
   if (evictions != 0) {
-    trace::TraceEvent ev;
-    ev.dir = dir;
-    ev.kind = trace::EventKind::kHpackEvict;
-    ev.detail_a = static_cast<std::uint32_t>(evictions);
-    options_.recorder->record(std::move(ev));
+    options_.recorder->record(
+        {.dir = dir,
+         .kind = trace::EventKind::kHpackEvict,
+         .detail_a = static_cast<std::uint32_t>(evictions)});
   }
 }
 
@@ -245,14 +243,13 @@ void ClientConnection::receive(std::span<const std::uint8_t> bytes) {
         terminal_.frame_type_known = ctx->type_known;
       }
       if (options_.recorder != nullptr) {
-        trace::TraceEvent ev;
-        ev.dir = trace::Direction::kServerToClient;
-        ev.kind = trace::EventKind::kParseError;
-        ev.note = next->status().message();
-        ev.detail_a = static_cast<std::uint32_t>(terminal_.byte_offset);
-        ev.detail_b = terminal_.frame_type_known ? 1 : 0;
-        ev.frame_type = terminal_.frame_type;
-        options_.recorder->record(std::move(ev));
+        options_.recorder->record(
+            {.dir = trace::Direction::kServerToClient,
+             .kind = trace::EventKind::kParseError,
+             .frame_type = terminal_.frame_type,
+             .detail_a = static_cast<std::uint32_t>(terminal_.byte_offset),
+             .detail_b = terminal_.frame_type_known ? 1u : 0u,
+             .note = next->status().message()});
       }
       dead_ = true;
       return;
@@ -357,12 +354,11 @@ void ClientConnection::on_frame(const h2::FrameView& view) {
         if (options_.recorder != nullptr) {
           for (std::size_t i = 0; i < view.settings_entry_count(); ++i) {
             const auto [id, value] = view.setting_at(i);
-            trace::TraceEvent sev;
-            sev.dir = trace::Direction::kServerToClient;
-            sev.kind = trace::EventKind::kSettingsApplied;
-            sev.detail_a = static_cast<std::uint32_t>(id);
-            sev.detail_b = value;
-            options_.recorder->record(std::move(sev));
+            options_.recorder->record(
+                {.dir = trace::Direction::kServerToClient,
+                 .kind = trace::EventKind::kSettingsApplied,
+                 .detail_a = id,
+                 .detail_b = value});
           }
         }
         send_frame(h2::make_settings_ack());

@@ -155,6 +155,12 @@ ScanReport scan_population(const Population& population,
   total.epoch = population.epoch;
   total.total_scanned = population.total_scanned;
   for (const auto& p : partials) total.merge(p);
+  // Sites fold wiretap metrics into their family registry only; the global
+  // snapshot is assembled here with one merge per family instead of two
+  // registry merges per site. Field-wise sums make the result identical.
+  for (const auto& [family, metrics] : total.wire_metrics_by_family) {
+    total.wire_metrics.merge(metrics);
+  }
   total.distinct_server_kinds = total.server_counts.size();
   std::sort(total.push_hosts.begin(), total.push_hosts.end());
   // Which worker saw which site depends on scheduling; sorting the ratio

@@ -120,9 +120,14 @@ void SiteTask::finish() {
   finished_ = true;
 
   const bool wiretap = opts_.wiretap_metrics || opts_.wiretap_traces;
-  trace::VectorRecorder& recorder = scratch_.recorder;
+  // TraceEvents are materialized only when something actually needs them
+  // (JSONL export, sequence detector); the default metrics fold runs
+  // straight off the ring's raw WireRecords.
+  const bool materialize =
+      wiretap && (opts_.wiretap_traces || detector_.has_value());
+  if (materialize) scratch_.recorder.decode_into(scratch_.decoded);
   if (detector_) {
-    if (wiretap) detector_->observe_all(recorder.events());
+    if (materialize) detector_->observe_all(scratch_.decoded);
     detector_->finish();
     r_.attack_detections.merge(detector_->report());
   }
@@ -159,12 +164,34 @@ void SiteTask::finish() {
   }
 
   if (wiretap) {
-    trace::annotate_violations(recorder.events());
-    trace::consume(r_.wire_metrics, recorder.events());
-    trace::consume(r_.wire_metrics_by_family[spec_.family], recorder.events());
-    if (opts_.wiretap_traces) {
-      r_.site_traces[spec_.host] =
-          trace::to_jsonl(recorder.events(), spec_.host);
+    // Everything folds into the site's per-family registry only; the scan
+    // driver sums the family registries into the global snapshot once at
+    // the end (MetricsRegistry merges are field-wise sums, so the result
+    // is identical to merging per site, minus one merge per site here).
+    trace::MetricsRegistry& family = r_.wire_metrics_by_family[spec_.family];
+    if (materialize) {
+      std::vector<trace::TraceEvent>& events = scratch_.decoded;
+      trace::annotate_violations(events);
+      trace::consume(family, events);
+      if (opts_.wiretap_traces) {
+        r_.site_traces[spec_.host] = trace::to_jsonl(events, spec_.host);
+      }
+    } else {
+      // The hot path: one walk over the 32-byte records annotates and — via
+      // the fold tee — aggregates the metrics straight into the family
+      // registry, with violations landing as interned tag counts instead
+      // of per-event tag strings. Identical registry contents to the
+      // materialized branch (asserted by the scan tests): the annotator is
+      // the same template body, the fold sees records in trace order with
+      // their exact ring sequences, and tag counting is order-independent.
+      scratch_.tag_counts.clear();
+      scratch_.folder.rebind(family);
+      trace::annotate_ring(scratch_.recorder, scratch_.tag_counts,
+                           &scratch_.folder);
+      scratch_.folder.finish();
+      for (const auto& [name, n] : scratch_.tag_counts) {
+        family.add_violation(name, n);
+      }
     }
   }
 }

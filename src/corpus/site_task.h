@@ -20,6 +20,7 @@
 #include "corpus/population.h"
 #include "corpus/scan.h"
 #include "net/transport.h"
+#include "trace/annotate.h"
 #include "trace/detector.h"
 #include "trace/metrics.h"
 #include "trace/recorder.h"
@@ -28,12 +29,33 @@ namespace h2r::corpus {
 
 /// Reusable per-slot scratch: one wiretap buffer and one client/engine pair
 /// serve every site a sequential worker (or reactor slot) scans, rewound
-/// between sites instead of reallocated.
+/// between sites instead of reallocated. The recorder is an unbounded
+/// binary ring (32 bytes per event, no per-event heap traffic). The default
+/// metrics fold runs straight off the raw records (annotate_ring with a
+/// MetricsRecorder tee), so `decoded` — the offline-expansion scratch — is
+/// only touched when the site's TraceEvents are actually needed (JSONL
+/// export, sequence detector).
 struct SiteScratch {
-  trace::VectorRecorder recorder;
+  trace::RingRecorder recorder;
+  std::vector<trace::TraceEvent> decoded;
+  trace::TagCounts tag_counts;
+  // Shared metrics fold. Each site rebind()s the folder onto its family
+  // registry and folds straight into it — no per-site scratch registry to
+  // re-zero, no per-site merge — while the folder's per-connection scratch
+  // vectors keep their capacity across the hundreds of sites one slot
+  // serves. site_metrics is only the folder's initial (never-folded-into)
+  // binding; the pointers never
+  // dangle: a SiteScratch lives on a worker's stack or behind a unique_ptr
+  // (reactor slots) and is never copied or moved, and family registries are
+  // std::map values with stable addresses.
+  trace::MetricsRegistry site_metrics;
+  trace::MetricsRecorder folder{site_metrics};
   core::SessionScratch session;
 
-  void reset() { recorder.clear(); }
+  void reset() {
+    recorder.clear();
+    tag_counts.clear();
+  }
 };
 
 class SiteTask {

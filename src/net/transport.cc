@@ -361,13 +361,11 @@ FaultyTransport::FaultyTransport(FaultPlan plan, trace::Recorder* recorder,
 void FaultyTransport::record_fault(trace::Direction dir, std::uint64_t at,
                                    std::uint32_t detail_b) {
   if (recorder_ == nullptr) return;
-  trace::TraceEvent ev;
-  ev.kind = trace::EventKind::kFault;
-  ev.dir = dir;
-  ev.detail_a = static_cast<std::uint32_t>(at);
-  ev.detail_b = detail_b;
-  ev.note = to_string(plan_.kind);
-  recorder_->record(std::move(ev));
+  recorder_->record({.dir = dir,
+                     .kind = trace::EventKind::kFault,
+                     .detail_a = static_cast<std::uint32_t>(at),
+                     .detail_b = detail_b,
+                     .note = to_string(plan_.kind)});
 }
 
 bool FaultyTransport::step(DirState& d, trace::Direction dir, Endpoint& dst,

@@ -302,10 +302,8 @@ class Transport {
   }
   void mark_round(int round) {
     if (recorder_ == nullptr) return;
-    trace::TraceEvent mark;
-    mark.kind = trace::EventKind::kRoundMark;
-    mark.detail_a = static_cast<std::uint32_t>(round);
-    recorder_->record(std::move(mark));
+    recorder_->record({.kind = trace::EventKind::kRoundMark,
+                       .detail_a = static_cast<std::uint32_t>(round)});
   }
 
   trace::Recorder* recorder_;

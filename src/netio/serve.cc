@@ -44,6 +44,7 @@ std::string ServeStats::json() const {
   field("rounds", rounds);
   field("bytes_in", bytes_in);
   field("bytes_out", bytes_out);
+  field("trace_drops", trace_drops);
   out += "\"errors\":{";
   bool first = true;
   for (const auto& [key, count] : errors) {
@@ -60,6 +61,7 @@ std::string ServeStats::json() const {
 struct ServeLoop::Conn final : IoHandler {
   Conn(ServeLoop& serve, Fd fd)
       : serve(serve),
+        tape(serve.opts_.tape_capacity),
         transport(std::move(fd),
                   serve.opts_.recorder != nullptr ? &tape : nullptr) {}
 
@@ -72,9 +74,9 @@ struct ServeLoop::Conn final : IoHandler {
   /// Per-connection wiretap buffer. Concurrent connections interleave on
   /// the reactor, but the annotator and metrics segment traces by
   /// kConnectionStart and assume each segment is contiguous — so every
-  /// connection records onto its own tape, flushed whole into the shared
-  /// sink when the connection retires.
-  trace::VectorRecorder tape;
+  /// connection records onto its own bounded ring tape, replayed whole
+  /// into the shared sink when the connection retires.
+  trace::RingRecorder tape;
   SocketTransport transport;
   Bytes sniff;
   bool sniff_done = false;
@@ -313,9 +315,19 @@ void ServeLoop::settle(Conn& conn) {
 
 void ServeLoop::flush_tape(Conn& conn) {
   if (opts_.recorder == nullptr) return;
-  // record() re-stamps sequence numbers, so flush order — whole connection
+  // The sink re-stamps sequence numbers, so flush order — whole connection
   // segments, in retirement order — is the exported trace's total order.
-  for (const auto& ev : conn.tape.events()) opts_.recorder->record(ev);
+  // Timestamps are preserved as recorded. A tape that wrapped evicted its
+  // oldest records first — including the kConnectionStart marker — so the
+  // segment boundary is re-established before the survivors replay.
+  if (conn.tape.drops() > 0) {
+    opts_.recorder->begin_connection(
+        conn.mode == server::Http2Server::StartMode::kTls
+            ? "serve:prior-knowledge"
+            : "serve:h2c-upgrade");
+  }
+  conn.tape.replay_into(*opts_.recorder);
+  stats_.trace_drops += conn.tape.drops();
   conn.tape.clear();
 }
 

@@ -47,11 +47,16 @@ struct ServeOptions {
   /// immediately and counted as overload in the error taxonomy).
   std::size_t max_connections = 1024;
   /// Optional wiretap sink. Null = off. Each connection records onto a
-  /// private tape (engine c2s+s2c frames, transport rounds) that is
-  /// flushed into this sink whole when the connection retires, so the
-  /// exported trace stays contiguous per connection segment however many
-  /// sockets interleave on the reactor.
+  /// private bounded ring tape (engine c2s+s2c frames, transport rounds)
+  /// that is replayed into this sink whole when the connection retires, so
+  /// the exported trace stays contiguous per connection segment however
+  /// many sockets interleave on the reactor.
   trace::Recorder* recorder = nullptr;
+  /// Per-connection tape bound, in 32-byte binary records. A connection
+  /// that records more than this keeps only the newest records; evictions
+  /// are counted in ServeStats::trace_drops. Keeps always-on tracing O(1)
+  /// per connection no matter how long one lives.
+  std::size_t tape_capacity = 4096;
 };
 
 /// What the listener did, exportable as JSON after run() returns.
@@ -72,6 +77,9 @@ struct ServeStats {
   std::uint64_t rounds = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  /// Trace records evicted from per-connection ring tapes before flush
+  /// (oldest-first; see ServeOptions::tape_capacity).
+  std::uint64_t trace_drops = 0;
   /// Terminal error taxonomy: errno_key / classifier → count.
   std::map<std::string, std::uint64_t> errors;
 

@@ -250,11 +250,9 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
   while (auto next = parser_.next_view()) {
     if (!next->ok()) {
       if (recorder_ != nullptr) {
-        trace::TraceEvent ev;
-        ev.dir = trace::Direction::kClientToServer;
-        ev.kind = trace::EventKind::kParseError;
-        ev.note = next->status().message();
-        recorder_->record(std::move(ev));
+        recorder_->record({.dir = trace::Direction::kClientToServer,
+                           .kind = trace::EventKind::kParseError,
+                           .note = next->status().message()});
       }
       const auto code = next->status().code() == StatusCode::kFrameSizeError
                             ? ErrorCode::kFrameSizeError
@@ -264,9 +262,9 @@ void Http2Server::receive(std::span<const std::uint8_t> bytes) {
     }
     ++frames_received_;
     if (record_received_ && recorder_ != nullptr) {
-      recorder_->record(trace::frame_event(
-          trace::Direction::kClientToServer, h2::materialize(next->value()),
-          h2::kFrameHeaderSize + next->value().payload_wire_octets));
+      recorder_->record_frame(
+          trace::Direction::kClientToServer, next->value(),
+          h2::kFrameHeaderSize + next->value().payload_wire_octets);
     }
     if (profile_->mitigation.enabled) mitigation_on_frame(next->value());
     on_frame(next->value());
@@ -580,12 +578,10 @@ void Http2Server::handle_settings(const h2::FrameView& frame) {
   if (recorder_ != nullptr) {
     for (std::size_t i = 0; i < frame.settings_entry_count(); ++i) {
       const auto [id, value] = frame.setting_at(i);
-      trace::TraceEvent ev;
-      ev.dir = trace::Direction::kClientToServer;
-      ev.kind = trace::EventKind::kSettingsApplied;
-      ev.detail_a = static_cast<std::uint32_t>(id);
-      ev.detail_b = value;
-      recorder_->record(std::move(ev));
+      recorder_->record({.dir = trace::Direction::kClientToServer,
+                         .kind = trace::EventKind::kSettingsApplied,
+                         .detail_a = id,
+                         .detail_b = value});
     }
   }
   // Settings are always *applied* (ignoring them would desynchronize flow
@@ -923,15 +919,14 @@ void Http2Server::send_data_direct(std::uint32_t stream_id,
     std::fill(dst.begin(), dst.end(), static_cast<std::uint8_t>('.'));
   }
   if (recorder_ != nullptr) {
-    trace::TraceEvent ev;
-    ev.dir = trace::Direction::kServerToClient;
-    ev.kind = trace::EventKind::kFrame;
-    ev.stream_id = stream_id;
-    ev.frame_type = static_cast<std::uint8_t>(FrameType::kData);
-    ev.flags = flagbits;
-    ev.wire_length = static_cast<std::uint32_t>(h2::kFrameHeaderSize + chunk);
-    ev.detail_a = static_cast<std::uint32_t>(chunk);
-    recorder_->record(std::move(ev));
+    recorder_->record(
+        {.dir = trace::Direction::kServerToClient,
+         .kind = trace::EventKind::kFrame,
+         .stream_id = stream_id,
+         .frame_type = static_cast<std::uint8_t>(FrameType::kData),
+         .flags = flagbits,
+         .wire_length = static_cast<std::uint32_t>(h2::kFrameHeaderSize + chunk),
+         .detail_a = static_cast<std::uint32_t>(chunk)});
   }
 }
 
@@ -965,8 +960,7 @@ void Http2Server::send_header_block(std::uint32_t stream_id, Bytes block,
 void Http2Server::send_frame(const Frame& frame) {
   const std::size_t wire = h2::serialize_frame_into(out_, frame);
   if (recorder_ != nullptr) {
-    recorder_->record(
-        trace::frame_event(trace::Direction::kServerToClient, frame, wire));
+    recorder_->record_frame(trace::Direction::kServerToClient, frame, wire);
   }
 }
 
@@ -983,18 +977,14 @@ void Http2Server::note_hpack_delta(std::uint64_t inserts,
                                    std::uint64_t evictions) {
   if (recorder_ == nullptr) return;
   if (inserts != 0) {
-    trace::TraceEvent ev;
-    ev.dir = trace::Direction::kServerToClient;
-    ev.kind = trace::EventKind::kHpackInsert;
-    ev.detail_a = static_cast<std::uint32_t>(inserts);
-    recorder_->record(std::move(ev));
+    recorder_->record({.dir = trace::Direction::kServerToClient,
+                       .kind = trace::EventKind::kHpackInsert,
+                       .detail_a = static_cast<std::uint32_t>(inserts)});
   }
   if (evictions != 0) {
-    trace::TraceEvent ev;
-    ev.dir = trace::Direction::kServerToClient;
-    ev.kind = trace::EventKind::kHpackEvict;
-    ev.detail_a = static_cast<std::uint32_t>(evictions);
-    recorder_->record(std::move(ev));
+    recorder_->record({.dir = trace::Direction::kServerToClient,
+                       .kind = trace::EventKind::kHpackEvict,
+                       .detail_a = static_cast<std::uint32_t>(evictions)});
   }
 }
 
@@ -1016,22 +1006,18 @@ void Http2Server::note_window_stalls() {
                  conn_send_window_.available() <= 0);
     }
     if (!blocked) continue;
-    trace::TraceEvent ev;
-    ev.dir = trace::Direction::kServerToClient;
-    ev.kind = trace::EventKind::kWindowStall;
-    ev.stream_id = id;
-    recorder_->record(std::move(ev));
+    recorder_->record({.dir = trace::Direction::kServerToClient,
+                       .kind = trace::EventKind::kWindowStall,
+                       .stream_id = id});
     s.stall_traced = true;
   }
 }
 
 void Http2Server::note_window_resume(Stream& stream) {
   if (recorder_ == nullptr || !stream.stall_traced) return;
-  trace::TraceEvent ev;
-  ev.dir = trace::Direction::kServerToClient;
-  ev.kind = trace::EventKind::kWindowResume;
-  ev.stream_id = stream.sm.id();
-  recorder_->record(std::move(ev));
+  recorder_->record({.dir = trace::Direction::kServerToClient,
+                     .kind = trace::EventKind::kWindowResume,
+                     .stream_id = stream.sm.id()});
   stream.stall_traced = false;
 }
 
@@ -1227,13 +1213,11 @@ void Http2Server::rst_offenders(trace::AttackClass cls) {
 void Http2Server::note_mitigation(MitigationLevel level,
                                   trace::AttackClass cls) {
   if (recorder_ == nullptr) return;
-  trace::TraceEvent ev;
-  ev.dir = trace::Direction::kServerToClient;
-  ev.kind = trace::EventKind::kMitigation;
-  ev.detail_a = static_cast<std::uint32_t>(level);
-  ev.detail_b = static_cast<std::uint32_t>(cls);
-  ev.note = trace::to_string(cls);
-  recorder_->record(std::move(ev));
+  recorder_->record({.dir = trace::Direction::kServerToClient,
+                     .kind = trace::EventKind::kMitigation,
+                     .detail_a = static_cast<std::uint32_t>(level),
+                     .detail_b = static_cast<std::uint32_t>(cls),
+                     .note = trace::to_string(cls)});
 }
 
 }  // namespace h2r::server

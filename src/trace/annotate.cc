@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "h2/constants.h"
+#include "trace/metrics.h"
+#include "trace/wire_record.h"
 
 namespace h2r::trace {
 namespace {
@@ -21,87 +24,300 @@ constexpr std::uint64_t kDefaultWindow = 65535;
 // response in one flight.
 constexpr std::uint64_t kTinyWindowLimit = 1024;
 
-bool is_frame(const TraceEvent& ev, Direction dir, FrameType type) {
-  return ev.kind == EventKind::kFrame && ev.dir == dir &&
-         ev.frame_type == static_cast<std::uint8_t>(type);
-}
-
-bool goaway_has_debug(const TraceEvent& ev) {
-  // GOAWAY notes are "<ERROR_NAME>" or "<ERROR_NAME>:<debug data>".
-  return ev.note.find(':') != std::string::npos;
+// The annotator is written once against the field accessors in
+// wire_record.h (kind_of, dir_of, ...) and instantiated for both event
+// representations: decoded TraceEvents (the legacy / JSONL-export path) and
+// raw ring WireRecords (the always-on scan path, which never materializes
+// TraceEvents at all). Same template body ⇒ the two paths cannot drift
+// apart.
+template <typename E>
+bool is_frame(const E& ev, Direction dir, FrameType type) {
+  return kind_of(ev) == EventKind::kFrame && dir_of(ev) == dir &&
+         type_of(ev) == static_cast<std::uint8_t>(type);
 }
 
 // Mitigation reactions (server::MitigationPolicy) are coded
 // ENHANCE_YOUR_CALM so the quirk passes can tell them apart from genuine
 // protocol reactions and leave the Table III derivation untouched.
-bool is_mitigation_frame(const TraceEvent& ev) {
-  return ev.kind == EventKind::kFrame &&
-         ev.dir == Direction::kServerToClient &&
-         (ev.frame_type == static_cast<std::uint8_t>(FrameType::kRstStream) ||
-          ev.frame_type == static_cast<std::uint8_t>(FrameType::kGoaway)) &&
-         ev.detail_a == static_cast<std::uint32_t>(h2::ErrorCode::kEnhanceYourCalm);
+template <typename E>
+bool is_mitigation_frame(const E& ev) {
+  return kind_of(ev) == EventKind::kFrame &&
+         dir_of(ev) == Direction::kServerToClient &&
+         (type_of(ev) == static_cast<std::uint8_t>(FrameType::kRstStream) ||
+          type_of(ev) == static_cast<std::uint8_t>(FrameType::kGoaway)) &&
+         a_of(ev) == static_cast<std::uint32_t>(h2::ErrorCode::kEnhanceYourCalm);
 }
+
+/// View over decoded TraceEvents: tags land on the events themselves (the
+/// JSONL exporter emits them) and in the caller's dedup set.
+struct EventsView {
+  std::vector<TraceEvent>& events;
+  std::set<std::string>& found;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events.size(); }
+  const TraceEvent& operator[](std::size_t i) const noexcept {
+    return events[i];
+  }
+  // GOAWAY notes are "<ERROR_NAME>" or "<ERROR_NAME>:<debug data>".
+  [[nodiscard]] bool goaway_has_debug(std::size_t i) const {
+    return events[i].note.find(':') != std::string::npos;
+  }
+  void tag(std::size_t i, const char* name) {
+    events[i].tags.emplace_back(name);
+    found.insert(name);
+  }
+  void tee(std::size_t) {}
+};
+
+/// View over a ring's raw WireRecords: tags become occurrence counts keyed
+/// by the interned tag constants (pointer identity — every tag() call in
+/// this file passes a tags::k* constant), and each record can be folded
+/// into a MetricsRecorder as the segmentation sweep passes over it.
+struct RingView {
+  const RingRecorder& ring;
+  TagCounts& counts;
+  MetricsRecorder* fold;
+  std::uint64_t first_seq;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring.size(); }
+  const WireRecord& operator[](std::size_t i) const noexcept {
+    return ring.at(i);
+  }
+  [[nodiscard]] bool goaway_has_debug(std::size_t i) const {
+    return ring.note_at(i).find(':') != std::string_view::npos;
+  }
+  void tag(std::size_t i, const char* name) {
+    (void)i;
+    for (auto& [existing, n] : counts) {
+      if (existing == name) {
+        ++n;
+        return;
+      }
+    }
+    counts.emplace_back(name, 1);
+  }
+  void tee(std::size_t i) {
+    if (fold != nullptr) fold->fold_record(first_seq + i, ring.at(i));
+  }
+};
 
 /// How the server reacted to a client-side protocol trigger.
 enum class Reaction { kNone, kRst, kGoaway, kGoawayDebug };
 
+/// Flat (stream -> value) shadow state: returns the entry for @p key,
+/// inserting it with @p init on first sight. Segments hold a handful of
+/// streams, so linear probes beat node-based maps — and with the scratch
+/// buffers reused across segments the passes allocate almost never.
+template <typename T>
+T& shadow_get(std::vector<std::pair<std::uint32_t, T>>& v, std::uint32_t key,
+              T init) {
+  for (auto& [k, value] : v) {
+    if (k == key) return value;
+  }
+  return v.emplace_back(key, init).second;
+}
+
+template <typename T>
+T* shadow_find(std::vector<std::pair<std::uint32_t, T>>& v,
+               std::uint32_t key) {
+  for (auto& [k, value] : v) {
+    if (k == key) return &value;
+  }
+  return nullptr;
+}
+
+bool id_contains(const std::vector<std::uint32_t>& v, std::uint32_t key) {
+  return std::find(v.begin(), v.end(), key) != v.end();
+}
+
+/// Returns true when @p key was not yet present (set-insert semantics).
+bool id_insert(std::vector<std::uint32_t>& v, std::uint32_t key) {
+  if (id_contains(v, key)) return false;
+  v.push_back(key);
+  return true;
+}
+
+/// Per-stream state for the zero/tiny-window stall pass.
+struct StallState {
+  std::size_t request_idx = 0;
+  bool response_headers = false;
+  bool reset = false;
+  bool payload_seen = false;
+  bool tagged = false;
+};
+
+/// Shadow-state buffers shared by every segment of one annotate call;
+/// cleared (capacity kept) between segments.
+struct ShadowScratch {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> window;
+  std::vector<std::pair<std::uint32_t, StallState>> stalls;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> allowed;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sent;
+  std::vector<std::uint32_t> tagged_streams;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> parent;
+  std::vector<std::uint32_t> requested;
+  std::vector<std::uint32_t> closed;
+
+  void reset() {
+    window.clear();
+    stalls.clear();
+    allowed.clear();
+    sent.clear();
+    tagged_streams.clear();
+    parent.clear();
+    requested.clear();
+    closed.clear();
+  }
+};
+
+/// What one sweep over a segment witnessed: the client's
+/// SETTINGS_INITIAL_WINDOW_SIZE (from the first server-side "settings
+/// applied" event — before any request is served the server has processed
+/// the client preface, so this is the value every response stream starts
+/// with), one trigger flag per quirk pass, and the response-header-block
+/// counts the HPACK rule needs. Collected incrementally by the caller's
+/// segmentation sweep so annotation needs no separate pre-scan pass.
+struct SegmentWitness {
+  std::uint64_t client_iws = kDefaultWindow;
+  bool iws_seen = false;
+  bool has_c2s_window_update = false;
+  bool has_c2s_wu_zero = false;
+  bool has_priority_signal = false;
+  bool has_s2c_data = false;
+  bool has_s2c_goaway = false;  ///< non-mitigation server GOAWAY
+  bool has_mitigation = false;
+  std::size_t response_blocks = 0;
+  std::size_t last_response_headers = 0;
+  std::uint64_t s2c_hpack_inserts = 0;
+  /// Conservative aggregates for the pass gates below: the summed c2s
+  /// WINDOW_UPDATE increments bound any single shadow window from above
+  /// (debits only shrink it), and the summed s2c DATA payload bounds any
+  /// single stream's spend. A pass whose violation is arithmetically
+  /// impossible under these bounds is skipped without walking the segment.
+  std::uint64_t c2s_wu_sum = 0;
+  std::uint64_t s2c_data_payload = 0;
+
+  void reset() { *this = SegmentWitness{}; }
+
+  template <typename E>
+  void observe(const E& ev, std::size_t index) {
+    if (kind_of(ev) == EventKind::kSettingsApplied) {
+      if (!iws_seen && dir_of(ev) == Direction::kClientToServer &&
+          a_of(ev) == kInitialWindowSizeId) {
+        client_iws = b_of(ev);
+        iws_seen = true;
+      }
+      return;
+    }
+    if (kind_of(ev) == EventKind::kMitigation) {
+      has_mitigation = true;
+      return;
+    }
+    if (kind_of(ev) == EventKind::kHpackInsert &&
+        dir_of(ev) == Direction::kServerToClient) {
+      s2c_hpack_inserts += a_of(ev);
+      return;
+    }
+    if (kind_of(ev) != EventKind::kFrame) return;
+    if (dir_of(ev) == Direction::kClientToServer) {
+      if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kWindowUpdate)) {
+        has_c2s_window_update = true;
+        if (a_of(ev) == 0) has_c2s_wu_zero = true;
+        c2s_wu_sum += a_of(ev);
+      } else if (type_of(ev) ==
+                 static_cast<std::uint8_t>(FrameType::kPriority)) {
+        has_priority_signal = true;
+      } else if (type_of(ev) ==
+                     static_cast<std::uint8_t>(FrameType::kHeaders) &&
+                 (b_of(ev) & kPriorityPresentBit) != 0) {
+        has_priority_signal = true;
+      }
+      return;
+    }
+    if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kData)) {
+      has_s2c_data = true;
+      s2c_data_payload += a_of(ev);
+    } else if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kHeaders)) {
+      ++response_blocks;
+      last_response_headers = index;
+    } else if (is_mitigation_frame(ev)) {
+      has_mitigation = true;
+    } else if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kGoaway)) {
+      has_s2c_goaway = true;
+    }
+  }
+};
+
+template <typename View>
 class SegmentAnnotator {
  public:
-  SegmentAnnotator(std::vector<TraceEvent>& events, std::size_t begin,
-                   std::size_t end, std::set<std::string>& found)
-      : events_(events), begin_(begin), end_(end), found_(found) {}
+  SegmentAnnotator(View& view, std::size_t begin, std::size_t end,
+                   ShadowScratch& scratch, const SegmentWitness& witness)
+      : view_(view), begin_(begin), end_(end), sc_(scratch), w_(witness),
+        client_iws_(witness.client_iws) {
+    sc_.reset();
+  }
 
   void run() {
-    scan_client_window();
-    annotate_window_updates();
-    annotate_self_dependency();
-    annotate_headers_and_tiny_window();
-    annotate_data_budget();
-    annotate_priority_order();
-    annotate_hpack_indexing();
-    annotate_mitigation();
+    // The caller's sweep already decided which quirk passes can possibly
+    // tag anything; most probe connections trigger none. Each gate is
+    // conservative — it skips a pass only when the witness aggregates make
+    // every one of that pass's tags arithmetically impossible — so skipping
+    // cannot change the annotation.
+    //
+    // window_updates tags zero increments and window overflow. Overflow
+    // needs some shadow window above 2^31-1, and every window is bounded by
+    // its initial value (client IWS for streams, the protocol default for
+    // the connection) plus the segment's total c2s increments: DATA only
+    // debits. Routine replenishment on a clean connection never crosses
+    // either bound, so the common case skips the walk entirely.
+    const bool wu_can_tag =
+        w_.has_c2s_wu_zero ||
+        std::max(client_iws_, kDefaultWindow) + w_.c2s_wu_sum > kMaxWindow;
+    if (w_.has_c2s_window_update && wu_can_tag) annotate_window_updates();
+    if (w_.has_priority_signal) annotate_self_dependency();
+    annotate_headers_and_tiny_window();  // self-gates on the client window
+    // data_budget tags spend above budget. Any stream's spend is bounded by
+    // the segment's total s2c DATA payload, and both budgets (stream:
+    // client IWS, connection: protocol default) only ever grow from their
+    // initial values — total payload under both initials means no stream
+    // and not the connection can be over budget.
+    if (w_.has_s2c_data &&
+        w_.s2c_data_payload > std::min(client_iws_, kDefaultWindow)) {
+      annotate_data_budget();
+    }
+    if (w_.has_priority_signal && w_.s2c_data_payload > 0) {
+      annotate_priority_order();
+    }
+    if (w_.response_blocks >= 2 && w_.s2c_hpack_inserts == 0) {
+      // RFC 7541: several response header blocks, no dynamic-table growth —
+      // static-table-only compression (Table III "support*").
+      tag(w_.last_response_headers, tags::kHpackNoDynamicIndexing);
+    }
+    if (w_.has_mitigation) annotate_mitigation();
   }
 
  private:
-  void tag(TraceEvent& ev, const char* name) {
-    ev.tags.emplace_back(name);
-    found_.insert(name);
-  }
+  void tag(std::size_t i, const char* name) { view_.tag(i, name); }
 
   /// First server reaction recorded after @p trigger: an RST_STREAM on
   /// @p stream (when stream-scoped) or any GOAWAY. ENHANCE_YOUR_CALM frames
   /// are mitigation, not a reaction to the probe trigger, and are skipped.
   Reaction reaction_after(std::size_t trigger, std::uint32_t stream) const {
     for (std::size_t i = trigger + 1; i < end_; ++i) {
-      const TraceEvent& ev = events_[i];
+      const auto& ev = view_[i];
       if (is_mitigation_frame(ev)) continue;
       if (stream != 0 &&
           is_frame(ev, Direction::kServerToClient, FrameType::kRstStream) &&
-          ev.stream_id == stream) {
+          stream_of(ev) == stream) {
         return Reaction::kRst;
       }
       if (is_frame(ev, Direction::kServerToClient, FrameType::kGoaway)) {
-        return goaway_has_debug(ev) ? Reaction::kGoawayDebug : Reaction::kGoaway;
+        return view_.goaway_has_debug(i) ? Reaction::kGoawayDebug
+                                         : Reaction::kGoaway;
       }
     }
     return Reaction::kNone;
-  }
-
-  /// The client's SETTINGS_INITIAL_WINDOW_SIZE, taken from the first
-  /// server-side "settings applied" event of the segment (before any request
-  /// is served the server has processed the client preface, so this is the
-  /// value every response stream starts with).
-  void scan_client_window() {
-    client_iws_ = kDefaultWindow;
-    for (std::size_t i = begin_; i < end_; ++i) {
-      const TraceEvent& ev = events_[i];
-      if (ev.kind == EventKind::kSettingsApplied &&
-          ev.dir == Direction::kClientToServer &&
-          ev.detail_a == kInitialWindowSizeId) {
-        client_iws_ = ev.detail_b;
-        return;
-      }
-    }
   }
 
   // §6.9: zero-increment and overflowing WINDOW_UPDATEs. RFC-prescribed
@@ -110,48 +326,48 @@ class SegmentAnnotator {
   // shadow windows replay the real arithmetic — server DATA debits them —
   // so the client's routine replenishment never reads as an overflow.
   void annotate_window_updates() {
-    std::map<std::uint32_t, std::int64_t> stream_window;
+    std::vector<std::pair<std::uint32_t, std::int64_t>>& stream_window =
+        sc_.window;
     std::int64_t conn_window = static_cast<std::int64_t>(kDefaultWindow);
     bool conn_overflowed = false;
     const auto initial = static_cast<std::int64_t>(client_iws_);
     for (std::size_t i = begin_; i < end_; ++i) {
-      TraceEvent& ev = events_[i];
+      const auto& ev = view_[i];
       if (is_frame(ev, Direction::kServerToClient, FrameType::kData)) {
-        const auto payload = static_cast<std::int64_t>(ev.detail_a);
+        const auto payload = static_cast<std::int64_t>(a_of(ev));
         conn_window -= payload;
-        stream_window.try_emplace(ev.stream_id, initial).first->second -=
-            payload;
+        shadow_get(stream_window, stream_of(ev), initial) -= payload;
         continue;
       }
       if (!is_frame(ev, Direction::kClientToServer, FrameType::kWindowUpdate)) {
         continue;
       }
-      const std::uint32_t stream = ev.stream_id;
-      const auto increment = static_cast<std::int64_t>(ev.detail_a);
+      const std::uint32_t stream = stream_of(ev);
+      const auto increment = static_cast<std::int64_t>(a_of(ev));
       if (increment == 0) {
         const Reaction r = reaction_after(i, stream);
         if (stream != 0) {
-          if (r == Reaction::kNone) tag(ev, tags::kZeroWuStreamIgnored);
-          if (r == Reaction::kGoaway) tag(ev, tags::kZeroWuStreamGoaway);
+          if (r == Reaction::kNone) tag(i, tags::kZeroWuStreamIgnored);
+          if (r == Reaction::kGoaway) tag(i, tags::kZeroWuStreamGoaway);
           if (r == Reaction::kGoawayDebug) {
-            tag(ev, tags::kZeroWuStreamGoawayDebug);
+            tag(i, tags::kZeroWuStreamGoawayDebug);
           }
         } else {
-          if (r == Reaction::kNone) tag(ev, tags::kZeroWuConnIgnored);
-          if (r == Reaction::kGoawayDebug) tag(ev, tags::kZeroWuConnGoawayDebug);
+          if (r == Reaction::kNone) tag(i, tags::kZeroWuConnIgnored);
+          if (r == Reaction::kGoawayDebug) tag(i, tags::kZeroWuConnGoawayDebug);
         }
         continue;
       }
       if (stream != 0) {
-        auto [it, inserted] = stream_window.try_emplace(stream, initial);
-        const bool was_over = it->second > static_cast<std::int64_t>(kMaxWindow);
-        it->second += increment;
-        if (it->second > static_cast<std::int64_t>(kMaxWindow) && !was_over) {
+        std::int64_t& window = shadow_get(stream_window, stream, initial);
+        const bool was_over = window > static_cast<std::int64_t>(kMaxWindow);
+        window += increment;
+        if (window > static_cast<std::int64_t>(kMaxWindow) && !was_over) {
           const Reaction r = reaction_after(i, stream);
-          if (r == Reaction::kNone) tag(ev, tags::kLargeWuStreamIgnored);
-          if (r == Reaction::kGoaway) tag(ev, tags::kLargeWuStreamGoaway);
+          if (r == Reaction::kNone) tag(i, tags::kLargeWuStreamIgnored);
+          if (r == Reaction::kGoaway) tag(i, tags::kLargeWuStreamGoaway);
           if (r == Reaction::kGoawayDebug) {
-            tag(ev, tags::kLargeWuStreamGoawayDebug);
+            tag(i, tags::kLargeWuStreamGoawayDebug);
           }
         }
       } else {
@@ -160,8 +376,8 @@ class SegmentAnnotator {
             !conn_overflowed) {
           conn_overflowed = true;
           const Reaction r = reaction_after(i, 0);
-          if (r == Reaction::kNone) tag(ev, tags::kLargeWuConnIgnored);
-          if (r == Reaction::kGoawayDebug) tag(ev, tags::kLargeWuConnGoawayDebug);
+          if (r == Reaction::kNone) tag(i, tags::kLargeWuConnIgnored);
+          if (r == Reaction::kGoawayDebug) tag(i, tags::kLargeWuConnGoawayDebug);
         }
       }
     }
@@ -170,19 +386,19 @@ class SegmentAnnotator {
   // §5.3.1: a stream depending on itself is a PROTOCOL_ERROR stream error.
   void annotate_self_dependency() {
     for (std::size_t i = begin_; i < end_; ++i) {
-      TraceEvent& ev = events_[i];
+      const auto& ev = view_[i];
       const bool priority_self =
           is_frame(ev, Direction::kClientToServer, FrameType::kPriority) &&
-          ev.detail_a == ev.stream_id && ev.stream_id != 0;
+          a_of(ev) == stream_of(ev) && stream_of(ev) != 0;
       const bool headers_self =
           is_frame(ev, Direction::kClientToServer, FrameType::kHeaders) &&
-          (ev.detail_b & kPriorityPresentBit) != 0 &&
-          ev.detail_a == ev.stream_id && ev.stream_id != 0;
+          (b_of(ev) & kPriorityPresentBit) != 0 &&
+          a_of(ev) == stream_of(ev) && stream_of(ev) != 0;
       if (!priority_self && !headers_self) continue;
-      const Reaction r = reaction_after(i, ev.stream_id);
-      if (r == Reaction::kNone) tag(ev, tags::kSelfDependencyIgnored);
-      if (r == Reaction::kGoaway) tag(ev, tags::kSelfDependencyGoaway);
-      if (r == Reaction::kGoawayDebug) tag(ev, tags::kSelfDependencyGoawayDebug);
+      const Reaction r = reaction_after(i, stream_of(ev));
+      if (r == Reaction::kNone) tag(i, tags::kSelfDependencyIgnored);
+      if (r == Reaction::kGoaway) tag(i, tags::kSelfDependencyGoaway);
+      if (r == Reaction::kGoawayDebug) tag(i, tags::kSelfDependencyGoawayDebug);
     }
   }
 
@@ -196,59 +412,49 @@ class SegmentAnnotator {
     const bool zero_window = client_iws_ == 0;
     const bool tiny_window = client_iws_ > 0 && client_iws_ < kTinyWindowLimit;
     if (!zero_window && !tiny_window) return;
-    bool any_goaway = false;
-    for (std::size_t i = begin_; i < end_; ++i) {
-      if (is_frame(events_[i], Direction::kServerToClient, FrameType::kGoaway) &&
-          !is_mitigation_frame(events_[i])) {
-        any_goaway = true;
-      }
-    }
-    if (any_goaway) return;  // connection-level reaction, not a silent stall
+    // A non-mitigation GOAWAY (witnessed by the segmentation sweep) is a
+    // connection-level reaction, not a silent stall.
+    if (w_.has_s2c_goaway) return;
 
-    struct StreamState {
-      std::size_t request_idx = 0;
-      bool response_headers = false;
-      bool reset = false;
-      bool payload_seen = false;
-      bool tagged = false;
-    };
-    std::map<std::uint32_t, StreamState> streams;
+    std::vector<std::pair<std::uint32_t, StallState>>& streams = sc_.stalls;
     for (std::size_t i = begin_; i < end_; ++i) {
-      TraceEvent& ev = events_[i];
+      const auto& ev = view_[i];
       if (is_frame(ev, Direction::kClientToServer, FrameType::kHeaders)) {
-        auto [it, inserted] = streams.try_emplace(ev.stream_id);
-        if (inserted) it->second.request_idx = i;
+        if (shadow_find(streams, stream_of(ev)) == nullptr) {
+          streams.emplace_back(stream_of(ev), StallState{.request_idx = i});
+        }
         continue;
       }
-      if (ev.kind != EventKind::kFrame || ev.dir != Direction::kServerToClient) {
+      if (kind_of(ev) != EventKind::kFrame ||
+          dir_of(ev) != Direction::kServerToClient) {
         continue;
       }
-      auto it = streams.find(ev.stream_id);
-      if (it == streams.end()) continue;
-      StreamState& st = it->second;
-      if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kHeaders)) {
+      StallState* found = shadow_find(streams, stream_of(ev));
+      if (found == nullptr) continue;
+      StallState& st = *found;
+      if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kHeaders)) {
         st.response_headers = true;
       }
-      if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kRstStream) &&
+      if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kRstStream) &&
           !is_mitigation_frame(ev)) {
         st.reset = true;
       }
       if (tiny_window &&
-          ev.frame_type == static_cast<std::uint8_t>(FrameType::kData)) {
-        if (ev.detail_a == 0 && (ev.flags & h2::flags::kEndStream) != 0 &&
+          type_of(ev) == static_cast<std::uint8_t>(FrameType::kData)) {
+        if (a_of(ev) == 0 && (flags_of(ev) & h2::flags::kEndStream) != 0 &&
             !st.payload_seen && !st.tagged) {
-          tag(ev, tags::kZeroLengthDataUnderTinyWindow);
+          tag(i, tags::kZeroLengthDataUnderTinyWindow);
           st.tagged = true;
         }
-        if (ev.detail_a > 0) st.payload_seen = true;
+        if (a_of(ev) > 0) st.payload_seen = true;
       }
     }
     for (auto& [stream, st] : streams) {
       if (st.response_headers || st.reset || st.tagged) continue;
       if (zero_window) {
-        tag(events_[st.request_idx], tags::kFlowControlOnHeaders);
+        tag(st.request_idx, tags::kFlowControlOnHeaders);
       } else {
-        tag(events_[st.request_idx], tags::kStalledUnderTinyWindow);
+        tag(st.request_idx, tags::kStalledUnderTinyWindow);
       }
     }
   }
@@ -259,39 +465,43 @@ class SegmentAnnotator {
   // exceeding the trace-order budget is a true violation. Mid-connection
   // INITIAL_WINDOW_SIZE changes are not modelled (the probes never resize).
   void annotate_data_budget() {
-    std::map<std::uint32_t, std::uint64_t> stream_allowed;
-    std::map<std::uint32_t, std::uint64_t> stream_sent;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>& stream_allowed =
+        sc_.allowed;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>& stream_sent =
+        sc_.sent;
     std::uint64_t conn_allowed = kDefaultWindow;
     std::uint64_t conn_sent = 0;
     bool conn_tagged = false;
-    std::set<std::uint32_t> stream_tagged;
+    std::vector<std::uint32_t>& stream_tagged = sc_.tagged_streams;
     for (std::size_t i = begin_; i < end_; ++i) {
-      TraceEvent& ev = events_[i];
+      const auto& ev = view_[i];
       if (is_frame(ev, Direction::kClientToServer, FrameType::kWindowUpdate)) {
-        if (ev.stream_id == 0) {
-          conn_allowed += ev.detail_a;
+        if (stream_of(ev) == 0) {
+          conn_allowed += a_of(ev);
         } else {
-          auto [it, inserted] =
-              stream_allowed.try_emplace(ev.stream_id, client_iws_);
-          it->second += ev.detail_a;
+          shadow_get(stream_allowed, stream_of(ev),
+                     static_cast<std::uint64_t>(client_iws_)) += a_of(ev);
         }
         continue;
       }
       if (!is_frame(ev, Direction::kServerToClient, FrameType::kData) ||
-          ev.stream_id == 0) {
+          stream_of(ev) == 0) {
         continue;
       }
-      const std::uint64_t payload = ev.detail_a;
+      const std::uint64_t payload = a_of(ev);
       conn_sent += payload;
-      auto [it, inserted] = stream_allowed.try_emplace(ev.stream_id, client_iws_);
-      std::uint64_t& sent = stream_sent[ev.stream_id];
+      const std::uint64_t allowed = shadow_get(
+          stream_allowed, stream_of(ev),
+          static_cast<std::uint64_t>(client_iws_));
+      std::uint64_t& sent =
+          shadow_get(stream_sent, stream_of(ev), std::uint64_t{0});
       sent += payload;
-      if (sent > it->second && stream_tagged.insert(ev.stream_id).second) {
-        tag(ev, tags::kDataExceedsStreamWindow);
+      if (sent > allowed && id_insert(stream_tagged, stream_of(ev))) {
+        tag(i, tags::kDataExceedsStreamWindow);
       }
       if (conn_sent > conn_allowed && !conn_tagged) {
         conn_tagged = true;
-        tag(ev, tags::kDataExceedsConnWindow);
+        tag(i, tags::kDataExceedsConnWindow);
       }
     }
   }
@@ -302,9 +512,9 @@ class SegmentAnnotator {
   // tree mirrors client-sent PRIORITY / HEADERS-with-priority signals,
   // including exclusive reparenting.
   void annotate_priority_order() {
-    std::map<std::uint32_t, std::uint32_t> parent;
-    std::set<std::uint32_t> requested;
-    std::set<std::uint32_t> closed;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& parent = sc_.parent;
+    std::vector<std::uint32_t>& requested = sc_.requested;
+    std::vector<std::uint32_t>& closed = sc_.closed;
     bool tagged = false;
 
     auto apply_signal = [&](std::uint32_t stream, std::uint32_t dependency,
@@ -315,33 +525,33 @@ class SegmentAnnotator {
           if (par == dependency && child != stream) par = stream;
         }
       }
-      parent[stream] = dependency;
+      shadow_get(parent, stream, std::uint32_t{0}) = dependency;
     };
 
     for (std::size_t i = begin_; i < end_ && !tagged; ++i) {
-      TraceEvent& ev = events_[i];
-      if (ev.kind != EventKind::kFrame) continue;
-      if (ev.dir == Direction::kClientToServer) {
-        if (ev.frame_type == static_cast<std::uint8_t>(FrameType::kHeaders)) {
-          requested.insert(ev.stream_id);
-          if ((ev.detail_b & kPriorityPresentBit) != 0) {
-            apply_signal(ev.stream_id, ev.detail_a,
-                         (ev.detail_b & kExclusiveBit) != 0);
+      const auto& ev = view_[i];
+      if (kind_of(ev) != EventKind::kFrame) continue;
+      if (dir_of(ev) == Direction::kClientToServer) {
+        if (type_of(ev) == static_cast<std::uint8_t>(FrameType::kHeaders)) {
+          id_insert(requested, stream_of(ev));
+          if ((b_of(ev) & kPriorityPresentBit) != 0) {
+            apply_signal(stream_of(ev), a_of(ev),
+                         (b_of(ev) & kExclusiveBit) != 0);
           }
-        } else if (ev.frame_type ==
+        } else if (type_of(ev) ==
                    static_cast<std::uint8_t>(FrameType::kPriority)) {
-          apply_signal(ev.stream_id, ev.detail_a,
-                       (ev.detail_b & kExclusiveBit) != 0);
-        } else if (ev.frame_type ==
+          apply_signal(stream_of(ev), a_of(ev),
+                       (b_of(ev) & kExclusiveBit) != 0);
+        } else if (type_of(ev) ==
                    static_cast<std::uint8_t>(FrameType::kRstStream)) {
-          closed.insert(ev.stream_id);  // client cancelled (e.g. drain stream)
+          id_insert(closed, stream_of(ev));  // client cancelled (drain stream)
         }
         continue;
       }
       // Server side: track completion, then check ordering on payload DATA.
-      const auto type = static_cast<FrameType>(ev.frame_type);
+      const auto type = static_cast<FrameType>(type_of(ev));
       if (type == FrameType::kRstStream) {
-        closed.insert(ev.stream_id);
+        id_insert(closed, stream_of(ev));
         continue;
       }
       if (type == FrameType::kGoaway) {
@@ -350,47 +560,26 @@ class SegmentAnnotator {
       }
       const bool ends_stream = (type == FrameType::kData ||
                                 type == FrameType::kHeaders) &&
-                               (ev.flags & h2::flags::kEndStream) != 0;
-      if (type == FrameType::kData && ev.detail_a > 0 &&
-          requested.count(ev.stream_id) != 0 &&
-          closed.count(ev.stream_id) == 0) {
-        std::set<std::uint32_t> visited;
-        std::uint32_t node = ev.stream_id;
-        while (visited.insert(node).second) {
-          const auto it = parent.find(node);
-          if (it == parent.end() || it->second == 0) break;
-          node = it->second;
-          if (requested.count(node) != 0 && closed.count(node) == 0) {
-            tag(ev, tags::kPriorityInversion);
+                               (flags_of(ev) & h2::flags::kEndStream) != 0;
+      if (type == FrameType::kData && a_of(ev) > 0 &&
+          id_contains(requested, stream_of(ev)) &&
+          !id_contains(closed, stream_of(ev))) {
+        // Ancestor walk, cycle-safe by hop bound: an acyclic chain visits
+        // each parent edge at most once, so walking more than parent.size()
+        // hops means the chain looped back through nodes already checked.
+        std::uint32_t node = stream_of(ev);
+        for (std::size_t hops = 0; hops <= parent.size(); ++hops) {
+          const std::uint32_t* par = shadow_find(parent, node);
+          if (par == nullptr || *par == 0) break;
+          node = *par;
+          if (id_contains(requested, node) && !id_contains(closed, node)) {
+            tag(i, tags::kPriorityInversion);
             tagged = true;
             break;
           }
         }
       }
-      if (ends_stream) closed.insert(ev.stream_id);
-    }
-  }
-
-  // RFC 7541: a connection carrying several response header blocks that
-  // never grows the response dynamic table is serving from the static table
-  // only — the compression ratio is pinned at 1 (Table III "support*").
-  void annotate_hpack_indexing() {
-    std::size_t response_blocks = 0;
-    std::size_t last_headers = 0;
-    std::uint64_t inserts = 0;
-    for (std::size_t i = begin_; i < end_; ++i) {
-      const TraceEvent& ev = events_[i];
-      if (is_frame(ev, Direction::kServerToClient, FrameType::kHeaders)) {
-        ++response_blocks;
-        last_headers = i;
-      }
-      if (ev.kind == EventKind::kHpackInsert &&
-          ev.dir == Direction::kServerToClient) {
-        inserts += ev.detail_a;
-      }
-    }
-    if (response_blocks >= 2 && inserts == 0) {
-      tag(events_[last_headers], tags::kHpackNoDynamicIndexing);
+      if (ends_stream) id_insert(closed, stream_of(ev));
     }
   }
 
@@ -398,64 +587,95 @@ class SegmentAnnotator {
   // escalation events get their own tags (never the quirk tags above).
   void annotate_mitigation() {
     for (std::size_t i = begin_; i < end_; ++i) {
-      TraceEvent& ev = events_[i];
-      if (ev.kind == EventKind::kMitigation) {
-        switch (ev.detail_a) {
+      const auto& ev = view_[i];
+      if (kind_of(ev) == EventKind::kMitigation) {
+        switch (a_of(ev)) {
           case 0:
-            tag(ev, tags::kMitigationRelease);
+            tag(i, tags::kMitigationRelease);
             break;
           case 1:
-            tag(ev, tags::kMitigationThrottle);
+            tag(i, tags::kMitigationThrottle);
             break;
           case 2:
-            tag(ev, tags::kMitigationRst);
+            tag(i, tags::kMitigationRst);
             break;
           default:
-            tag(ev, tags::kMitigationGoaway);
+            tag(i, tags::kMitigationGoaway);
             break;
         }
         continue;
       }
       if (!is_mitigation_frame(ev)) continue;
-      tag(ev, ev.frame_type == static_cast<std::uint8_t>(FrameType::kGoaway)
-                  ? tags::kMitigationGoaway
-                  : tags::kMitigationRst);
+      tag(i, type_of(ev) == static_cast<std::uint8_t>(FrameType::kGoaway)
+                 ? tags::kMitigationGoaway
+                 : tags::kMitigationRst);
     }
   }
 
-  std::vector<TraceEvent>& events_;
+  View& view_;
   std::size_t begin_;
   std::size_t end_;
-  std::set<std::string>& found_;
-  std::uint64_t client_iws_ = kDefaultWindow;
+  ShadowScratch& sc_;
+  const SegmentWitness& w_;
+  std::uint64_t client_iws_;
 };
+
+/// The shared driver: one sweep segments the trace on kConnectionStart
+/// markers and collects each segment's witness (and tees every record into
+/// the view's live sink, so the metrics fold rides the same walk), then the
+/// gated passes run per segment.
+template <typename View>
+void annotate_with(View& view) {
+  // Shared across segments — and, being thread-local, across calls: a scan
+  // worker annotating hundreds of sites reuses the same shadow buffers
+  // instead of growing fresh ones per site. Every segment starts from
+  // reset() state (the SegmentAnnotator ctor clears), so reuse is
+  // invisible to the annotation.
+  thread_local ShadowScratch scratch;
+  SegmentWitness witness;  // collected by the sweep below, per segment
+  std::size_t segment_begin = 0;
+  bool in_segment = false;
+  const std::size_t n = view.size();
+  auto close_segment = [&](std::size_t end) {
+    if (in_segment && end > segment_begin) {
+      SegmentAnnotator<View>(view, segment_begin, end, scratch, witness).run();
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    view.tee(i);
+    const auto& ev = view[i];
+    if (kind_of(ev) == EventKind::kConnectionStart) {
+      close_segment(i);
+      segment_begin = i;
+      in_segment = true;
+      witness.reset();
+      continue;
+    }
+    witness.observe(ev, i);
+  }
+  // Traces may omit connection markers (hand-built event lists); treat the
+  // whole vector as one segment then. The witness already covers the whole
+  // vector in that case (segment_begin never moved off zero).
+  if (!in_segment && n != 0) {
+    segment_begin = 0;
+    in_segment = true;
+  }
+  close_segment(n);
+}
 
 }  // namespace
 
 std::vector<std::string> annotate_violations(std::vector<TraceEvent>& events) {
   std::set<std::string> found;
-  std::size_t segment_begin = 0;
-  bool in_segment = false;
-  auto close_segment = [&](std::size_t end) {
-    if (in_segment && end > segment_begin) {
-      SegmentAnnotator(events, segment_begin, end, found).run();
-    }
-  };
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (events[i].kind == EventKind::kConnectionStart) {
-      close_segment(i);
-      segment_begin = i;
-      in_segment = true;
-    }
-  }
-  // Traces may omit connection markers (hand-built event lists); treat the
-  // whole vector as one segment then.
-  if (!in_segment && !events.empty()) {
-    segment_begin = 0;
-    in_segment = true;
-  }
-  close_segment(events.size());
+  EventsView view{events, found};
+  annotate_with(view);
   return {found.begin(), found.end()};
+}
+
+void annotate_ring(const RingRecorder& ring, TagCounts& counts,
+                   MetricsRecorder* fold) {
+  RingView view{ring, counts, fold, ring.first_seq()};
+  annotate_with(view);
 }
 
 }  // namespace h2r::trace

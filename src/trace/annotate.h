@@ -15,10 +15,13 @@
 // which the paper counts separately (§V-D).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace h2r::trace {
 
@@ -96,5 +99,24 @@ inline constexpr const char* kMitigationRelease = "mitigation-release";
 /// offending events in place, and returns the sorted, de-duplicated set of
 /// tags found anywhere in the trace.
 std::vector<std::string> annotate_violations(std::vector<TraceEvent>& events);
+
+/// Tag-occurrence counts keyed by the interned tag constants above. Keyed
+/// by pointer identity (the annotator only ever emits tags::k* constants),
+/// so the hot scan path counts violations with zero string traffic.
+using TagCounts = std::vector<std::pair<const char*, std::uint64_t>>;
+
+class MetricsRecorder;  // metrics.h
+
+/// Annotates straight off a ring's raw WireRecords — the always-on scan
+/// path. Identical pass logic to annotate_violations() (one shared template
+/// body), but instead of materializing TraceEvents it accumulates tag
+/// occurrence counts into @p counts (appended, not cleared). When @p fold
+/// is non-null every record is additionally folded into it in trace order
+/// during the segmentation sweep (MetricsRecorder::fold_record, with the
+/// record's exact ring sequence) — the wiretap metrics ride the same walk,
+/// so the whole trace is consumed in a single pass over the 32-byte
+/// records.
+void annotate_ring(const RingRecorder& ring, TagCounts& counts,
+                   MetricsRecorder* fold = nullptr);
 
 }  // namespace h2r::trace

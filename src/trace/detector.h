@@ -107,7 +107,7 @@ struct DetectorReport {
 /// server (cheap path, nothing retained), or replay a retained trace with
 /// observe_all(). Call finish() to fold the final connection before reading
 /// report().
-class SequenceDetector : public Recorder {
+class SequenceDetector : public DecodedRecorder {
  public:
   explicit SequenceDetector(DetectorThresholds thresholds = {})
       : thresholds_(thresholds) {}

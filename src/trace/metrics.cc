@@ -99,6 +99,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   parse_errors += other.parse_errors;
   faults_injected += other.faults_injected;
   mitigation_events += other.mitigation_events;
+  trace_drops += other.trace_drops;
   for (const auto& [tag, n] : other.violation_tags) violation_tags[tag] += n;
   reactor_parks += other.reactor_parks;
   reactor_parked_rounds += other.reactor_parked_rounds;
@@ -167,6 +168,10 @@ std::string MetricsRegistry::to_json() const {
   if (mitigation_events != 0) {
     out += ",\"mitigation_events\":";
     append_u64(out, mitigation_events);
+  }
+  if (trace_drops != 0) {
+    out += ",\"trace_drops\":";
+    append_u64(out, trace_drops);
   }
   // Park bookkeeping comes from the site ledgers, so it is identical for
   // every driver and thread count — safe to emit. The in-flight peak is
@@ -245,6 +250,11 @@ std::string MetricsRegistry::to_text() const {
                   static_cast<unsigned long long>(mitigation_events));
     out += buf;
   }
+  if (trace_drops != 0) {
+    std::snprintf(buf, sizeof buf, "  trace ring drops %llu\n",
+                  static_cast<unsigned long long>(trace_drops));
+    out += buf;
+  }
   if (reactor_parks != 0 || reactor_peak_in_flight != 0) {
     std::snprintf(buf, sizeof buf,
                   "  reactor: %llu parks over %llu rounds (mean park %.1f, "
@@ -276,85 +286,13 @@ std::string MetricsRegistry::to_text() const {
 }
 
 void MetricsRecorder::on_event(const TraceEvent& ev) {
-  for (const auto& tag : ev.tags) ++registry_.violation_tags[tag];
-  switch (ev.kind) {
-    case EventKind::kConnectionStart:
-      flush_connection();
-      ++registry_.connections;
-      return;
-    case EventKind::kRoundMark:
-      ++registry_.rounds;
-      return;
-    case EventKind::kParseError:
-      ++registry_.parse_errors;
-      return;
-    case EventKind::kSettingsApplied:
-      ++registry_.settings_applied;
-      return;
-    case EventKind::kHpackInsert:
-      registry_.hpack_inserts += ev.detail_a;
-      return;
-    case EventKind::kHpackEvict:
-      registry_.hpack_evictions += ev.detail_a;
-      return;
-    case EventKind::kFault:
-      ++registry_.faults_injected;
-      return;
-    case EventKind::kMitigation:
-      ++registry_.mitigation_events;
-      return;
-    case EventKind::kWindowStall:
-      ++registry_.window_stalls;
-      open_stalls_[ev.stream_id] = ev.seq;
-      return;
-    case EventKind::kWindowResume: {
-      auto it = open_stalls_.find(ev.stream_id);
-      if (it != open_stalls_.end()) {
-        registry_.stall_span_events.add(ev.seq - it->second);
-        open_stalls_.erase(it);
-      }
-      return;
-    }
-    case EventKind::kFrame:
-      break;
-  }
-
-  auto& slots = ev.dir == Direction::kClientToServer ? registry_.frames_c2s
-                                                     : registry_.frames_s2c;
-  ++slots[frame_type_slot(ev.frame_type)];
-  (ev.dir == Direction::kClientToServer ? registry_.bytes_c2s
-                                        : registry_.bytes_s2c) +=
-      ev.wire_length;
-  registry_.frame_size.add(ev.wire_length);
-  if (ev.stream_id != 0) stream_bytes_[ev.stream_id] += ev.wire_length;
-
-  const auto type = static_cast<FrameType>(ev.frame_type);
-  if (type == FrameType::kRstStream) ++registry_.rst_streams;
-  if (type == FrameType::kGoaway) ++registry_.goaways;
-  if (type == FrameType::kHeaders && ev.dir == Direction::kServerToClient &&
-      ev.wire_length > h2::kFrameHeaderSize) {
-    // Response header block size for the paper's Equation-1 ratio. The
-    // engine sends responses unpadded and without priority, so the HPACK
-    // block is the whole payload.
-    response_block_sizes_.push_back(ev.wire_length - h2::kFrameHeaderSize);
-  }
-  // A stream's wire footprint closes with END_STREAM or RST_STREAM.
-  const bool ends_stream =
-      ((type == FrameType::kData || type == FrameType::kHeaders) &&
-       (ev.flags & h2::flags::kEndStream) != 0) ||
-      type == FrameType::kRstStream;
-  if (ends_stream && ev.stream_id != 0) {
-    auto it = stream_bytes_.find(ev.stream_id);
-    if (it != stream_bytes_.end()) {
-      registry_.stream_wire_bytes.add(it->second);
-      stream_bytes_.erase(it);
-    }
-  }
+  for (const auto& tag : ev.tags) ++registry_->violation_tags[tag];
+  fold(ev.seq, ev);
 }
 
 void MetricsRecorder::flush_connection() {
   for (const auto& [stream, bytes] : stream_bytes_) {
-    registry_.stream_wire_bytes.add(bytes);
+    registry_->stream_wire_bytes.add(bytes);
   }
   stream_bytes_.clear();
   open_stalls_.clear();
@@ -366,7 +304,7 @@ void MetricsRecorder::flush_connection() {
     const double s1 = static_cast<double>(response_block_sizes_.front());
     const double ratio =
         sum / (s1 * static_cast<double>(response_block_sizes_.size()));
-    registry_.compression_ratio_pct.add(
+    registry_->compression_ratio_pct.add(
         static_cast<std::uint64_t>(std::llround(ratio * 100.0)));
   }
   response_block_sizes_.clear();

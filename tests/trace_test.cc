@@ -11,6 +11,7 @@
 
 #include "core/report.h"
 #include "corpus/population.h"
+#include "net/clock.h"
 #include "corpus/scan.h"
 #include "server/profile.h"
 #include "trace/annotate.h"
@@ -51,13 +52,243 @@ TEST(TraceRecorder, NullSinkIsSafeAndVectorSinkStampsSequence) {
 
   VectorRecorder rec;
   rec.begin_connection("c1");
-  TraceEvent ev;
-  ev.kind = EventKind::kRoundMark;
-  rec.record(std::move(ev));
+  rec.record({.kind = EventKind::kRoundMark});
   ASSERT_EQ(rec.events().size(), 2u);
   EXPECT_EQ(rec.events()[0].kind, EventKind::kConnectionStart);
   EXPECT_EQ(rec.events()[0].seq, 0u);
+  EXPECT_EQ(rec.events()[0].note, "c1");
   EXPECT_EQ(rec.events()[1].seq, 1u);
+  EXPECT_EQ(rec.events_recorded(), 2u);
+
+  // clear() restarts numbering: a reused sink's trace is indistinguishable
+  // from a fresh one's.
+  rec.clear();
+  rec.begin_connection("c2");
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].seq, 0u);
+  EXPECT_EQ(rec.events()[0].note, "c2");
+}
+
+TEST(TraceRecorder, StringTableInternsAndSurvivesClear) {
+  StringTable table;
+  EXPECT_EQ(table.at(0), "");  // ref 0 is always the empty string
+  const std::uint32_t a = table.intern("alpha");
+  const std::uint32_t b = table.intern("beta");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.intern("alpha"), a);  // equal strings share one ref
+  EXPECT_EQ(table.at(a), "alpha");
+  EXPECT_EQ(table.at(b), "beta");
+  // Enough distinct notes to force at least one rehash.
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = "note-" + std::to_string(i);
+    const std::uint32_t ref = table.intern(s);
+    EXPECT_EQ(table.at(ref), s);
+    EXPECT_EQ(table.intern(s), ref);
+  }
+  EXPECT_EQ(table.intern("alpha"), a);  // still stable after growth
+  table.clear();
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.at(0), "");
+}
+
+// -------------------------------------------------------- ring semantics
+
+TEST(RingRecorder, BoundedRingEvictsOldestFirstAndCountsDrops) {
+  RingRecorder ring(/*capacity=*/4);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    ring.record({.kind = EventKind::kRoundMark, .detail_a = i});
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.drops(), 3u);       // records 0..2 evicted, oldest first
+  EXPECT_EQ(ring.first_seq(), 3u);   // oldest retained record's seq
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).detail_a, 3u + i) << i;
+  }
+
+  std::vector<TraceEvent> decoded = ring.decode();
+  ASSERT_EQ(decoded.size(), 4u);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].seq, 3u + i);       // seq survives eviction
+    EXPECT_EQ(decoded[i].detail_a, 3u + i);  // newest four, in order
+  }
+
+  // clear() resets retention, the drop counter, and numbering.
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.drops(), 0u);
+  ring.record({.kind = EventKind::kRoundMark, .detail_a = 9});
+  EXPECT_EQ(ring.decode().at(0).seq, 0u);
+}
+
+TEST(RingRecorder, UnboundedTapeRetainsEverythingAndInternsNotes) {
+  RingRecorder tape;  // capacity 0 = unbounded
+  tape.begin_connection("conn-a");
+  for (int i = 0; i < 1000; ++i) {
+    tape.record({.kind = EventKind::kRoundMark,
+                 .detail_a = static_cast<std::uint32_t>(i),
+                 .note = "repeated-note"});
+  }
+  EXPECT_EQ(tape.size(), 1001u);
+  EXPECT_EQ(tape.drops(), 0u);
+  EXPECT_EQ(tape.first_seq(), 0u);
+  EXPECT_EQ(tape.note_at(0), "conn-a");
+  EXPECT_EQ(tape.note_at(1), "repeated-note");
+  // One interned copy serves every repeat.
+  EXPECT_EQ(tape.at(1).note_ref, tape.at(1000).note_ref);
+}
+
+TEST(RingRecorder, ReplayIntoPreservesTimeAndRestampsSequence) {
+  net::VirtualClock clock;
+  RingRecorder tape;
+  tape.set_clock(&clock);
+  clock.advance_ms(12.5);
+  tape.record({.kind = EventKind::kRoundMark, .detail_a = 1});
+  clock.advance_ms(2.25);
+  tape.record({.kind = EventKind::kRoundMark, .detail_a = 2, .note = "n"});
+
+  VectorRecorder sink;
+  sink.begin_connection("pre-existing");  // flush appends after prior events
+  tape.replay_into(sink);
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[1].seq, 1u);  // sink stamps fresh sequence numbers
+  EXPECT_EQ(sink.events()[2].seq, 2u);
+  EXPECT_EQ(sink.events()[1].time_ms, 12.5);  // record's own timestamp kept
+  EXPECT_EQ(sink.events()[2].time_ms, 14.75);
+  EXPECT_EQ(sink.events()[2].note, "n");
+  EXPECT_EQ(sink.events()[2].detail_a, 2u);
+}
+
+TEST(MetricsRegistry, TraceDropsMergeAndConditionalExport) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  // Zero drops stay invisible: snapshots from drop-free runs are
+  // byte-identical to the pre-ring exporter's.
+  EXPECT_EQ(a.to_json().find("trace_drops"), std::string::npos);
+  EXPECT_EQ(a.to_text().find("trace ring drops"), std::string::npos);
+
+  a.trace_drops = 2;
+  b.trace_drops = 3;
+  a.merge(b);
+  EXPECT_EQ(a.trace_drops, 5u);  // fieldwise sum: shard-count independent
+  EXPECT_NE(a.to_json().find("\"trace_drops\":5"), std::string::npos);
+  EXPECT_NE(a.to_text().find("trace ring drops 5"), std::string::npos);
+}
+
+// ------------------------------------------------------ binary dump format
+
+TEST(TraceBinaryDump, SerializeParsesBackToIdenticalEvents) {
+  net::VirtualClock clock;
+  RingRecorder ring(/*capacity=*/3);
+  ring.set_clock(&clock);
+  ring.begin_connection("will-be-evicted");
+  clock.advance_ms(1.125);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ring.record({.dir = Direction::kServerToClient,
+                 .kind = EventKind::kFrame,
+                 .stream_id = 2 * i + 1,
+                 .frame_type = 0x0,
+                 .flags = 0x1,
+                 .wire_length = 17 + i,
+                 .detail_a = 8,
+                 .note = i == 2 ? "tail-note" : ""});
+  }
+
+  std::string bytes;
+  ring.serialize(bytes);
+
+  std::vector<TraceEvent> parsed;
+  std::uint64_t drops = 0;
+  std::string error;
+  ASSERT_TRUE(parse_trace_bin(bytes, parsed, drops, error)) << error;
+  EXPECT_EQ(drops, 1u);  // the connection-start marker was evicted
+  const std::vector<TraceEvent> want = ring.decode();
+  ASSERT_EQ(parsed.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(to_jsonl(parsed, "s"), to_jsonl(want, "s"));
+    EXPECT_EQ(parsed[i].seq, want[i].seq);
+    EXPECT_EQ(parsed[i].time_ms, want[i].time_ms);  // exact bit round-trip
+  }
+}
+
+TEST(TraceBinaryDump, StrictParserRejectsCorruptDumps) {
+  RingRecorder ring;
+  ring.begin_connection("c");
+  ring.record({.kind = EventKind::kRoundMark});
+  std::string good;
+  ring.serialize(good);
+
+  std::vector<TraceEvent> out;
+  std::uint64_t drops = 0;
+  std::string error;
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(parse_trace_bin(bad_magic, out, drops, error));
+
+  std::string bad_version = good;
+  bad_version[4] = 0x7f;
+  EXPECT_FALSE(parse_trace_bin(bad_version, out, drops, error));
+
+  // Truncation anywhere — header, note table, record block — must fail,
+  // never yield a partial parse.
+  for (const std::size_t len : {std::size_t{3}, std::size_t{20},
+                                good.size() - 1}) {
+    EXPECT_FALSE(
+        parse_trace_bin(std::string_view(good).substr(0, len), out, drops,
+                        error))
+        << len;
+  }
+
+  std::string trailing = good + "x";
+  EXPECT_FALSE(parse_trace_bin(trailing, out, drops, error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_TRUE(parse_trace_bin(good, out, drops, error)) << error;
+}
+
+// ------------------------------------------------------- golden identity
+
+TEST(TraceGoldenIdentity, RingDecodePathMatchesLegacyJsonlAcrossProfiles) {
+  // The contract the whole binary path rests on: record the Section III
+  // exchange as 32-byte WireRecords, decode offline, annotate, export —
+  // and the JSONL is byte-identical to the legacy retain-TraceEvents
+  // path. One shared ring reused via clear() across all six Table III
+  // profiles also proves sequence restart on reuse.
+  const server::ServerProfile profiles[] = {
+      server::nginx_profile(),   server::litespeed_profile(),
+      server::h2o_profile(),     server::nghttpd_profile(),
+      server::tengine_profile(), server::apache_profile()};
+  RingRecorder ring;  // unbounded retaining mode, reused across profiles
+  for (const auto& profile : profiles) {
+    Rng legacy_rng(7);
+    VectorRecorder legacy;
+    core::characterize_traced(core::Target::testbed(profile), legacy_rng,
+                              legacy);
+    const std::string want = to_jsonl(legacy.events(), profile.key);
+    ASSERT_FALSE(want.empty()) << profile.key;
+
+    ring.clear();
+    Rng rng(7);
+    core::Target target = core::Target::testbed(profile);
+    target.recorder = &ring;
+    core::characterize(target, rng);
+    std::vector<TraceEvent> decoded = ring.decode();
+    annotate_violations(decoded);
+    EXPECT_EQ(to_jsonl(decoded, profile.key), want) << profile.key;
+
+    // The binary dump round-trips to the same trace, so an h2trace-decode
+    // of a serialized ring reproduces the exporter's JSONL byte for byte.
+    std::string bytes;
+    ring.serialize(bytes);
+    std::vector<TraceEvent> parsed;
+    std::uint64_t drops = 0;
+    std::string error;
+    ASSERT_TRUE(parse_trace_bin(bytes, parsed, drops, error)) << error;
+    EXPECT_EQ(drops, 0u);
+    annotate_violations(parsed);
+    EXPECT_EQ(to_jsonl(parsed, profile.key), want) << profile.key;
+  }
 }
 
 // ------------------------------------------------------------- histograms

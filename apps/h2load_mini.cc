@@ -15,6 +15,7 @@
 //   --con N         concurrent connections       [4]
 //   --req M         total requests               [100]
 //   --streams K     in-flight streams/connection [1]
+//   --threads T     generator threads (runners)  [1]
 //   --path P        resource to GET              [/]
 //   --timeout-ms N  whole-run deadline           [60000]
 //   --json          print the JSON report only
@@ -29,7 +30,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port N [--host A] [--con N] [--req M] "
-               "[--streams K] [--path P] [--timeout-ms N] [--json]\n",
+               "[--streams K] [--threads T] [--path P] [--timeout-ms N] "
+               "[--json]\n",
                argv0);
   return 2;
 }
@@ -78,6 +80,10 @@ int main(int argc, char** argv) {
       const auto v = strict_long_in(value(), 1, 10'000);
       if (!v.has_value()) return usage(argv[0]);
       opts.streams = static_cast<int>(*v);
+    } else if (arg == "--threads") {
+      const auto v = strict_long_in(value(), 1, 256);
+      if (!v.has_value()) return usage(argv[0]);
+      opts.threads = static_cast<int>(*v);
     } else if (arg == "--path") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -101,9 +107,10 @@ int main(int argc, char** argv) {
   opts.port = static_cast<std::uint16_t>(port);
 
   if (!json_only) {
-    std::printf("h2load-mini: %s:%u con=%d req=%d streams=%d path=%s\n",
-                opts.host.c_str(), opts.port, opts.connections, opts.requests,
-                opts.streams, opts.path.c_str());
+    std::printf(
+        "h2load-mini: %s:%u con=%d req=%d streams=%d threads=%d path=%s\n",
+        opts.host.c_str(), opts.port, opts.connections, opts.requests,
+        opts.streams, opts.threads, opts.path.c_str());
     std::fflush(stdout);
   }
 
@@ -115,10 +122,11 @@ int main(int argc, char** argv) {
                 opts.requests, report.wall_ms, report.rps);
     if (!report.latency_ms.empty()) {
       std::printf("latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f "
-                  "max=%.3f\n",
+                  "p999=%.3f max=%.3f\n",
                   report.latency_ms.mean(), report.latency_ms.quantile(0.50),
                   report.latency_ms.quantile(0.90),
-                  report.latency_ms.quantile(0.99), report.latency_ms.max());
+                  report.latency_ms.quantile(0.99),
+                  report.latency_ms.quantile(0.999), report.latency_ms.max());
     }
     for (const auto& [key, count] : report.errors) {
       std::printf("error %-16s %llu\n", key.c_str(),

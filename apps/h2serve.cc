@@ -24,6 +24,9 @@
 // Flags (strict parsing: trailing garbage rejects the value):
 //   --port N        listen port, 0 = ephemeral  [env H2R_LISTEN_PORT; 3000]
 //   --profile KEY   server profile              [env H2R_SERVE_PROFILE; h2o]
+//   --shards N      serve shards (threads), SO_REUSEPORT accept [1]
+//   --accept-fallback  force the single-acceptor round-robin path
+//   --no-header-cache  disable the response header-block cache (ablation)
 //   --hardened      enable MitigationPolicy::hardened()
 //   --drain-ms N    graceful-shutdown drain budget [2000]
 //   --max-conns N   concurrent-connection cap       [1024]
@@ -38,6 +41,7 @@
 #include <vector>
 
 #include "netio/serve.h"
+#include "netio/serve_shard.h"
 #include "trace/annotate.h"
 #include "trace/event.h"
 #include "trace/metrics.h"
@@ -46,7 +50,7 @@
 
 namespace {
 
-std::atomic<h2r::netio::ServeLoop*> g_serve{nullptr};
+std::atomic<h2r::netio::ShardedServe*> g_serve{nullptr};
 
 void on_signal(int) {
   if (auto* serve = g_serve.load()) serve->request_shutdown();
@@ -59,7 +63,8 @@ constexpr std::size_t kIdleTapeRecords = 65536;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--profile KEY] [--hardened] "
+               "usage: %s [--port N] [--profile KEY] [--shards N] "
+               "[--accept-fallback] [--no-header-cache] [--hardened] "
                "[--drain-ms N] [--max-conns N] [--trace-out PATH] "
                "[--trace-format jsonl|bin] [--json]\n",
                argv0);
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
   netio::ServeOptions opts;
   opts.profile_key = "h2o";
   long port = 3000;
+  long shards = 1;
+  bool accept_fallback = false;
   bool json_only = false;
   std::string trace_out;
   bool trace_bin = false;
@@ -113,6 +120,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       opts.profile_key = v;
+    } else if (arg == "--shards") {
+      const auto v = strict_long_in(value(), 1, 64);
+      if (!v.has_value()) return usage(argv[0]);
+      shards = *v;
+    } else if (arg == "--accept-fallback") {
+      accept_fallback = true;
+    } else if (arg == "--no-header-cache") {
+      opts.header_block_cache = false;
     } else if (arg == "--hardened") {
       opts.hardened = true;
     } else if (arg == "--drain-ms") {
@@ -159,7 +174,11 @@ int main(int argc, char** argv) {
   trace::RingRecorder recorder(trace_out.empty() ? kIdleTapeRecords : 0);
   opts.recorder = &recorder;
 
-  auto serve = netio::ServeLoop::create(opts);
+  netio::ShardedServeOptions sharded_opts;
+  sharded_opts.base = opts;
+  sharded_opts.shards = static_cast<unsigned>(shards);
+  sharded_opts.force_accept_fallback = accept_fallback;
+  auto serve = netio::ShardedServe::create(sharded_opts);
   if (!serve.ok()) {
     std::fprintf(stderr, "h2serve: %s\n",
                  std::string(serve.status().message()).c_str());
@@ -173,9 +192,13 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
 
   if (!json_only) {
-    std::printf("h2serve: listening profile=%s%s port=%u drain_ms=%d%s\n",
+    std::printf("h2serve: listening profile=%s%s port=%u shards=%zu (%s) "
+                "drain_ms=%d%s\n",
                 opts.profile_key.c_str(), opts.hardened ? " (hardened)" : "",
-                serve.value()->port(), opts.drain_ms,
+                serve.value()->port(), serve.value()->shard_count(),
+                serve.value()->used_reuseport() ? "reuseport"
+                                                : "acceptor-fallback",
+                opts.drain_ms,
                 trace_out.empty() ? "" : (" trace=" + trace_out).c_str());
     std::printf("h2serve: try: curl --http2-prior-knowledge "
                 "http://127.0.0.1:%u/\n",

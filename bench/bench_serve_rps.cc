@@ -1,39 +1,53 @@
 // Serve-throughput harness: the real-socket serving mode end to end.
 //
-// Boots a ServeLoop on an ephemeral loopback port, drives it with the
+// Boots a listener on an ephemeral loopback port, drives it with the
 // in-repo load generator (the same reactor h2load-mini wraps), and reports
-// requests/sec plus the latency distribution for three server rows:
+// requests/sec plus the latency distribution. Three single-loop rows run
+// the plain ServeLoop (the committed-baseline path):
 //
 //   serve_h2o            the h2o profile, stock budgets
 //   serve_nginx          the nginx profile, stock budgets
 //   serve_h2o_hardened   h2o with MitigationPolicy::hardened() — the cost
 //                        of the PR-6 mitigation ledger on legitimate load
 //
-// JSON schema: { "<row>": {"wall_ms": w, "per_op_ns": n, "throughput": t} }
-// where throughput is requests/sec and per_op_ns is wall time per completed
-// request — the same shape every other BENCH_*.json in bench/ uses, so the
-// CI ratio guard can regress this file against the committed baseline.
-// Output path defaults to BENCH_serve_rps.json in the working directory;
-// override with H2R_BENCH_JSON. H2R_SCALE=N divides the request budget by
-// N (the committed baseline is a full-scale run). Any transport or
-// protocol error fails the process — a benchmark over a lossy loopback is
-// not a benchmark.
+// and a shard sweep runs the nginx profile through ShardedServe with the
+// load generator threaded to match:
+//
+//   serve_nginx_shards1  sharding infrastructure at 1 shard — its overhead
+//                        vs serve_nginx is the cost of the sharded harness
+//   serve_nginx_shards2  SO_REUSEPORT kernel-balanced accepts, 2 shards
+//   serve_nginx_shards4  ... 4 shards (only scales on multi-core hosts;
+//                        _meta.hw_concurrency records what this box had)
+//
+// JSON schema: { "<row>": {"wall_ms": w, "per_op_ns": n, "throughput": t,
+// "allocs_per_op": a}, "_meta": {"hw_concurrency": c} } where throughput is
+// requests/sec, per_op_ns is wall time per completed request, and
+// allocs_per_op is process-wide heap allocations per completed request
+// (client + server + harness — the end-to-end figure). Underscore-prefixed
+// keys are metadata, not bench rows. Output path defaults to
+// BENCH_serve_rps.json in the working directory; override with
+// H2R_BENCH_JSON. H2R_SCALE=N divides the request budget by N (the
+// committed baseline is a full-scale run). Any transport or protocol error
+// fails the process — a benchmark over a lossy loopback is not a benchmark.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
 
+#define H2R_BENCH_COUNT_ALLOCS 1
 #include "bench/bench_util.h"
 #include "netio/load.h"
 #include "netio/serve.h"
+#include "netio/serve_shard.h"
 
 namespace {
 
 struct RowResult {
   double wall_ms = 0;
   double per_op_ns = 0;
-  double throughput = 0;  ///< completed requests per second
+  double throughput = 0;   ///< completed requests per second
+  double allocs_per_op = 0;  ///< heap allocations per completed request
 };
 
 std::map<std::string, RowResult> g_results;
@@ -43,17 +57,87 @@ struct RowSpec {
   std::string name;
   std::string profile_key;
   bool hardened = false;
+  /// 0 = plain ServeLoop (the baseline path); >= 1 = ShardedServe with this
+  /// many shards and a load generator threaded to match.
+  unsigned shards = 0;
 };
+
+void finish_row(const RowSpec& spec, const h2r::netio::LoadReport& report,
+                const h2r::netio::ServeStats& stats,
+                std::uint64_t heap_allocs, int connections, int requests) {
+  const double completed = static_cast<double>(report.completed);
+  const double allocs_per_op =
+      completed > 0 ? static_cast<double>(heap_allocs) / completed : 0.0;
+  g_results[spec.name] = {
+      report.wall_ms,
+      completed > 0 ? report.wall_ms * 1e6 / completed : 0.0, report.rps,
+      allocs_per_op};
+  std::printf(
+      "%-22s %8.1f ms  %9.0f req/s  %6.1f allocs/op  "
+      "p50=%.3f p99=%.3f p999=%.3f ms\n",
+      spec.name.c_str(), report.wall_ms, report.rps, allocs_per_op,
+      report.latency_ms.quantile(0.50), report.latency_ms.quantile(0.99),
+      report.latency_ms.quantile(0.999));
+
+  if (report.completed != static_cast<std::uint64_t>(requests) ||
+      report.total_errors() != 0 || report.failed != 0) {
+    std::fprintf(stderr, "!! %s: lossy run — %s\n", spec.name.c_str(),
+                 report.json().c_str());
+    g_failed = true;
+  }
+  if (stats.served_clean != static_cast<std::uint64_t>(connections) ||
+      !stats.errors.empty()) {
+    std::fprintf(stderr, "!! %s: server-side errors — %s\n",
+                 spec.name.c_str(), stats.json().c_str());
+    g_failed = true;
+  }
+}
 
 void run_row(const RowSpec& spec, int connections, int requests,
              int streams) {
   using namespace h2r;
 
-  netio::ServeOptions sopts;
-  sopts.profile_key = spec.profile_key;
-  sopts.hardened = spec.hardened;
-  sopts.max_connections = connections + 8;
-  auto serve = netio::ServeLoop::create(sopts);
+  netio::LoadOptions lopts;
+  lopts.connections = connections;
+  lopts.requests = requests;
+  lopts.streams = streams;
+
+  const std::uint64_t allocs0 = bench::heap_allocations();
+
+  if (spec.shards == 0) {
+    netio::ServeOptions sopts;
+    sopts.profile_key = spec.profile_key;
+    sopts.hardened = spec.hardened;
+    sopts.max_connections = connections + 8;
+    auto serve = netio::ServeLoop::create(sopts);
+    if (!serve.ok()) {
+      std::fprintf(stderr, "!! %s: %s\n", spec.name.c_str(),
+                   serve.status().message().c_str());
+      g_failed = true;
+      return;
+    }
+    std::thread server_thread([&] {
+      const Status s = serve.value()->run();
+      if (!s.ok()) {
+        std::fprintf(stderr, "!! %s: serve loop: %s\n", spec.name.c_str(),
+                     s.message().c_str());
+      }
+    });
+    lopts.port = serve.value()->port();
+    const netio::LoadReport report = netio::run_load(lopts);
+    serve.value()->request_shutdown();
+    server_thread.join();
+    finish_row(spec, report, serve.value()->stats(),
+               bench::heap_allocations() - allocs0, connections, requests);
+    return;
+  }
+
+  netio::ShardedServeOptions shopts;
+  shopts.base.profile_key = spec.profile_key;
+  shopts.base.hardened = spec.hardened;
+  shopts.base.max_connections = connections + 8;
+  shopts.shards = spec.shards;
+  auto serve = netio::ShardedServe::create(shopts);
   if (!serve.ok()) {
     std::fprintf(stderr, "!! %s: %s\n", spec.name.c_str(),
                  serve.status().message().c_str());
@@ -63,43 +147,17 @@ void run_row(const RowSpec& spec, int connections, int requests,
   std::thread server_thread([&] {
     const Status s = serve.value()->run();
     if (!s.ok()) {
-      std::fprintf(stderr, "!! %s: serve loop: %s\n", spec.name.c_str(),
+      std::fprintf(stderr, "!! %s: sharded serve: %s\n", spec.name.c_str(),
                    s.message().c_str());
     }
   });
-
-  netio::LoadOptions lopts;
   lopts.port = serve.value()->port();
-  lopts.connections = connections;
-  lopts.requests = requests;
-  lopts.streams = streams;
+  lopts.threads = static_cast<int>(spec.shards);
   const netio::LoadReport report = netio::run_load(lopts);
-
   serve.value()->request_shutdown();
   server_thread.join();
-
-  const double completed = static_cast<double>(report.completed);
-  g_results[spec.name] = {
-      report.wall_ms,
-      completed > 0 ? report.wall_ms * 1e6 / completed : 0.0, report.rps};
-  std::printf("%-20s %8.1f ms   %10.0f req/s   p50=%.3f p99=%.3f ms\n",
-              spec.name.c_str(), report.wall_ms, report.rps,
-              report.latency_ms.quantile(0.50),
-              report.latency_ms.quantile(0.99));
-
-  if (report.completed != static_cast<std::uint64_t>(requests) ||
-      report.total_errors() != 0 || report.failed != 0) {
-    std::fprintf(stderr, "!! %s: lossy run — %s\n", spec.name.c_str(),
-                 report.json().c_str());
-    g_failed = true;
-  }
-  const netio::ServeStats& stats = serve.value()->stats();
-  if (stats.served_clean != static_cast<std::uint64_t>(connections) ||
-      !stats.errors.empty()) {
-    std::fprintf(stderr, "!! %s: server-side errors — %s\n",
-                 spec.name.c_str(), stats.json().c_str());
-    g_failed = true;
-  }
+  finish_row(spec, report, serve.value()->stats(),
+             bench::heap_allocations() - allocs0, connections, requests);
 }
 
 void write_json() {
@@ -109,15 +167,20 @@ void write_json() {
   std::string out = "{\n";
   bool first = true;
   for (const auto& [row, r] : g_results) {
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "%s  \"%s\": {\"wall_ms\": %.3f, \"per_op_ns\": %.2f, "
-                  "\"throughput\": %.2f}",
+                  "\"throughput\": %.2f, \"allocs_per_op\": %.2f}",
                   first ? "" : ",\n", row.c_str(), r.wall_ms, r.per_op_ns,
-                  r.throughput);
+                  r.throughput, r.allocs_per_op);
     out += line;
     first = false;
   }
+  char meta[96];
+  std::snprintf(meta, sizeof(meta),
+                ",\n  \"_meta\": {\"hw_concurrency\": %u}",
+                std::thread::hardware_concurrency());
+  out += meta;
   out += "\n}\n";
   h2r::bench::write_file_or_warn(path, out);
 }
@@ -136,12 +199,19 @@ int main() {
       static_cast<int>(20000 / scale) < connections
           ? connections
           : static_cast<int>(20000 / scale);
-  std::printf("con=%d streams=%d req=%d\n\n", connections, streams, requests);
+  std::printf("con=%d streams=%d req=%d cores=%u\n\n", connections, streams,
+              requests, std::thread::hardware_concurrency());
 
-  run_row({"serve_h2o", "h2o", false}, connections, requests, streams);
-  run_row({"serve_nginx", "nginx", false}, connections, requests, streams);
-  run_row({"serve_h2o_hardened", "h2o", true}, connections, requests,
+  run_row({"serve_h2o", "h2o", false, 0}, connections, requests, streams);
+  run_row({"serve_nginx", "nginx", false, 0}, connections, requests,
           streams);
+  run_row({"serve_h2o_hardened", "h2o", true, 0}, connections, requests,
+          streams);
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    run_row({"serve_nginx_shards" + std::to_string(shards), "nginx", false,
+             shards},
+            connections, requests, streams);
+  }
 
   write_json();
   return g_failed ? 1 : 0;

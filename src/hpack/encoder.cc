@@ -21,6 +21,7 @@ Encoder::Encoder(EncoderOptions options)
 void Encoder::set_table_capacity(std::uint32_t capacity) {
   table_.set_capacity(capacity);
   pending_capacity_update_ = capacity;
+  ++capacity_epoch_;
 }
 
 void Encoder::encode(const HeaderList& headers, ByteWriter& out) {

@@ -51,6 +51,19 @@ class Encoder {
   /// at the start of the next header block, and resizes our table.
   void set_table_capacity(std::uint32_t capacity);
 
+  /// Counts set_table_capacity() calls. Together with the table's
+  /// insert/eviction counts this fully versions the encoder state a header
+  /// block depends on: a block cached at version V re-encodes byte-identical
+  /// while the version is unchanged (see Http2Server's response-block cache).
+  [[nodiscard]] std::uint64_t capacity_epoch() const noexcept {
+    return capacity_epoch_;
+  }
+  /// True while a §6.3 size-update instruction is queued for the next
+  /// block — such a block is context-dependent and must not be cached.
+  [[nodiscard]] bool has_pending_capacity_update() const noexcept {
+    return pending_capacity_update_.has_value();
+  }
+
   [[nodiscard]] const IndexTable& table() const noexcept { return table_; }
   [[nodiscard]] const EncoderOptions& options() const noexcept { return options_; }
 
@@ -61,6 +74,7 @@ class Encoder {
   EncoderOptions options_;
   IndexTable table_;
   std::optional<std::uint32_t> pending_capacity_update_;
+  std::uint64_t capacity_epoch_ = 0;
 };
 
 }  // namespace h2r::hpack

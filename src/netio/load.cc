@@ -7,6 +7,7 @@
 #include <optional>
 #include <poll.h>
 #include <sys/epoll.h>
+#include <thread>
 #include <vector>
 
 #include "net/readiness.h"
@@ -34,6 +35,22 @@ std::string fmt_ms(double v) {
 
 }  // namespace
 
+void LoadReport::merge(const LoadReport& other) {
+  completed += other.completed;
+  failed += other.failed;
+  rst_streams += other.rst_streams;
+  connect_errors += other.connect_errors;
+  transport_errors += other.transport_errors;
+  protocol_errors += other.protocol_errors;
+  clean_closes += other.clean_closes;
+  wall_ms = std::max(wall_ms, other.wall_ms);
+  latency_ms.merge(other.latency_ms);
+  for (const auto& [key, count] : other.errors) errors[key] += count;
+  rps = wall_ms > 0.0
+            ? static_cast<double>(completed) / (wall_ms / 1000.0)
+            : 0.0;
+}
+
 std::string LoadReport::json() const {
   std::string out = "{";
   const auto field = [&out](std::string_view key, std::uint64_t v) {
@@ -60,6 +77,7 @@ std::string LoadReport::json() const {
     out += ",\"p50\":" + fmt_ms(latency_ms.quantile(0.50));
     out += ",\"p90\":" + fmt_ms(latency_ms.quantile(0.90));
     out += ",\"p99\":" + fmt_ms(latency_ms.quantile(0.99));
+    out += ",\"p999\":" + fmt_ms(latency_ms.quantile(0.999));
     out += ",\"max\":" + fmt_ms(latency_ms.max());
   }
   out += "},\"errors\":{";
@@ -326,7 +344,31 @@ LoadReport Runner::run() {
 
 }  // namespace
 
-LoadReport run_load(const LoadOptions& opts) { return Runner(opts).run(); }
+LoadReport run_load(const LoadOptions& opts) {
+  const int threads =
+      std::min(std::max(1, opts.threads), std::max(1, opts.connections));
+  if (threads == 1) return Runner(opts).run();
+  // One single-threaded runner per thread, each with its own reactor and a
+  // round-robin share of the connections and the request budget.
+  const int conns = std::max(1, opts.connections);
+  std::vector<LoadReport> parts(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    LoadOptions part = opts;
+    part.threads = 1;
+    part.connections = conns / threads + (i < conns % threads ? 1 : 0);
+    part.requests =
+        opts.requests / threads + (i < opts.requests % threads ? 1 : 0);
+    pool.emplace_back([part, &parts, i] {
+      parts[static_cast<std::size_t>(i)] = Runner(part).run();
+    });
+  }
+  for (auto& t : pool) t.join();
+  LoadReport merged;
+  for (const LoadReport& part : parts) merged.merge(part);
+  return merged;
+}
 
 // ------------------------------------------------------------ SocketClient
 

@@ -40,6 +40,11 @@ struct LoadOptions {
   /// Whole-run safety deadline: outstanding work past this is counted
   /// failed and the loop exits (a wedged server must not hang CI).
   int run_timeout_ms = 60000;
+  /// Generator threads (--threads). Connections and the request budget
+  /// split across one single-threaded runner per thread; the per-thread
+  /// reports merge into one (see LoadReport::merge). Capped at
+  /// `connections` — an idle runner would just skew wall_ms.
+  int threads = 1;
 };
 
 struct LoadReport {
@@ -58,6 +63,13 @@ struct LoadReport {
   [[nodiscard]] std::uint64_t total_errors() const noexcept {
     return connect_errors + transport_errors + protocol_errors;
   }
+
+  /// Folds a concurrent runner's report into this one: counters and the
+  /// error map sum, latency samples pool (union — exact quantiles),
+  /// wall_ms takes the max (the runners overlapped), and rps is recomputed
+  /// as merged completions over merged wall time.
+  void merge(const LoadReport& other);
+
   [[nodiscard]] std::string json() const;
 };
 

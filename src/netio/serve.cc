@@ -7,7 +7,9 @@
 #include <netinet/tcp.h>
 #include <optional>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <unistd.h>
 #include <utility>
 #include <vector>
 
@@ -28,6 +30,22 @@ constexpr net::ExchangeLimits kServeLimits{.max_rounds = 1 << 30,
                                            .max_bytes = 0};
 }  // namespace
 
+void ServeStats::merge(const ServeStats& other) {
+  accepted += other.accepted;
+  served_clean += other.served_clean;
+  disconnected += other.disconnected;
+  declined_h1 += other.declined_h1;
+  accept_refused += other.accept_refused;
+  drain_expired += other.drain_expired;
+  rounds += other.rounds;
+  bytes_in += other.bytes_in;
+  bytes_out += other.bytes_out;
+  trace_drops += other.trace_drops;
+  header_cache_hits += other.header_cache_hits;
+  header_cache_misses += other.header_cache_misses;
+  for (const auto& [key, count] : other.errors) errors[key] += count;
+}
+
 std::string ServeStats::json() const {
   std::string out = "{";
   const auto field = [&out](std::string_view key, std::uint64_t v) {
@@ -45,6 +63,8 @@ std::string ServeStats::json() const {
   field("bytes_in", bytes_in);
   field("bytes_out", bytes_out);
   field("trace_drops", trace_drops);
+  field("header_cache_hits", header_cache_hits);
+  field("header_cache_misses", header_cache_misses);
   out += "\"errors\":{";
   bool first = true;
   for (const auto& [key, count] : errors) {
@@ -100,6 +120,18 @@ class ServeLoop::AcceptHandler final : public IoHandler {
   ServeLoop& serve_;
 };
 
+class ServeLoop::MailboxHandler final : public IoHandler {
+ public:
+  explicit MailboxHandler(ServeLoop& serve) : serve_(serve) {}
+  void on_ready(std::uint32_t events) override {
+    (void)events;
+    serve_.on_mailbox_ready();
+  }
+
+ private:
+  ServeLoop& serve_;
+};
+
 // ------------------------------------------------------------------ setup
 
 ServeLoop::ServeLoop(const ServeOptions& opts) : opts_(opts) {
@@ -116,6 +148,10 @@ ServeLoop::~ServeLoop() {
     conn->transport.close();
   }
   conns_.clear();
+  // Posted-but-never-dispatched sockets would otherwise leak their fds.
+  const std::lock_guard<std::mutex> lock(mailbox_mu_);
+  for (const int fd : mailbox_pending_) ::close(fd);
+  mailbox_pending_.clear();
 }
 
 Result<std::unique_ptr<ServeLoop>> ServeLoop::create(
@@ -138,7 +174,22 @@ Result<std::unique_ptr<ServeLoop>> ServeLoop::create(
   serve->site_ = std::make_shared<const server::Site>(
       server::Site::standard_testbed_site());
 
-  auto listener = listen_loopback(opts.port, opts.backlog);
+  if (opts.external_accept) {
+    // Sharded-fallback mode: no listener of our own; accepted sockets
+    // arrive cross-thread via post_connection → eventfd mailbox.
+    serve->mailbox_ =
+        Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!serve->mailbox_.valid()) return errno_status(errno, "eventfd");
+    serve->mailbox_handler_ = std::make_unique<MailboxHandler>(*serve);
+    if (Status s = serve->loop_.add(serve->mailbox_.get(),
+                                    serve->mailbox_handler_.get(), EPOLLIN);
+        !s.ok()) {
+      return s;
+    }
+    return serve;
+  }
+
+  auto listener = listen_loopback(opts.port, opts.backlog, opts.reuse_port);
   if (!listener.ok()) return listener.status();
   serve->listener_ = std::move(listener).value();
   auto port = local_port(serve->listener_.get());
@@ -177,6 +228,37 @@ void ServeLoop::on_accept_ready() {
       ++stats_.errors[errno_key(errno)];
       return;
     }
+    ++stats_.accepted;
+    if (draining_ || conns_.size() >= opts_.max_connections) {
+      ++stats_.accept_refused;
+      ++stats_.errors[draining_ ? "shutting-down" : "overloaded"];
+      continue;  // fd closes on scope exit
+    }
+    adopt(std::move(fd));
+  }
+}
+
+void ServeLoop::post_connection(int fd) noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(mailbox_mu_);
+    mailbox_pending_.push_back(fd);
+  }
+  if (mailbox_.valid()) {
+    const std::uint64_t one = 1;
+    (void)::write(mailbox_.get(), &one, sizeof(one));
+  }
+}
+
+void ServeLoop::on_mailbox_ready() {
+  std::uint64_t drained = 0;
+  (void)::read(mailbox_.get(), &drained, sizeof(drained));
+  std::vector<int> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mailbox_mu_);
+    batch.swap(mailbox_pending_);
+  }
+  for (const int raw : batch) {
+    Fd fd(raw);
     ++stats_.accepted;
     if (draining_ || conns_.size() >= opts_.max_connections) {
       ++stats_.accept_refused;
@@ -247,6 +329,10 @@ void ServeLoop::drive(Conn& conn) {
     }
     conn.engine = std::make_unique<server::Http2Server>(profile_, site_,
                                                         conn.mode, sink);
+    conn.engine->set_header_block_cache(opts_.header_block_cache);
+    if (opts_.header_block_cache) {
+      conn.engine->set_shared_block_cache(&shared_blocks_);
+    }
     conn.engine->record_received_frames(true);
     conn.engine_ref.emplace(*conn.engine);
     conn.transport.push_inbound(conn.sniff);
@@ -282,6 +368,8 @@ void ServeLoop::settle(Conn& conn) {
   stats_.rounds += static_cast<std::uint64_t>(r.rounds);
   stats_.bytes_in += r.bytes_c2s;
   stats_.bytes_out += r.bytes_s2c;
+  stats_.header_cache_hits += conn.engine->header_cache_hits();
+  stats_.header_cache_misses += conn.engine->header_cache_misses();
   switch (r.outcome) {
     case net::ExchangeOutcome::kQuiescent:
       if (conn.mode == server::Http2Server::StartMode::kH2c &&
@@ -350,8 +438,10 @@ void ServeLoop::begin_drain() {
       now_ms() + static_cast<std::uint64_t>(
                      opts_.drain_ms < 0 ? 0 : opts_.drain_ms);
   deadlines_.park(drain_deadline_ms_, 0);
-  loop_.remove(listener_.get());
-  listener_.reset();
+  if (listener_.valid()) {
+    loop_.remove(listener_.get());
+    listener_.reset();
+  }
   // GOAWAY + drain every live engine; pre-handshake sockets just close.
   std::vector<int> fds;
   fds.reserve(conns_.size());
@@ -398,6 +488,8 @@ Status ServeLoop::run() {
     retire_pending();
     if (draining_ && conns_.empty()) break;
   }
+  stats_.header_cache_hits += shared_blocks_.hits;
+  stats_.header_cache_misses += shared_blocks_.misses;
   return OkStatus();
 }
 

@@ -21,7 +21,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "net/readiness.h"
 #include "netio/event_loop.h"
@@ -57,6 +59,15 @@ struct ServeOptions {
   /// are counted in ServeStats::trace_drops. Keeps always-on tracing O(1)
   /// per connection no matter how long one lives.
   std::size_t tape_capacity = 4096;
+  /// Sets SO_REUSEPORT on the listener so sibling shards can bind the same
+  /// port (create() fails where the kernel refuses — the sharded listener
+  /// falls back to external_accept).
+  bool reuse_port = false;
+  /// No listener at all: connections arrive through post_connection()
+  /// (the sharded listener's single-acceptor fallback mode).
+  bool external_accept = false;
+  /// Engine response header-block cache (Http2Server::set_header_block_cache).
+  bool header_block_cache = true;
 };
 
 /// What the listener did, exportable as JSON after run() returns.
@@ -80,8 +91,18 @@ struct ServeStats {
   /// Trace records evicted from per-connection ring tapes before flush
   /// (oldest-first; see ServeOptions::tape_capacity).
   std::uint64_t trace_drops = 0;
+  /// Response header-block cache tallies, private (per-engine) + shared
+  /// (per-shard static blocks) combined. Counted at connection settle, so
+  /// force-closed stragglers' tallies are not included — like rounds.
+  std::uint64_t header_cache_hits = 0;
+  std::uint64_t header_cache_misses = 0;
   /// Terminal error taxonomy: errno_key / classifier → count.
   std::map<std::string, std::uint64_t> errors;
+
+  /// Folds another shard's tallies into this one: every counter adds, the
+  /// error maps add per key. Shard merging is exactly summation — nothing
+  /// a shard counts is double-counted or averaged.
+  void merge(const ServeStats& other);
 
   [[nodiscard]] std::string json() const;
 };
@@ -104,6 +125,12 @@ class ServeLoop {
   /// Async-signal-safe: wakes the reactor and begins the graceful drain.
   void request_shutdown() noexcept { loop_.request_shutdown(); }
 
+  /// Thread-safe: hands an accepted, nonblocking socket to this loop (the
+  /// external_accept mode's intake — a sharded listener's acceptor thread
+  /// round-robins here). The fd is adopted on the next dispatch pass; after
+  /// run() returned or during drain it is closed and counted refused.
+  void post_connection(int fd) noexcept;
+
   [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t open_connections() const noexcept {
     return conns_.size();
@@ -112,10 +139,12 @@ class ServeLoop {
  private:
   struct Conn;
   class AcceptHandler;
+  class MailboxHandler;
 
   explicit ServeLoop(const ServeOptions& opts);
 
   void on_accept_ready();
+  void on_mailbox_ready();
   void adopt(Fd fd);
   void drive(Conn& conn);
   void settle(Conn& conn);
@@ -132,7 +161,16 @@ class ServeLoop {
   std::shared_ptr<const server::ServerProfile> profile_;
   std::shared_ptr<const server::Site> site_;
   std::unique_ptr<AcceptHandler> accept_handler_;
+  /// external_accept intake: posted fds wait here until the eventfd wake
+  /// dispatches them on the loop thread. The only cross-thread state.
+  std::unique_ptr<MailboxHandler> mailbox_handler_;
+  Fd mailbox_;
+  std::mutex mailbox_mu_;
+  std::vector<int> mailbox_pending_;
   std::map<int, std::unique_ptr<Conn>> conns_;  ///< keyed by fd
+  /// Static response header blocks shared across this loop's connections —
+  /// the per-shard cache (one ServeLoop per shard thread, so no locking).
+  server::SharedBlockCache shared_blocks_;
   std::vector<int> retired_;  ///< fds to reap after the dispatch pass
   ServeStats stats_;
   bool draining_ = false;

@@ -75,7 +75,8 @@ Status set_nonblocking(int fd) {
   return OkStatus();
 }
 
-Result<Fd> listen_loopback(std::uint16_t port, int backlog) {
+Result<Fd> listen_loopback(std::uint16_t port, int backlog,
+                           bool reuse_port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return errno_status(errno, "socket");
   const int one = 1;
@@ -84,6 +85,13 @@ Result<Fd> listen_loopback(std::uint16_t port, int backlog) {
   if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
       0) {
     return errno_status(errno, "setsockopt(SO_REUSEADDR)");
+  }
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+          0) {
+    // kRefused by taxonomy choice: "the kernel would not give us the
+    // resource", so the sharded listener can branch on status code.
+    return RefusedError("setsockopt(SO_REUSEPORT): " + errno_key(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

@@ -66,8 +66,13 @@ class Fd {
 [[nodiscard]] Status set_nonblocking(int fd);
 
 /// Binds a nonblocking TCP listener on 127.0.0.1:@p port (0 = kernel picks
-/// an ephemeral port; read it back with local_port) and listens.
-[[nodiscard]] Result<Fd> listen_loopback(std::uint16_t port, int backlog);
+/// an ephemeral port; read it back with local_port) and listens. With
+/// @p reuse_port, sets SO_REUSEPORT before binding so several listeners —
+/// one per serve shard — share the port and the kernel load-balances
+/// accepts across them; fails (kRefused) where the kernel lacks support,
+/// which is the sharded listener's cue to fall back to a single acceptor.
+[[nodiscard]] Result<Fd> listen_loopback(std::uint16_t port, int backlog,
+                                         bool reuse_port = false);
 
 /// The port a bound socket actually landed on.
 [[nodiscard]] Result<std::uint16_t> local_port(int fd);

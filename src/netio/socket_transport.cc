@@ -1,7 +1,9 @@
 #include "netio/socket_transport.h"
 
+#include <array>
 #include <cerrno>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 namespace h2r::netio {
 
@@ -12,6 +14,9 @@ namespace {
 // whatever the kernel still holds.
 constexpr std::size_t kReadChunk = 16 * 1024;
 constexpr std::size_t kMaxPerRound = 256 * 1024;
+// Gathered-write fan-in: buffers per sendmsg. IOV_MAX is 1024 everywhere
+// that matters; 64 already amortizes the syscall without a huge stack array.
+constexpr std::size_t kMaxIov = 64;
 }  // namespace
 
 Bytes SocketTransport::read_from_socket() {
@@ -48,35 +53,76 @@ Bytes SocketTransport::read_from_socket() {
 }
 
 void SocketTransport::queue_to_socket(std::span<const std::uint8_t> bytes) {
-  backlog_.insert(backlog_.end(), bytes.begin(), bytes.end());
-  (void)flush_backlog();
+  // Copy slow path, for callers that only hold a view (the wire seat's
+  // receive contract). The round body bypasses this by moving the producer's
+  // buffer straight into the queue.
+  if (bytes.empty()) return;
+  Bytes buf = pool_.acquire();
+  buf.assign(bytes.begin(), bytes.end());
+  outq_.push_back(std::move(buf));
+  (void)flush_backlog(nullptr);
 }
 
-bool SocketTransport::flush_backlog() {
+void SocketTransport::enqueue_write(Bytes bytes) {
+  if (bytes.empty()) return;
+  outq_.push_back(std::move(bytes));
+}
+
+bool SocketTransport::flush_backlog(net::Endpoint* local) {
   bool moved = false;
-  while (write_pos_ < backlog_.size() && errno_ == 0 && fd_.valid()) {
-    // MSG_NOSIGNAL: a peer that already reset must surface as EPIPE, not
-    // kill the process with SIGPIPE.
-    const ssize_t n =
-        ::send(fd_.get(), backlog_.data() + write_pos_,
-               backlog_.size() - write_pos_, MSG_NOSIGNAL);
+  // One retry on EINTR: a signal mid-send used to surface as a would-block
+  // round, costing a park + EPOLLOUT wake under signal-heavy load. A second
+  // interruption defers to the next round instead of spinning.
+  int eintr_budget = 1;
+  while (!outq_.empty() && errno_ == 0 && fd_.valid()) {
+    std::array<iovec, kMaxIov> iov;
+    std::size_t n_iov = 0;
+    std::size_t skip = head_off_;
+    for (const Bytes& b : outq_) {
+      if (n_iov == kMaxIov) break;
+      iov[n_iov].iov_base = const_cast<std::uint8_t*>(b.data() + skip);
+      iov[n_iov].iov_len = b.size() - skip;
+      ++n_iov;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = n_iov;
+    // sendmsg rather than writev: MSG_NOSIGNAL — a peer that already reset
+    // must surface as EPIPE, not kill the process with SIGPIPE.
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      write_pos_ += static_cast<std::size_t>(n);
       moved = true;
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        Bytes& front = outq_.front();
+        const std::size_t avail = front.size() - head_off_;
+        if (left < avail) {
+          head_off_ += left;  // short write: spill stays queued
+          break;
+        }
+        left -= avail;
+        head_off_ = 0;
+        Bytes done = std::move(front);
+        outq_.pop_front();
+        // Hand the drained buffer back to whichever pool grew it, so the
+        // engine's next take_output round reuses the capacity.
+        if (local != nullptr) {
+          local->recycle(std::move(done));
+        } else {
+          pool_.release(std::move(done));
+        }
+      }
       continue;
     }
-    if (errno == EINTR) continue;
+    if (n == 0) break;  // defensive: zero-length iov set should not occur
+    if (errno == EINTR) {
+      if (eintr_budget-- > 0) continue;
+      break;
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     errno_ = errno;
     break;
-  }
-  if (write_pos_ == backlog_.size()) {
-    backlog_.clear();
-    write_pos_ = 0;
-  } else if (write_pos_ > kMaxPerRound) {
-    backlog_.erase(backlog_.begin(),
-                   backlog_.begin() + static_cast<std::ptrdiff_t>(write_pos_));
-    write_pos_ = 0;
   }
   return moved;
 }
@@ -96,21 +142,35 @@ net::Transport::RoundOutcome SocketTransport::round_once(
   net::Endpoint& local =
       &client == static_cast<net::Endpoint*>(&wire_) ? server : client;
 
-  // The lockstep round body, verbatim: this is what keeps socket-driven
-  // exchanges bit-compatible with the in-process transports as far as the
-  // endpoints can observe.
+  // The lockstep round body, with one twist: when the destination seat is
+  // the wire, the producer's buffer MOVES into the write queue instead of
+  // being copied — the gathered flush below recycles it to the producer
+  // once the kernel has taken it. Byte order and round structure stay
+  // bit-compatible with the in-process transports as far as the endpoints
+  // can observe.
   Bytes c2s = client.take_output();
-  if (!c2s.empty()) server.receive(c2s);
-  Bytes s2c = server.take_output();
-  if (!s2c.empty()) client.receive(s2c);
   result.bytes_c2s += c2s.size();
+  out.progressed = !c2s.empty();
+  if (&server == static_cast<net::Endpoint*>(&wire_)) {
+    enqueue_write(std::move(c2s));
+  } else {
+    if (!c2s.empty()) server.receive(c2s);
+    client.recycle(std::move(c2s));
+  }
+  Bytes s2c = server.take_output();
   result.bytes_s2c += s2c.size();
-  out.progressed = !c2s.empty() || !s2c.empty();
-  client.recycle(std::move(c2s));
-  server.recycle(std::move(s2c));
+  out.progressed |= !s2c.empty();
+  if (&client == static_cast<net::Endpoint*>(&wire_)) {
+    enqueue_write(std::move(s2c));
+  } else {
+    if (!s2c.empty()) client.receive(s2c);
+    server.recycle(std::move(s2c));
+  }
 
-  // An EPOLLOUT wake can arrive with nothing new to say; retry the backlog.
-  out.progressed |= flush_backlog();
+  // One gathered flush per round: every frame buffer either seat produced
+  // this round rides a single sendmsg. An EPOLLOUT wake with nothing new to
+  // say lands here too and retries the queue.
+  out.progressed |= flush_backlog(&local);
 
   if (errno_ != 0) {
     result.outcome = net::ExchangeOutcome::kDisconnected;

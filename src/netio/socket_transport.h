@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
 
@@ -48,9 +49,7 @@ class SocketTransport final : public net::Transport {
 
   /// True while unsent octets are queued toward the peer — the epoll loop
   /// arms EPOLLOUT exactly when this holds.
-  [[nodiscard]] bool wants_write() const noexcept {
-    return write_pos_ < backlog_.size();
-  }
+  [[nodiscard]] bool wants_write() const noexcept { return !outq_.empty(); }
   /// The peer half-closed its write side (read returned 0).
   [[nodiscard]] bool peer_eof() const noexcept { return eof_; }
   /// A socket error ended the connection; last_error() says which.
@@ -93,16 +92,24 @@ class SocketTransport final : public net::Transport {
 
   [[nodiscard]] Bytes read_from_socket();
   void queue_to_socket(std::span<const std::uint8_t> bytes);
-  /// Pushes queued octets into the kernel until EAGAIN / empty / error.
-  /// Returns true when any octet left.
-  bool flush_backlog();
+  /// Takes ownership of an already-built outbound buffer — the gathered
+  /// write path: no memcpy, the engine's round output rides as-is.
+  void enqueue_write(Bytes bytes);
+  /// Pushes queued buffers into the kernel with one sendmsg per loop turn
+  /// (gathered: up to kMaxIov buffers per call) until EAGAIN / empty /
+  /// error. Fully-drained buffers are recycled to @p local when given (the
+  /// engine seat's pool), else to our own pool. Returns true when any octet
+  /// left.
+  bool flush_backlog(net::Endpoint* local);
 
   Fd fd_;
   WireEndpoint wire_{*this};
   BufferPool pool_;
   Bytes sniffed_;       ///< owner-injected inbound prefix (preface sniff)
-  Bytes backlog_;       ///< queued toward the peer, not yet accepted by kernel
-  std::size_t write_pos_ = 0;
+  /// Outbound frame-buffer queue, oldest first; head_off_ octets of the
+  /// front buffer are already in the kernel (short-write spill).
+  std::deque<Bytes> outq_;
+  std::size_t head_off_ = 0;
   bool eof_ = false;
   int errno_ = 0;       ///< first fatal socket errno (0 = none)
   bool closed_reported_ = false;

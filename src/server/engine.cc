@@ -93,6 +93,9 @@ void Http2Server::reset(std::shared_ptr<const ServerProfile> profile,
   continuation_fragment_.clear();
   continuation_end_stream_ = false;
   continuation_priority_.reset();
+  block_cache_.clear();
+  header_cache_hits_ = 0;
+  header_cache_misses_ = 0;
   out_ = ByteWriter(buffer_pool_.acquire());
   dead_ = false;
   client_goaway_ = false;
@@ -667,11 +670,12 @@ void Http2Server::start_response(Stream& stream) {
       hpack::find_header(stream.request_headers, ":method");
   stream.resource = site_->find(path);
 
-  hpack::HeaderList headers;
-  headers.reserve(8 + site_->extra_headers().size());
   if (method == "POST") {
     // Upload sink: acknowledge with a body sized like the upload, so tests
-    // can verify the count end to end.
+    // can verify the count end to end. Never cacheable: x-received-bytes
+    // varies per upload.
+    hpack::HeaderList headers;
+    headers.reserve(6);
     headers.emplace_back(":status", "200");
     headers.emplace_back("server", profile_->server_header);
     headers.emplace_back("date", kHttpDate);
@@ -686,31 +690,101 @@ void Http2Server::start_response(Stream& stream) {
     pin_octets(stream.body_size);
     return;
   }
-  if (stream.resource != nullptr) {
-    headers.emplace_back(":status", "200");
-    stream.body_size = stream.resource->size;
+  stream.body_size =
+      stream.resource != nullptr ? stream.resource->size : std::size_t{180};
+  if (header_cache_enabled_ && !site_->cookie_churn()) {
+    // The header list is a pure function of (profile, site, resource); defer
+    // building it to first encode, where the block cache usually supplies a
+    // prebuilt byte block instead.
+    stream.cacheable_response = true;
   } else {
-    headers.emplace_back(":status", "404");
-    stream.body_size = 180;  // synthetic error page
+    stream.response_headers = build_response_headers(stream);
   }
+  stream.response_ready = true;
+  pin_octets(stream.body_size);
+}
+
+hpack::HeaderList Http2Server::build_response_headers(const Stream& stream) {
+  hpack::HeaderList headers;
+  headers.reserve(8 + site_->extra_headers().size());
+  headers.emplace_back(":status", stream.resource != nullptr ? "200" : "404");
   headers.emplace_back("server", profile_->server_header);
   headers.emplace_back("date", kHttpDate);
   headers.emplace_back("content-type", stream.resource != nullptr
-                                            ? stream.resource->content_type
-                                            : "text/html");
+                                           ? stream.resource->content_type
+                                           : "text/html");
   headers.emplace_back("content-length", std::to_string(stream.body_size));
   for (const auto& extra : site_->extra_headers()) headers.push_back(extra);
   // Cookie churn (§V-G): *later* responses grow extra set-cookie headers
   // the first response lacked, making S1 < Si and pushing the measured
   // compression ratio above 1 (the sites the paper filters out of Figs 4/5).
+  // Churned responses are never cache-deferred (see start_response), so the
+  // counter advances exactly as it would without the cache.
   if (site_->cookie_churn() && cookie_counter_++ > 0) {
     headers.emplace_back(
         "set-cookie", "session=" + std::to_string(cookie_counter_) +
                           "; Path=/; HttpOnly");
   }
-  stream.response_headers = std::move(headers);
-  stream.response_ready = true;
-  pin_octets(stream.body_size);
+  return headers;
+}
+
+Bytes Http2Server::response_block(Stream& stream) {
+  if (!stream.cacheable_response) {
+    return encode_block(stream.response_headers);
+  }
+  // Shard-shared static blocks first: while this engine's encoder is still
+  // pristine (nothing inserted, nothing evicted, never resized, no pending
+  // §6.3 update) it emits exactly the bytes any sibling pristine engine
+  // emitted — so the very first response of a fresh connection can reuse a
+  // block another connection on this shard already built.
+  const bool pristine = encoder_.table().insert_count() == 0 &&
+                        encoder_.table().eviction_count() == 0 &&
+                        encoder_.capacity_epoch() == 0 &&
+                        !encoder_.has_pending_capacity_update();
+  if (shared_block_cache_ != nullptr && pristine) {
+    for (const auto& entry : shared_block_cache_->entries) {
+      if (entry.resource == stream.resource) {
+        ++shared_block_cache_->hits;
+        Bytes block = buffer_pool_.acquire();
+        block.assign(entry.block.begin(), entry.block.end());
+        return block;
+      }
+    }
+    ++shared_block_cache_->misses;
+  }
+  for (const auto& entry : block_cache_) {
+    if (entry.resource == stream.resource && cache_entry_valid(entry)) {
+      // Replaying is byte-identical to re-encoding: the encoder state is
+      // exactly what the cached encode saw, and that encode had no side
+      // effects — so the peer's HPACK decoder cannot tell the difference.
+      ++header_cache_hits_;
+      Bytes block = buffer_pool_.acquire();
+      block.assign(entry.block.begin(), entry.block.end());
+      return block;
+    }
+  }
+  ++header_cache_misses_;
+  const bool had_pending_update = encoder_.has_pending_capacity_update();
+  const std::uint64_t ins = encoder_.table().insert_count();
+  const std::uint64_t ev = encoder_.table().eviction_count();
+  const std::uint64_t cap = encoder_.capacity_epoch();
+  Bytes block = encode_block(build_response_headers(stream));
+  // Cache only side-effect-free encodes: no table inserts or evictions, no
+  // §6.3 size-update instruction embedded in the block. (The first encode
+  // of a response under an aggressive indexing policy inserts; the second,
+  // fully-indexed encode is the one that sticks.)
+  if (!had_pending_update && ins == encoder_.table().insert_count() &&
+      ev == encoder_.table().eviction_count() &&
+      cap == encoder_.capacity_epoch()) {
+    std::erase_if(block_cache_, [&](const BlockCacheEntry& e) {
+      return e.resource == stream.resource || !cache_entry_valid(e);
+    });
+    block_cache_.push_back({stream.resource, block, ins, ev, cap});
+    if (shared_block_cache_ != nullptr && pristine) {
+      shared_block_cache_->entries.push_back({stream.resource, block});
+    }
+  }
+  return block;
 }
 
 void Http2Server::maybe_push(Stream& parent) {
@@ -860,7 +934,7 @@ void Http2Server::serve_one(std::uint32_t stream_id) {
       return;
     }
     const bool end_stream = s.body_size == 0;
-    send_header_block(stream_id, encode_block(s.response_headers), end_stream);
+    send_header_block(stream_id, response_block(s), end_stream);
     (void)s.sm.on_send_headers(end_stream);
     s.headers_sent = true;
     if (end_stream) close_stream(stream_id);

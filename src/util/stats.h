@@ -17,6 +17,12 @@ class SampleSet {
   void add_all(const std::vector<double>& vs) {
     samples_.insert(samples_.end(), vs.begin(), vs.end());
   }
+  /// Pools another set's samples into this one — merging per-thread latency
+  /// distributions is exact (quantiles of the union), not an approximation.
+  void merge(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
